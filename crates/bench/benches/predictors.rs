@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks: single-thread prediction throughput of
+//! every scheme on a fixed workload. These measure the simulator
+//! itself (predictions per second), complementing the accuracy
+//! harnesses in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bpred_core::PredictorConfig;
+use bpred_sim::{run_config, Simulator};
+use bpred_workloads::suite;
+
+const BRANCHES: usize = 50_000;
+
+fn predictor_throughput(c: &mut Criterion) {
+    let trace = suite::mpeg_play().scaled(BRANCHES).trace(1);
+    let mut group = c.benchmark_group("predict+update");
+    group.throughput(Throughput::Elements(BRANCHES as u64));
+
+    let configs: Vec<(&str, PredictorConfig)> = vec![
+        ("always-taken", PredictorConfig::AlwaysTaken),
+        ("btfn", PredictorConfig::Btfn),
+        ("bimodal-4k", PredictorConfig::AddressIndexed { addr_bits: 12 }),
+        (
+            "gag-4k",
+            PredictorConfig::Gas {
+                history_bits: 12,
+                col_bits: 0,
+            },
+        ),
+        (
+            "gas-4k",
+            PredictorConfig::Gas {
+                history_bits: 8,
+                col_bits: 4,
+            },
+        ),
+        (
+            "gshare-4k",
+            PredictorConfig::Gshare {
+                history_bits: 8,
+                col_bits: 4,
+            },
+        ),
+        (
+            "path-4k",
+            PredictorConfig::Path {
+                row_bits: 8,
+                col_bits: 4,
+                bits_per_target: 2,
+            },
+        ),
+        (
+            "pas-inf-4k",
+            PredictorConfig::PasInfinite {
+                history_bits: 8,
+                col_bits: 4,
+            },
+        ),
+        (
+            "pas-1kx4-4k",
+            PredictorConfig::PasFinite {
+                history_bits: 8,
+                col_bits: 4,
+                entries: 1024,
+                ways: 4,
+            },
+        ),
+        (
+            "tournament-4k",
+            PredictorConfig::Tournament {
+                addr_bits: 10,
+                history_bits: 10,
+                chooser_bits: 10,
+            },
+        ),
+    ];
+
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| run_config(*cfg, &trace, Simulator::new()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, predictor_throughput);
+criterion_main!(benches);

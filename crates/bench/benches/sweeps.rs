@@ -1,0 +1,40 @@
+//! Criterion macrobenchmarks: whole-tier parallel sweeps — the unit of
+//! work behind every surface figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bpred_core::PredictorConfig;
+use bpred_sim::{Simulator, Surface};
+use bpred_workloads::suite;
+
+fn tier_sweep(c: &mut Criterion) {
+    let trace = suite::espresso().scaled(30_000).trace(2);
+    let mut group = c.benchmark_group("tier-sweep");
+    group.sample_size(10);
+
+    for total_bits in [8u32, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("gas", total_bits),
+            &total_bits,
+            |b, &bits| {
+                b.iter(|| {
+                    Surface::sweep(
+                        "GAs",
+                        "espresso",
+                        bits..=bits,
+                        &trace,
+                        Simulator::new(),
+                        |r, c| PredictorConfig::Gas {
+                            history_bits: r,
+                            col_bits: c,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tier_sweep);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks: workload generation throughput — trace
+//! synthesis for the statistical models and the CFG executor, plus the
+//! binary codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bpred_trace::binfmt;
+use bpred_workloads::{suite, CfgConfig, CfgProgram};
+
+const BRANCHES: usize = 50_000;
+
+fn generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace-generation");
+    group.throughput(Throughput::Elements(BRANCHES as u64));
+
+    for name in ["espresso", "mpeg_play", "real_gcc"] {
+        let model = suite::by_name(name).expect("model exists").scaled(BRANCHES);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| m.trace(7));
+        });
+    }
+
+    let program = CfgProgram::generate(CfgConfig::default(), 5);
+    group.bench_function("cfg-program", |b| {
+        b.iter(|| program.trace(7, BRANCHES));
+    });
+    group.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let trace = suite::mpeg_play().scaled(BRANCHES).trace(3);
+    let encoded = binfmt::encode(&trace);
+    let mut group = c.benchmark_group("binfmt");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| binfmt::encode(&trace)));
+    group.bench_function("decode", |b| {
+        b.iter(|| binfmt::decode(&encoded).expect("valid buffer"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generation, codec);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation (beyond the paper): first-level-table associativity. §5
+//! notes conflict rates "can be reduced by using some degree of
+//! associativity"; this harness quantifies it — PAs on mpeg_play with
+//! the entry count and associativity swept independently.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::{BranchPredictor, Pas};
+use bpred_sim::report::percent;
+use bpred_sim::{Simulator, TextTable};
+use bpred_workloads::suite;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Ablation: PAs(2^10 x 2^0) first-level size x associativity on mpeg_play\n");
+
+    let model = suite::by_name("mpeg_play").expect("model exists");
+    let trace = args.options.trace(&model);
+    let sim = Simulator::new();
+
+    let mut table = TextTable::new(
+        ["entries", "ways", "L1 miss", "mispredict"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    for entries in [128usize, 256, 512, 1024, 2048, 4096] {
+        for ways in [1usize, 2, 4, 8] {
+            let mut p = Pas::with_bht(10, 0, entries, ways);
+            let result = sim.run(&mut p, &trace);
+            table.push_row(vec![
+                entries.to_string(),
+                ways.to_string(),
+                percent(result.bht_miss_rate()),
+                percent(result.misprediction_rate()),
+            ]);
+        }
+    }
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    println!("\n(reference: PAs with a perfect first level)");
+    let mut ideal = Pas::perfect(10, 0);
+    let result = sim.run(&mut ideal, &trace);
+    println!("{}: {}", ideal.name(), percent(result.misprediction_rate()));
+    ExitCode::SUCCESS
+}

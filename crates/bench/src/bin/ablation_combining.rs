@@ -1,0 +1,54 @@
+//! Ablation (beyond the paper): McFarling's combining predictor versus
+//! its components at matched total state — the "recent work has begun
+//! to examine ways of combining schemes" direction the paper's
+//! conclusion points to.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::{AddressIndexed, BranchPredictor, Combining, Gshare, Pas};
+use bpred_sim::report::percent;
+use bpred_sim::{Simulator, TextTable};
+use bpred_workloads::suite;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Ablation: combining predictor vs components (~2^13 counters of state)\n");
+
+    let mut table = TextTable::new(
+        ["benchmark", "predictor", "state bits", "mispredict"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    let sim = Simulator::new();
+    for model in suite::focus() {
+        let name = model.name().to_owned();
+        let trace = args.options.trace(&model);
+
+        let mut rows: Vec<(String, bpred_sim::SimResult)> = Vec::new();
+        let mut bimodal = AddressIndexed::new(13);
+        rows.push((bimodal.name(), sim.run(&mut bimodal, &trace)));
+        let mut gshare = Gshare::new(13, 0);
+        rows.push((gshare.name(), sim.run(&mut gshare, &trace)));
+        let mut pas = Pas::with_bht(11, 1, 1024, 4);
+        rows.push((pas.name(), sim.run(&mut pas, &trace)));
+        let mut combined = Combining::new(AddressIndexed::new(12), Gshare::new(12, 0), 12);
+        rows.push((combined.name(), sim.run(&mut combined, &trace)));
+        let mut hybrid = Combining::new(Pas::with_bht(10, 1, 1024, 4), Gshare::new(12, 0), 12);
+        rows.push((hybrid.name(), sim.run(&mut hybrid, &trace)));
+
+        for (predictor, result) in rows {
+            table.push_row(vec![
+                name.clone(),
+                predictor,
+                result.state_bits.to_string(),
+                percent(result.misprediction_rate()),
+            ]);
+        }
+    }
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

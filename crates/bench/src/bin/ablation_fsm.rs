@@ -1,0 +1,47 @@
+//! Counter-design ablation: the classic saturating counter against
+//! alternative two-bit FSMs (Nair 1995) across the focus benchmarks,
+//! at matched table size.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::{FsmPredictor, FsmSpec};
+use bpred_sim::report::percent;
+use bpred_sim::{Simulator, TextTable};
+use bpred_workloads::suite;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Ablation: two-bit predictor FSMs (address-indexed, 2^12 machines)\n");
+
+    let machines: [(&str, FsmSpec, u8); 3] = [
+        ("saturating counter", FsmSpec::saturating_counter(), 2),
+        ("last-time (1-bit)", FsmSpec::last_time(), 1),
+        ("two-mispredict flip", FsmSpec::two_mispredict_flip(), 3),
+    ];
+
+    let mut table = TextTable::new(
+        ["benchmark", "machine", "mispredict"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    let sim = Simulator::new();
+    for model in suite::focus() {
+        let name = model.name().to_owned();
+        let trace = args.options.trace(&model);
+        for (label, spec, init) in machines {
+            let mut p = FsmPredictor::new(spec, 12, init);
+            let result = sim.run(&mut p, &trace);
+            table.push_row(vec![
+                name.clone(),
+                label.to_owned(),
+                percent(result.misprediction_rate()),
+            ]);
+        }
+    }
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,112 @@
+//! Ablation (beyond the paper's single choice): the history-reset
+//! pattern used when a finite first-level table misses. §5 resets to a
+//! prefix of 0xC3FF "avoiding excessive aliasing for the patterns of
+//! all taken or all not taken branches"; this harness compares that
+//! choice against all-zeros, all-ones, and an alternating pattern, and
+//! also varies the counter initial state.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::{
+    BhtStats, CounterState, HistoryTable, SelfSelector, SetAssocBht,
+    TableGeometry, TwoLevel,
+};
+use bpred_sim::report::percent;
+use bpred_sim::{Simulator, TextTable};
+use bpred_trace::Outcome;
+use bpred_workloads::suite;
+
+/// A first-level table identical to [`SetAssocBht`] except that the
+/// history installed on a miss is `reset` instead of the 0xC3FF
+/// prefix.
+#[derive(Debug)]
+struct ResetOverrideBht {
+    inner: SetAssocBht,
+    reset: u64,
+}
+
+impl HistoryTable for ResetOverrideBht {
+    fn width(&self) -> u32 {
+        self.inner.width()
+    }
+
+    fn lookup(&mut self, pc: u64) -> u64 {
+        let misses_before = self.inner.stats().misses;
+        let value = self.inner.lookup(pc);
+        if self.inner.stats().misses == misses_before {
+            return value;
+        }
+        // A miss just reset the entry to the paper pattern; replay our
+        // pattern into it instead (record masks to the width for us).
+        for age in (0..self.inner.width()).rev() {
+            self.inner
+                .record(pc, Outcome::from((self.reset >> age) & 1 == 1));
+        }
+        self.reset
+    }
+
+    fn record(&mut self, pc: u64, outcome: Outcome) {
+        self.inner.record(pc, outcome);
+    }
+
+    fn stats(&self) -> BhtStats {
+        self.inner.stats()
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.inner.state_bits()
+    }
+
+    fn label(&self) -> String {
+        format!("{}/reset={:#x}", self.inner.label(), self.reset)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!(
+        "Ablation: first-level reset pattern and counter init (PAg 2^10, 512x4 BHT, mpeg_play)\n"
+    );
+    let model = suite::by_name("mpeg_play").expect("model exists");
+    let trace = args.options.trace(&model);
+    let sim = Simulator::new();
+
+    const HIST: u32 = 10;
+    let patterns: [(&str, u64); 4] = [
+        ("0xC3FF prefix (paper)", bpred_core::reset_pattern(HIST)),
+        ("all zeros", 0),
+        ("all ones", (1 << HIST) - 1),
+        ("alternating 01", 0b01_0101_0101),
+    ];
+
+    let mut table = TextTable::new(
+        ["reset pattern", "counter init", "mispredict"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    for (label, reset) in patterns {
+        for init in [CounterState::WeakTaken, CounterState::WeakNotTaken] {
+            let bht = ResetOverrideBht {
+                inner: SetAssocBht::new(512, 4, HIST),
+                reset,
+            };
+            let mut p = TwoLevel::with_selector_and_initial_state(
+                SelfSelector::new(bht),
+                TableGeometry::new(HIST, 0),
+                init,
+            );
+            let result = sim.run(&mut p, &trace);
+            table.push_row(vec![
+                label.to_owned(),
+                init.to_string(),
+                percent(result.misprediction_rate()),
+            ]);
+        }
+    }
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

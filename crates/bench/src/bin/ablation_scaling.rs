@@ -1,0 +1,64 @@
+//! Methodology study: sensitivity of the reproduction to trace
+//! length. The paper's traces run 42M–1.4B instructions; the synthetic
+//! defaults are ~1M conditional branches. This harness shows which
+//! measurements have converged at that scale and which still drift —
+//! quantifying the trace-length caveat recorded in EXPERIMENTS.md
+//! (large second-level tables and first-level cold misses converge
+//! slowest).
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::PredictorConfig;
+use bpred_sim::report::percent;
+use bpred_sim::{run_configs, Simulator, TextTable};
+use bpred_workloads::suite;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Methodology: misprediction vs trace length (mpeg_play model)\n");
+
+    let model = suite::by_name("mpeg_play").expect("model exists");
+    let configs = vec![
+        PredictorConfig::AddressIndexed { addr_bits: 12 },
+        PredictorConfig::Gshare {
+            history_bits: 9,
+            col_bits: 3,
+        },
+        PredictorConfig::Gas {
+            history_bits: 15,
+            col_bits: 0,
+        },
+        PredictorConfig::PasFinite {
+            history_bits: 10,
+            col_bits: 0,
+            entries: 1024,
+            ways: 4,
+        },
+    ];
+
+    let mut headers = vec!["branches".to_owned()];
+    headers.extend(configs.iter().map(|c| c.to_string()));
+    headers.push("pas L1 miss".to_owned());
+    let mut table = TextTable::new(headers);
+
+    for branches in [50_000usize, 100_000, 200_000, 400_000, 800_000, 1_600_000] {
+        let trace = model.trace_of_length(args.options.seed, branches);
+        let results = run_configs(&configs, &trace, Simulator::new());
+        let mut row = vec![branches.to_string()];
+        row.extend(results.iter().map(|r| percent(r.misprediction_rate())));
+        row.push(percent(results.last().expect("pas row").bht_miss_rate()));
+        table.push_row(row);
+    }
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    println!(
+        "\n(Small tables converge by a few hundred thousand branches; the\n\
+         2^15-counter GAg column and the first-level miss rate keep\n\
+         falling with length — cold-start effects the paper's 9.6M-branch\n\
+         mpeg_play trace does not see.)"
+    );
+    ExitCode::SUCCESS
+}

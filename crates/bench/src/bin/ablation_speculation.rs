@@ -1,0 +1,54 @@
+//! Extension study: history-update policy under resolution latency.
+//! Trace studies (this paper included) assume the history is updated
+//! with resolved outcomes instantly; hardware must either wait
+//! (stale history) or speculate and repair. This harness sweeps the
+//! resolution delay and compares the two policies against the
+//! zero-latency ideal.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::{DelayedUpdate, Gshare, SpeculativeGshare};
+use bpred_sim::report::percent;
+use bpred_sim::{Simulator, TextTable};
+use bpred_workloads::suite;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Extension: speculative vs stale history under resolution delay\n");
+
+    let mut table = TextTable::new(
+        ["benchmark", "delay", "ideal (trace)", "stale history", "speculative+repair"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    let sim = Simulator::new();
+    const HIST: u32 = 12;
+    for model in suite::focus() {
+        let name = model.name().to_owned();
+        let trace = args.options.trace(&model);
+        let ideal = sim
+            .run(&mut Gshare::new(HIST, 0), &trace)
+            .misprediction_rate();
+        for delay in [2usize, 8, 24] {
+            let stale = sim
+                .run(&mut DelayedUpdate::new(Gshare::new(HIST, 0), delay), &trace)
+                .misprediction_rate();
+            let speculative = sim
+                .run(&mut SpeculativeGshare::new(HIST, HIST, delay), &trace)
+                .misprediction_rate();
+            table.push_row(vec![
+                name.clone(),
+                delay.to_string(),
+                percent(ideal),
+                percent(stale),
+                percent(speculative),
+            ]);
+        }
+    }
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! Runs every table and figure harness in paper order with shared
+//! options — the one-shot reproduction of the whole evaluation
+//! section.
+//!
+//! ```text
+//! cargo run --release -p bpred-bench --bin all -- [--quick] [--branches N] ...
+//! ```
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, render_difference, render_size_series, Table3Scheme};
+use bpred_sim::report::{percent, render_surface, render_tier};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let opts = &args.options;
+
+    println!("================ Table 1 ================\n");
+    print!("{}", experiments::table1(opts).render());
+
+    println!("\n================ Table 2 ================\n");
+    print!("{}", experiments::table2(opts).render());
+
+    println!("\n================ Figure 2 (address-indexed) ================\n");
+    print!("{}", render_size_series(&experiments::fig2(opts)).render());
+
+    println!("\n================ Figure 3 (GAg) ================\n");
+    print!("{}", render_size_series(&experiments::fig3(opts)).render());
+
+    println!("\n================ Figure 4 (GAs surfaces) ================\n");
+    let gas_surfaces = experiments::fig4(opts);
+    for surface in &gas_surfaces {
+        println!("{}", render_surface(surface));
+    }
+
+    println!("================ Figure 5 (GAs aliasing) ================\n");
+    for surface in &gas_surfaces {
+        println!("GAs aliasing on {}", surface.workload);
+        for tier in &surface.tiers {
+            println!("{}", render_tier(tier, |p| p.result.alias_rate()));
+        }
+        if let Some(tier) = surface.tiers.last() {
+            let (conflicts, harmless) = tier
+                .points
+                .iter()
+                .filter_map(|p| p.result.alias)
+                .fold((0u64, 0u64), |(c, h), a| {
+                    (c + a.conflicts, h + a.harmless_conflicts)
+                });
+            if conflicts > 0 {
+                println!(
+                    "harmless share in 2^{} tier: {}",
+                    tier.total_bits,
+                    percent(harmless as f64 / conflicts as f64)
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("================ Figure 6 (gshare surfaces) ================\n");
+    for surface in experiments::fig6(opts) {
+        println!("{}", render_surface(&surface));
+    }
+
+    println!("================ Figure 7 (gshare - GAs, mpeg_play) ================\n");
+    print!("{}", render_difference(&experiments::fig7(opts)).render());
+
+    println!("\n================ Figure 8 (path - GAs, mpeg_play) ================\n");
+    print!("{}", render_difference(&experiments::fig8(opts)).render());
+
+    println!("\n================ Figure 9 (PAs perfect histories) ================\n");
+    for surface in experiments::fig9(opts) {
+        println!("{}", render_surface(&surface));
+    }
+
+    println!("================ Figure 10 (PAs finite BHTs, mpeg_play) ================\n");
+    for surface in experiments::fig10(opts, &[128, 1024, 2048]) {
+        println!("{}", render_surface(&surface));
+    }
+
+    println!("================ Table 3 ================\n");
+    let budgets: Vec<u32> = [9u32, 12, 15]
+        .into_iter()
+        .filter(|&b| b >= opts.min_bits && b <= opts.max_bits)
+        .collect();
+    print!(
+        "{}",
+        experiments::table3(opts, &budgets, &Table3Scheme::all()).render()
+    );
+
+    ExitCode::SUCCESS
+}

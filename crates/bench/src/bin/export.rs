@@ -1,0 +1,95 @@
+//! Exports every figure's data as CSV files for external plotting
+//! (gnuplot, matplotlib, R). One file per exhibit in the chosen
+//! output directory.
+//!
+//! ```text
+//! cargo run --release -p bpred-bench --bin export -- [out-dir] [--quick] [--branches N] ...
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, render_size_series};
+use bpred_sim::report::surface_csv;
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = if raw.first().map(|a| !a.starts_with("--")).unwrap_or(false) {
+        PathBuf::from(raw.remove(0))
+    } else {
+        PathBuf::from("results")
+    };
+    let args = match Args::parse_from(raw) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let opts = &args.options;
+    let write = |name: &str, contents: String| {
+        let path = out_dir.join(name);
+        match fs::write(&path, contents) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                true
+            }
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                false
+            }
+        }
+    };
+
+    let mut ok = true;
+    ok &= write("table1.csv", experiments::table1(opts).to_csv());
+    ok &= write("table2.csv", experiments::table2(opts).to_csv());
+    ok &= write(
+        "fig2_address_indexed.csv",
+        render_size_series(&experiments::fig2(opts)).to_csv(),
+    );
+    ok &= write(
+        "fig3_gag.csv",
+        render_size_series(&experiments::fig3(opts)).to_csv(),
+    );
+    for surface in experiments::fig4(opts) {
+        ok &= write(
+            &format!("fig4_gas_{}.csv", surface.workload),
+            surface_csv(&surface),
+        );
+    }
+    for surface in experiments::fig6(opts) {
+        ok &= write(
+            &format!("fig6_gshare_{}.csv", surface.workload),
+            surface_csv(&surface),
+        );
+    }
+    for surface in experiments::fig9(opts) {
+        ok &= write(
+            &format!("fig9_pas_{}.csv", surface.workload),
+            surface_csv(&surface),
+        );
+    }
+    for surface in experiments::fig10(opts, &[128, 1024, 2048]) {
+        let label = surface.scheme.replace(['(', ')', 'x'], "_");
+        ok &= write(&format!("fig10_{label}.csv"), surface_csv(&surface));
+    }
+    let diff_csv = |diff: &[(u32, u32, f64)]| {
+        let mut out = String::from("row_bits,col_bits,difference\n");
+        for &(r, c, d) in diff {
+            out.push_str(&format!("{r},{c},{d:.6}\n"));
+        }
+        out
+    };
+    ok &= write("fig7_gshare_minus_gas.csv", diff_csv(&experiments::fig7(opts)));
+    ok &= write("fig8_path_minus_gas.csv", diff_csv(&experiments::fig8(opts)));
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 10: PAs misprediction-rate surfaces on
+//! mpeg_play with realistic first-level tables — 128-, 1024-, and
+//! 2048-entry, 4-way set associative, with tag-detected conflicts
+//! resetting the history to the 0xC3FF-prefix pattern.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+use bpred_sim::report::{render_surface, surface_csv};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Figure 10: PAs on mpeg_play with finite first-level tables\n");
+    for surface in experiments::fig10(&args.options, &[128, 1024, 2048]) {
+        if args.csv {
+            print!("{}", surface_csv(&surface));
+        } else {
+            println!("{}", render_surface(&surface));
+        }
+    }
+    ExitCode::SUCCESS
+}

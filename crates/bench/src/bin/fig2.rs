@@ -1,0 +1,20 @@
+//! Regenerates Figure 2: misprediction rates of address-indexed
+//! two-bit-counter tables, for all fourteen benchmarks over table
+//! sizes 2^min-bits ..= 2^max-bits.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, render_size_series};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let series = experiments::fig2(&args.options);
+    let table = render_size_series(&series);
+    println!("Figure 2: misprediction rates, address-indexed predictors\n");
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

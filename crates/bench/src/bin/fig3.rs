@@ -1,0 +1,20 @@
+//! Regenerates Figure 3: misprediction rates of GAg (a single column
+//! of two-bit counters selected by global history), for all fourteen
+//! benchmarks over column heights 2^min-bits ..= 2^max-bits.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, render_size_series};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let series = experiments::fig3(&args.options);
+    let table = render_size_series(&series);
+    println!("Figure 3: misprediction rates, GAg\n");
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 4: GAs misprediction-rate surfaces for
+//! espresso, mpeg_play, and real_gcc. Within each constant-size tier
+//! the best configuration is marked `*` (the paper's blackened bars).
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+use bpred_sim::report::{render_surface, surface_csv};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Figure 4: misprediction rates for GAs schemes\n");
+    for surface in experiments::fig4(&args.options) {
+        if args.csv {
+            print!("{}", surface_csv(&surface));
+        } else {
+            println!("{}", render_surface(&surface));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,53 @@
+//! Regenerates Figure 5: aliasing-rate surfaces for GAs schemes on
+//! espresso, mpeg_play, and real_gcc, with the best-in-tier
+//! (lowest-misprediction) configuration marked `*` as in the paper's
+//! overlay. Also prints the share of aliasing that is harmless
+//! (all-ones pattern), which §3 estimates at roughly a fifth for the
+//! large benchmarks.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+use bpred_sim::report::{percent, render_tier, surface_csv};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Figure 5: aliasing rates for GAs schemes\n");
+    for surface in experiments::fig4(&args.options) {
+        if args.csv {
+            print!("{}", surface_csv(&surface));
+            continue;
+        }
+        println!(
+            "GAs aliasing on {} (columns: address-indexed -> single column; * = best misprediction)",
+            surface.workload
+        );
+        for tier in &surface.tiers {
+            println!("{}", render_tier(tier, |p| p.result.alias_rate()));
+        }
+        // Aggregate harmless share over the largest tier (most loops
+        // recorded).
+        if let Some(tier) = surface.tiers.last() {
+            let (conflicts, harmless) = tier
+                .points
+                .iter()
+                .filter_map(|p| p.result.alias)
+                .fold((0u64, 0u64), |(c, h), a| {
+                    (c + a.conflicts, h + a.harmless_conflicts)
+                });
+            if conflicts > 0 {
+                println!(
+                    "harmless (all-taken pattern) share of aliasing in the 2^{} tier: {}",
+                    tier.total_bits,
+                    percent(harmless as f64 / conflicts as f64)
+                );
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

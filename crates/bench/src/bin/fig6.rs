@@ -1,0 +1,24 @@
+//! Regenerates Figure 6: gshare misprediction-rate surfaces for
+//! espresso, mpeg_play, and real_gcc.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+use bpred_sim::report::{render_surface, surface_csv};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Figure 6: misprediction rates for gshare schemes\n");
+    for surface in experiments::fig6(&args.options) {
+        if args.csv {
+            print!("{}", surface_csv(&surface));
+        } else {
+            println!("{}", render_surface(&surface));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 7: the point-wise difference in misprediction
+//! rate between gshare and GAs on mpeg_play. Positive values mean
+//! gshare predicted better, matching the paper's orientation.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, render_difference};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let diff = experiments::fig7(&args.options);
+    let table = render_difference(&diff);
+    println!(
+        "Figure 7: gshare vs GAs on mpeg_play (percentage points; positive = gshare better)\n"
+    );
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

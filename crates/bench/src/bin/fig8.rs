@@ -1,0 +1,22 @@
+//! Regenerates Figure 8: the point-wise difference in misprediction
+//! rate between Nair's path-based scheme and GAs on mpeg_play.
+//! Positive values mean the path scheme predicted better.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, render_difference};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let diff = experiments::fig8(&args.options);
+    let table = render_difference(&diff);
+    println!(
+        "Figure 8: path vs GAs on mpeg_play (percentage points; positive = path better)\n"
+    );
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

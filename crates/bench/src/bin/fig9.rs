@@ -1,0 +1,25 @@
+//! Regenerates Figure 9: PAs misprediction-rate surfaces with perfect
+//! (unbounded) per-branch histories, for espresso, mpeg_play, and
+//! real_gcc.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+use bpred_sim::report::{render_surface, surface_csv};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    println!("Figure 9: misprediction rates for PAs schemes with perfect histories\n");
+    for surface in experiments::fig9(&args.options) {
+        if args.csv {
+            print!("{}", surface_csv(&surface));
+        } else {
+            println!("{}", render_surface(&surface));
+        }
+    }
+    ExitCode::SUCCESS
+}

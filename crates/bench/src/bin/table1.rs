@@ -1,0 +1,18 @@
+//! Regenerates Table 1: benchmark characterization — published trace
+//! numbers beside the synthetic models' measured statistics.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let table = experiments::table1(&args.options);
+    println!("Table 1: characterization of the SPECint92 and IBS-Ultrix models\n");
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 2: branch execution-frequency coverage buckets
+//! for the three focus benchmarks.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let table = experiments::table2(&args.options);
+    println!("Table 2: static branches supplying each slice of dynamic instances\n");
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 3: for each focus benchmark and scheme, the best
+//! table configuration and its misprediction rate at 512, 4096, and
+//! 32768 counters, with first-level miss rates for the finite-BHT PAs
+//! variants.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_sim::experiments::{self, Table3Scheme};
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    // 512, 4096, 32768 counters — clamped to the requested tier range
+    // so --quick stays cheap.
+    let budgets: Vec<u32> = [9u32, 12, 15]
+        .into_iter()
+        .filter(|&b| b >= args.options.min_bits && b <= args.options.max_bits)
+        .collect();
+    let table = experiments::table3(&args.options, &budgets, &Table3Scheme::all());
+    println!("Table 3: best configurations for various predictor table sizes\n");
+    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! The companion tech report: the paper shows surfaces for only the
+//! three focus benchmarks "due to space limitations", citing
+//! CSE-TR-283-96 for the full set. This harness regenerates the full
+//! set: GAs, gshare, and PAs(inf) surfaces for all fourteen models.
+//!
+//! Expensive at full scale; `--quick` gives the shape in under a
+//! minute.
+
+use std::process::ExitCode;
+
+use bpred_bench::Args;
+use bpred_core::PredictorConfig;
+use bpred_sim::report::{render_surface, surface_csv};
+use bpred_sim::{Simulator, Surface};
+use bpred_workloads::suite;
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let opts = &args.options;
+    println!("Full-suite surfaces (companion tech report CSE-TR-283-96)\n");
+
+    for model in suite::all() {
+        let name = model.name().to_owned();
+        let trace = opts.trace(&model);
+        let schemes: [(&str, Box<dyn Fn(u32, u32) -> PredictorConfig>); 3] = [
+            (
+                "GAs",
+                Box::new(|r, c| PredictorConfig::Gas {
+                    history_bits: r,
+                    col_bits: c,
+                }),
+            ),
+            (
+                "gshare",
+                Box::new(|r, c| PredictorConfig::Gshare {
+                    history_bits: r,
+                    col_bits: c,
+                }),
+            ),
+            (
+                "PAs(inf)",
+                Box::new(|r, c| PredictorConfig::PasInfinite {
+                    history_bits: r,
+                    col_bits: c,
+                }),
+            ),
+        ];
+        for (scheme, make) in schemes {
+            let surface = Surface::sweep(
+                scheme,
+                &name,
+                opts.min_bits..=opts.max_bits,
+                &trace,
+                Simulator::new(),
+                make,
+            );
+            if args.csv {
+                print!("{}", surface_csv(&surface));
+            } else {
+                println!("{}", render_surface(&surface));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,124 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerating a paper exhibit accepts the same flags:
+//!
+//! ```text
+//! --branches <n>   trace length in conditional branches (default: model)
+//! --seed <n>       trace seed (default 1996)
+//! --min-bits <n>   smallest tier, log2 counters (default 4)
+//! --max-bits <n>   largest tier, log2 counters (default 15)
+//! --csv            emit CSV instead of aligned text
+//! --quick          shorthand for --branches 50000 --max-bits 10
+//! ```
+
+use std::process::ExitCode;
+
+use bpred_sim::experiments::ExperimentOptions;
+
+/// Parsed command-line options for an experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Args {
+    /// Experiment options forwarded to the drivers.
+    pub options: ExperimentOptions,
+    /// Emit CSV instead of human-readable tables.
+    pub csv: bool,
+}
+
+impl Args {
+    /// Parses `std::env::args`, printing usage and exiting on error.
+    pub fn parse() -> Result<Args, ExitCode> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Args, ExitCode> {
+        let mut options = ExperimentOptions::default();
+        let mut csv = false;
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--branches" => options.branches = Some(require_number(&arg, iter.next())?),
+                "--seed" => options.seed = require_number(&arg, iter.next())? as u64,
+                "--min-bits" => options.min_bits = require_number(&arg, iter.next())? as u32,
+                "--max-bits" => options.max_bits = require_number(&arg, iter.next())? as u32,
+                "--csv" => csv = true,
+                "--quick" => {
+                    options.branches = Some(50_000);
+                    options.max_bits = options.max_bits.min(10);
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--branches N] [--seed N] [--min-bits N] [--max-bits N] [--csv] [--quick]"
+                    );
+                    return Err(ExitCode::SUCCESS);
+                }
+                other => {
+                    eprintln!("unknown argument {other:?}; try --help");
+                    return Err(ExitCode::FAILURE);
+                }
+            }
+        }
+        if options.min_bits > options.max_bits {
+            eprintln!("--min-bits must not exceed --max-bits");
+            return Err(ExitCode::FAILURE);
+        }
+        Ok(Args { options, csv })
+    }
+}
+
+fn require_number(flag: &str, value: Option<String>) -> Result<usize, ExitCode> {
+    let Some(text) = value else {
+        eprintln!("{flag} requires a value");
+        return Err(ExitCode::FAILURE);
+    };
+    text.parse().map_err(|_| {
+        eprintln!("{flag}: {text:?} is not a number");
+        ExitCode::FAILURE
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, ExitCode> {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_paper_range() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.options.min_bits, 4);
+        assert_eq!(args.options.max_bits, 15);
+        assert_eq!(args.options.branches, None);
+        assert!(!args.csv);
+    }
+
+    #[test]
+    fn flags_are_applied() {
+        let args = parse(&[
+            "--branches", "1000", "--seed", "7", "--min-bits", "5", "--max-bits", "9", "--csv",
+        ])
+        .unwrap();
+        assert_eq!(args.options.branches, Some(1000));
+        assert_eq!(args.options.seed, 7);
+        assert_eq!(args.options.min_bits, 5);
+        assert_eq!(args.options.max_bits, 9);
+        assert!(args.csv);
+    }
+
+    #[test]
+    fn quick_mode_caps_size() {
+        let args = parse(&["--quick"]).unwrap();
+        assert_eq!(args.options.branches, Some(50_000));
+        assert_eq!(args.options.max_bits, 10);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--min-bits", "9", "--max-bits", "5"]).is_err());
+    }
+}

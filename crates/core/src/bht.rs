@@ -1,0 +1,467 @@
+//! First-level branch-history tables for per-address (P) schemes.
+//!
+//! PAs/PAg keep an outcome history per branch. The paper's §5 shows that
+//! for self-history schemes it is *this* table — not the second-level
+//! counter table — where aliasing does the damage: conflicts pollute the
+//! stored history and raise misprediction "more or less uniformly"
+//! across second-level configurations.
+//!
+//! [`PerfectBht`] models the idealised unbounded table ("the assumption
+//! that accurate history information is available for each branch");
+//! [`SetAssocBht`] models the realistic bounded table with tags and LRU
+//! replacement, resetting the history of a missing branch to the
+//! appropriate-length prefix of `0xC3FF` exactly as the paper does.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bpred_trace::Outcome;
+
+use crate::history::{low_mask, reset_pattern};
+
+/// Access statistics for a first-level history table.
+///
+/// The paper's Table 3 reports the miss rate of finite first-level
+/// tables; `miss_rate` reproduces that column.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BhtStats {
+    /// History lookups (one per predicted branch).
+    pub accesses: u64,
+    /// Lookups that failed tag match and reset the history.
+    pub misses: u64,
+}
+
+impl BhtStats {
+    /// Fraction of lookups that missed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A first-level table mapping branch addresses to outcome histories.
+///
+/// Implementations are deterministic. The protocol is: one
+/// [`lookup`](HistoryTable::lookup) per predicted branch (allocating or
+/// resetting on a miss), then one [`record`](HistoryTable::record) with
+/// the resolved outcome.
+pub trait HistoryTable: fmt::Debug {
+    /// The history width in bits.
+    fn width(&self) -> u32;
+
+    /// Returns the current history pattern for `pc`, allocating (and on
+    /// a finite table, possibly evicting) on a miss.
+    fn lookup(&mut self, pc: u64) -> u64;
+
+    /// Shifts `outcome` into the history of `pc`. Called after
+    /// [`lookup`](HistoryTable::lookup) for the same branch.
+    fn record(&mut self, pc: u64, outcome: Outcome);
+
+    /// Accumulated access statistics.
+    fn stats(&self) -> BhtStats;
+
+    /// Storage cost in bits (history payload only; tags are excluded
+    /// because real designs fold them into the BTB or instruction
+    /// cache, as §5 notes).
+    fn state_bits(&self) -> u64;
+
+    /// Short label for reports, e.g. `"inf"` or `"1024x4"`.
+    fn label(&self) -> String;
+}
+
+/// Unbounded per-branch history: every static branch gets its own
+/// register, so histories are never polluted. This is the "PAs(inf)"
+/// row of Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{HistoryTable, PerfectBht};
+/// use bpred_trace::Outcome;
+///
+/// let mut bht = PerfectBht::new(4);
+/// bht.lookup(0x40);
+/// bht.record(0x40, Outcome::Taken);
+/// assert_eq!(bht.lookup(0x40) & 1, 1);
+/// assert_eq!(bht.stats().misses, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfectBht {
+    width: u32,
+    histories: HashMap<u64, u64>,
+    stats: BhtStats,
+}
+
+impl PerfectBht {
+    /// Creates an unbounded table of `width`-bit histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn new(width: u32) -> Self {
+        assert!(width <= 64, "history width {width} exceeds 64 bits");
+        PerfectBht {
+            width,
+            histories: HashMap::new(),
+            stats: BhtStats::default(),
+        }
+    }
+
+    /// Number of branches currently tracked.
+    pub fn tracked_branches(&self) -> usize {
+        self.histories.len()
+    }
+}
+
+impl HistoryTable for PerfectBht {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn lookup(&mut self, pc: u64) -> u64 {
+        self.stats.accesses += 1;
+        let width = self.width;
+        *self
+            .histories
+            .entry(pc)
+            .or_insert_with(|| reset_pattern(width))
+    }
+
+    fn record(&mut self, pc: u64, outcome: Outcome) {
+        if self.width == 0 {
+            return;
+        }
+        let width = self.width;
+        let h = self
+            .histories
+            .entry(pc)
+            .or_insert_with(|| reset_pattern(width));
+        *h = ((*h << 1) | outcome.as_bit()) & low_mask(width);
+    }
+
+    fn stats(&self) -> BhtStats {
+        self.stats
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.histories.len() as u64 * u64::from(self.width)
+    }
+
+    fn label(&self) -> String {
+        "inf".to_owned()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// `u64::MAX` marks an invalid (never filled) way.
+    tag: u64,
+    history: u64,
+    /// Timestamp of the last touch; smallest is the LRU victim.
+    last_use: u64,
+}
+
+impl Way {
+    const INVALID: Way = Way {
+        tag: u64::MAX,
+        history: 0,
+        last_use: 0,
+    };
+}
+
+/// A bounded, set-associative first-level table with tags and LRU
+/// replacement — the realistic PAs first level of §5 and Figure 10.
+///
+/// On a miss the evicted entry's history is reset to the
+/// appropriate-length prefix of `0xC3FF`, "avoiding excessive aliasing
+/// for the patterns of all taken or all not taken branches".
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{HistoryTable, SetAssocBht};
+/// use bpred_trace::Outcome;
+///
+/// // The paper's 1024-entry 4-way table with 10-bit histories.
+/// let mut bht = SetAssocBht::new(1024, 4, 10);
+/// bht.lookup(0x400);
+/// assert_eq!(bht.stats().misses, 1); // cold miss
+/// bht.record(0x400, Outcome::Taken);
+/// bht.lookup(0x400);
+/// assert_eq!(bht.stats().misses, 1); // now a hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocBht {
+    width: u32,
+    sets: usize,
+    ways: usize,
+    entries: Vec<Way>,
+    clock: u64,
+    stats: BhtStats,
+}
+
+impl SetAssocBht {
+    /// Creates a table of `entries` total entries organised as
+    /// `entries / ways` sets of `ways` ways, holding `width`-bit
+    /// histories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `ways` is zero or
+    /// does not divide `entries`, the resulting set count is not a
+    /// power of two, or `width > 64`.
+    pub fn new(entries: usize, ways: usize, width: u32) -> Self {
+        assert!(width <= 64, "history width {width} exceeds 64 bits");
+        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocBht {
+            width,
+            sets,
+            ways,
+            entries: vec![Way::INVALID; entries],
+            clock: 0,
+            stats: BhtStats::default(),
+        }
+    }
+
+    /// A direct-mapped table (`ways == 1`).
+    pub fn direct_mapped(entries: usize, width: u32) -> Self {
+        Self::new(entries, 1, width)
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let word = pc >> 2;
+        let set = (word as usize) & (self.sets - 1);
+        let tag = word >> self.sets.trailing_zeros();
+        (set, tag)
+    }
+
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Way] {
+        let start = set * self.ways;
+        &mut self.entries[start..start + self.ways]
+    }
+
+    /// Finds `pc`'s way within its set, touching LRU state on a hit.
+    fn find(&mut self, pc: u64) -> Option<usize> {
+        let (set, tag) = self.set_and_tag(pc);
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = self.set_slice_mut(set);
+        for (i, way) in ways.iter_mut().enumerate() {
+            if way.tag == tag {
+                way.last_use = clock;
+                return Some(set * self.ways + i);
+            }
+        }
+        None
+    }
+}
+
+impl HistoryTable for SetAssocBht {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn lookup(&mut self, pc: u64) -> u64 {
+        self.stats.accesses += 1;
+        if let Some(idx) = self.find(pc) {
+            return self.entries[idx].history;
+        }
+        // Miss: evict the LRU way and reset the history.
+        self.stats.misses += 1;
+        let (set, tag) = self.set_and_tag(pc);
+        let clock = self.clock;
+        let width = self.width;
+        let ways = self.set_slice_mut(set);
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| w.last_use)
+            .expect("at least one way");
+        *victim = Way {
+            tag,
+            history: reset_pattern(width),
+            last_use: clock,
+        };
+        victim.history
+    }
+
+    fn record(&mut self, pc: u64, outcome: Outcome) {
+        if self.width == 0 {
+            return;
+        }
+        let width = self.width;
+        // The entry exists after lookup in the normal protocol; if a
+        // caller records without looking up, allocate silently.
+        let idx = match self.find(pc) {
+            Some(idx) => idx,
+            None => {
+                let _ = self.lookup(pc);
+                self.stats.accesses -= 1; // internal allocation, not a real access
+                self.find(pc).expect("entry just allocated")
+            }
+        };
+        let w = &mut self.entries[idx];
+        w.history = ((w.history << 1) | outcome.as_bit()) & low_mask(width);
+    }
+
+    fn stats(&self) -> BhtStats {
+        self.stats
+    }
+
+    fn state_bits(&self) -> u64 {
+        (self.sets * self.ways) as u64 * u64::from(self.width)
+    }
+
+    fn label(&self) -> String {
+        format!("{}x{}", self.sets * self.ways, self.ways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_bht_never_misses() {
+        let mut bht = PerfectBht::new(8);
+        for pc in (0..4096u64).step_by(4) {
+            let _ = bht.lookup(pc);
+            bht.record(pc, Outcome::Taken);
+        }
+        assert_eq!(bht.stats().misses, 0);
+        assert_eq!(bht.stats().accesses, 1024);
+        assert_eq!(bht.tracked_branches(), 1024);
+        assert_eq!(bht.state_bits(), 1024 * 8);
+    }
+
+    #[test]
+    fn perfect_bht_initialises_to_reset_pattern() {
+        let mut bht = PerfectBht::new(6);
+        assert_eq!(bht.lookup(0x40), reset_pattern(6));
+    }
+
+    #[test]
+    fn histories_are_independent_per_branch() {
+        let mut bht = PerfectBht::new(4);
+        let base_a = bht.lookup(0x40);
+        let base_b = bht.lookup(0x80);
+        assert_eq!(base_a, base_b); // both start at the reset pattern
+        bht.record(0x40, Outcome::Taken);
+        bht.record(0x80, Outcome::NotTaken);
+        assert_eq!(bht.lookup(0x40) & 1, 1);
+        assert_eq!(bht.lookup(0x80) & 1, 0);
+    }
+
+    #[test]
+    fn set_assoc_hit_after_fill() {
+        let mut bht = SetAssocBht::new(8, 2, 4);
+        let _ = bht.lookup(0x100);
+        bht.record(0x100, Outcome::Taken);
+        let h = bht.lookup(0x100);
+        assert_eq!(h & 1, 1);
+        assert_eq!(bht.stats().misses, 1);
+        assert_eq!(bht.stats().accesses, 2);
+    }
+
+    #[test]
+    fn conflict_miss_resets_history() {
+        // Direct-mapped 4-entry table: word addresses 0 and 4 share set 0.
+        let mut bht = SetAssocBht::direct_mapped(4, 8);
+        let _ = bht.lookup(0x00);
+        for _ in 0..8 {
+            bht.record(0x00, Outcome::Taken);
+        }
+        let _ = bht.lookup(0x40); // word 0x10, set 0 -> evicts
+        let h = bht.lookup(0x00); // miss again, reset pattern
+        assert_eq!(h, reset_pattern(8));
+        assert_eq!(bht.stats().misses, 3); // two colds + one conflict
+    }
+
+    #[test]
+    fn associativity_absorbs_the_conflict() {
+        // Same competing pair, but 2-way: both fit in set 0.
+        let mut bht = SetAssocBht::new(8, 2, 8);
+        let _ = bht.lookup(0x00);
+        for _ in 0..8 {
+            bht.record(0x00, Outcome::Taken);
+        }
+        let _ = bht.lookup(0x40);
+        let h = bht.lookup(0x00);
+        assert_eq!(h, 0xFF); // survived
+        assert_eq!(bht.stats().misses, 2); // cold misses only
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2-way set; three branches mapping to set 0 of a 2-set table:
+        // words 0x0, 0x2, 0x4 (set = word & 1 ... use 2 sets x 2 ways = 4 entries)
+        let mut bht = SetAssocBht::new(4, 2, 4);
+        // word addresses: pc>>2. set = word & 1.
+        let a = 0x00; // word 0, set 0
+        let b = 0x08; // word 2, set 0
+        let c = 0x10; // word 4, set 0
+        let _ = bht.lookup(a);
+        let _ = bht.lookup(b);
+        let _ = bht.lookup(a); // a is now MRU
+        let _ = bht.lookup(c); // evicts b
+        assert_eq!(bht.stats().misses, 3);
+        let _ = bht.lookup(a); // still resident
+        assert_eq!(bht.stats().misses, 3);
+        let _ = bht.lookup(b); // was evicted
+        assert_eq!(bht.stats().misses, 4);
+    }
+
+    #[test]
+    fn record_without_lookup_allocates_silently() {
+        let mut bht = SetAssocBht::new(4, 2, 4);
+        bht.record(0x40, Outcome::Taken);
+        assert_eq!(bht.stats().accesses, 0, "internal allocation is not an access");
+        let h = bht.lookup(0x40);
+        assert_eq!(h & 1, 1);
+    }
+
+    #[test]
+    fn labels_identify_the_configuration() {
+        assert_eq!(PerfectBht::new(4).label(), "inf");
+        assert_eq!(SetAssocBht::new(1024, 4, 10).label(), "1024x4");
+    }
+
+    #[test]
+    fn zero_width_histories_are_inert() {
+        let mut bht = PerfectBht::new(0);
+        let _ = bht.lookup(0x40);
+        bht.record(0x40, Outcome::Taken);
+        assert_eq!(bht.lookup(0x40), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_entries_panics() {
+        let _ = SetAssocBht::new(12, 4, 4);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let s = BhtStats {
+            accesses: 200,
+            misses: 5,
+        };
+        assert!((s.miss_rate() - 0.025).abs() < 1e-12);
+        assert_eq!(BhtStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Branch target buffer.
+//!
+//! Direction prediction is only half the fetch problem: the paper's §2
+//! lists "the availability or lack of availability of the branch
+//! target instruction" among the penalty factors, and §5 notes that
+//! real designs "integrate the branch history cache with a branch
+//! target buffer" to avoid paying for first-level tags twice. This
+//! module provides that substrate: a set-associative, tagged BTB with
+//! LRU replacement and hit/mispredicted-target statistics, so
+//! fetch-path studies can charge target misses alongside direction
+//! misses.
+
+use crate::bht::BhtStats;
+
+/// Statistics for a [`BranchTargetBuffer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that found an entry for the branch.
+    pub hits: u64,
+    /// Hits whose stored target differed from the branch's actual
+    /// target this execution (stale targets, e.g. indirect branches).
+    pub wrong_target: u64,
+}
+
+impl BtbStats {
+    /// Fraction of lookups that hit.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of hits that supplied a stale target.
+    pub fn wrong_target_rate(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.wrong_target as f64 / self.hits as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    /// `u64::MAX` marks an invalid entry.
+    tag: u64,
+    target: u64,
+    last_use: u64,
+}
+
+impl BtbEntry {
+    const INVALID: BtbEntry = BtbEntry {
+        tag: u64::MAX,
+        target: 0,
+        last_use: 0,
+    };
+}
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::BranchTargetBuffer;
+///
+/// let mut btb = BranchTargetBuffer::new(64, 4);
+/// assert_eq!(btb.lookup(0x400), None);
+/// btb.record(0x400, 0x1200);
+/// assert_eq!(btb.lookup(0x400), Some(0x1200));
+/// assert!(btb.stats().hit_rate() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchTargetBuffer {
+    sets: usize,
+    ways: usize,
+    entries: Vec<BtbEntry>,
+    clock: u64,
+    stats: BtbStats,
+}
+
+impl BranchTargetBuffer {
+    /// Creates a BTB of `entries` total entries with `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two, `ways` does not
+    /// divide it, or the set count is not a power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries.is_power_of_two(), "entry count must be a power of two");
+        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        BranchTargetBuffer {
+            sets,
+            ways,
+            entries: vec![BtbEntry::INVALID; entries],
+            clock: 0,
+            stats: BtbStats::default(),
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+
+    /// Storage cost in bits, counting the target field (30 bits of
+    /// word address) and tag per entry.
+    pub fn state_bits(&self) -> u64 {
+        // 30-bit stored target + (30 - index bits) tag per entry.
+        let tag_bits = 30 - self.sets.trailing_zeros() as u64;
+        (self.sets * self.ways) as u64 * (30 + tag_bits)
+    }
+
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let word = pc >> 2;
+        (
+            (word as usize) & (self.sets - 1),
+            word >> self.sets.trailing_zeros(),
+        )
+    }
+
+    /// Looks up the predicted target for the branch at `pc`, updating
+    /// hit statistics and LRU state.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.stats.lookups += 1;
+        self.clock += 1;
+        let (set, tag) = self.set_and_tag(pc);
+        let base = set * self.ways;
+        for entry in &mut self.entries[base..base + self.ways] {
+            if entry.tag == tag {
+                entry.last_use = self.clock;
+                self.stats.hits += 1;
+                return Some(entry.target);
+            }
+        }
+        None
+    }
+
+    /// Records the resolved `target` of a taken branch at `pc`,
+    /// allocating (LRU) on a miss and counting stale targets on hits.
+    pub fn record(&mut self, pc: u64, target: u64) {
+        self.clock += 1;
+        let (set, tag) = self.set_and_tag(pc);
+        let base = set * self.ways;
+        let clock = self.clock;
+        // Hit: refresh the target.
+        for entry in &mut self.entries[base..base + self.ways] {
+            if entry.tag == tag {
+                if entry.target != target {
+                    self.stats.wrong_target += 1;
+                    entry.target = target;
+                }
+                entry.last_use = clock;
+                return;
+            }
+        }
+        // Miss: evict LRU.
+        let victim = self.entries[base..base + self.ways]
+            .iter_mut()
+            .min_by_key(|e| e.last_use)
+            .expect("at least one way");
+        *victim = BtbEntry {
+            tag,
+            target,
+            last_use: clock,
+        };
+    }
+
+    /// Convenience view of the BTB as a first-level-tag provider: the
+    /// hit/miss statistics in [`BhtStats`] form, for comparison with
+    /// [`SetAssocBht`](crate::SetAssocBht) miss rates when studying
+    /// integrated designs.
+    pub fn as_bht_stats(&self) -> BhtStats {
+        BhtStats {
+            accesses: self.stats.lookups,
+            misses: self.stats.lookups - self.stats.hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = BranchTargetBuffer::new(16, 2);
+        assert_eq!(btb.lookup(0x400), None);
+        btb.record(0x400, 0x900);
+        assert_eq!(btb.lookup(0x400), Some(0x900));
+        let s = btb.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn stale_targets_are_counted_and_replaced() {
+        let mut btb = BranchTargetBuffer::new(8, 1);
+        btb.record(0x40, 0x100);
+        btb.record(0x40, 0x200); // indirect branch changed target
+        assert_eq!(btb.stats().wrong_target, 1);
+        assert_eq!(btb.lookup(0x40), Some(0x200));
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        // 2-way, 2 sets: words 0,2,4 all map to set 0.
+        let mut btb = BranchTargetBuffer::new(4, 2);
+        btb.record(0x00, 0xA);
+        btb.record(0x08, 0xB);
+        let _ = btb.lookup(0x00); // A is MRU
+        btb.record(0x10, 0xC); // evicts B
+        assert_eq!(btb.lookup(0x00), Some(0xA));
+        assert_eq!(btb.lookup(0x08), None);
+        assert_eq!(btb.lookup(0x10), Some(0xC));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut btb = BranchTargetBuffer::new(4, 1);
+        btb.record(0x00, 0xA); // set 0
+        btb.record(0x04, 0xB); // set 1
+        btb.record(0x08, 0xC); // set 2
+        assert_eq!(btb.lookup(0x00), Some(0xA));
+        assert_eq!(btb.lookup(0x04), Some(0xB));
+        assert_eq!(btb.lookup(0x08), Some(0xC));
+    }
+
+    #[test]
+    fn rates_are_fractions() {
+        let mut btb = BranchTargetBuffer::new(8, 2);
+        for i in 0..20u64 {
+            let pc = 0x40 + 4 * (i % 5);
+            if btb.lookup(pc).is_none() {
+                btb.record(pc, 0x100 + pc);
+            }
+        }
+        let s = btb.stats();
+        assert!(s.hits <= s.lookups);
+        assert!((0.0..=1.0).contains(&s.hit_rate()));
+        assert!((0.0..=1.0).contains(&s.wrong_target_rate()));
+        let bht_view = btb.as_bht_stats();
+        assert_eq!(bht_view.accesses, s.lookups);
+        assert_eq!(bht_view.misses, s.lookups - s.hits);
+    }
+
+    #[test]
+    fn state_bits_include_tags() {
+        let btb = BranchTargetBuffer::new(64, 4); // 16 sets -> 4 index bits
+        assert_eq!(btb.state_bits(), 64 * (30 + 26));
+        assert_eq!(btb.entries(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_sized_btb_panics() {
+        let _ = BranchTargetBuffer::new(12, 2);
+    }
+}

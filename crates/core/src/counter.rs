@@ -1,0 +1,322 @@
+use std::fmt;
+
+use bpred_trace::Outcome;
+
+/// The four states of the classic two-bit saturating counter
+/// (Smith 1981), ordered from strongly not-taken to strongly taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CounterState {
+    /// 00 — predict not taken; a taken outcome moves to weakly not-taken.
+    StrongNotTaken,
+    /// 01 — predict not taken.
+    WeakNotTaken,
+    /// 10 — predict taken.
+    WeakTaken,
+    /// 11 — predict taken; a not-taken outcome moves to weakly taken.
+    StrongTaken,
+}
+
+impl CounterState {
+    /// All states in numeric order.
+    pub const ALL: [CounterState; 4] = [
+        CounterState::StrongNotTaken,
+        CounterState::WeakNotTaken,
+        CounterState::WeakTaken,
+        CounterState::StrongTaken,
+    ];
+
+    /// The state's two-bit encoding (0–3).
+    #[inline]
+    pub fn bits(self) -> u8 {
+        match self {
+            CounterState::StrongNotTaken => 0,
+            CounterState::WeakNotTaken => 1,
+            CounterState::WeakTaken => 2,
+            CounterState::StrongTaken => 3,
+        }
+    }
+
+    /// Decodes a two-bit encoding. Values above 3 return `None`.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        Some(match bits {
+            0 => CounterState::StrongNotTaken,
+            1 => CounterState::WeakNotTaken,
+            2 => CounterState::WeakTaken,
+            3 => CounterState::StrongTaken,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CounterState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CounterState::StrongNotTaken => "strong-not-taken",
+            CounterState::WeakNotTaken => "weak-not-taken",
+            CounterState::WeakTaken => "weak-taken",
+            CounterState::StrongTaken => "strong-taken",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A two-bit saturating counter — the adaptive state machine in the
+/// second-level table of every "A" scheme in the Yeh–Patt taxonomy.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{CounterState, TwoBitCounter};
+/// use bpred_trace::Outcome;
+///
+/// let mut c = TwoBitCounter::new(CounterState::WeakNotTaken);
+/// assert_eq!(c.predict(), Outcome::NotTaken);
+/// c.train(Outcome::Taken);
+/// assert_eq!(c.predict(), Outcome::Taken); // weak taken now
+/// c.train(Outcome::Taken);
+/// c.train(Outcome::Taken); // saturates at strong taken
+/// assert_eq!(c.state(), CounterState::StrongTaken);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwoBitCounter {
+    state: CounterState,
+}
+
+impl TwoBitCounter {
+    /// Creates a counter in the given initial state.
+    #[inline]
+    pub fn new(state: CounterState) -> Self {
+        TwoBitCounter { state }
+    }
+
+    /// The current state.
+    #[inline]
+    pub fn state(self) -> CounterState {
+        self.state
+    }
+
+    /// The direction this counter currently predicts.
+    #[inline]
+    pub fn predict(self) -> Outcome {
+        Outcome::from(self.state.bits() >= 2)
+    }
+
+    /// Advances the state machine with an observed outcome, saturating
+    /// at the strong states.
+    #[inline]
+    pub fn train(&mut self, outcome: Outcome) {
+        let bits = self.state.bits();
+        let next = match outcome {
+            Outcome::Taken => (bits + 1).min(3),
+            Outcome::NotTaken => bits.saturating_sub(1),
+        };
+        self.state = CounterState::from_bits(next).expect("two-bit value");
+    }
+}
+
+impl Default for TwoBitCounter {
+    /// Weakly taken — the workspace default initial state. Most dynamic
+    /// branches are taken (loops), so this trains fastest; it is also
+    /// what the ablation harness varies.
+    fn default() -> Self {
+        TwoBitCounter::new(CounterState::WeakTaken)
+    }
+}
+
+/// An `n`-bit saturating up/down counter predicting taken when in the
+/// upper half of its range. Generalises [`TwoBitCounter`] for ablation
+/// studies of counter width.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::SaturatingCounter;
+/// use bpred_trace::Outcome;
+///
+/// let mut c = SaturatingCounter::new(3, 4); // 3-bit counter starting at 4
+/// assert_eq!(c.predict(), Outcome::Taken);
+/// for _ in 0..10 {
+///     c.train(Outcome::NotTaken);
+/// }
+/// assert_eq!(c.value(), 0); // saturated low
+/// assert_eq!(c.predict(), Outcome::NotTaken);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SaturatingCounter {
+    /// Creates an `n`-bit counter (`1 ≤ n ≤ 16`) starting at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, or if `value` does not
+    /// fit in `bits` bits.
+    pub fn new(bits: u32, value: u32) -> Self {
+        assert!((1..=16).contains(&bits), "counter width {bits} out of range 1..=16");
+        let max = (1u32 << bits) - 1;
+        assert!(value <= max, "initial value {value} exceeds {max}");
+        SaturatingCounter { value, max }
+    }
+
+    /// The current counter value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.value
+    }
+
+    /// The maximum (saturated) value, `2^bits - 1`.
+    #[inline]
+    pub fn max(self) -> u32 {
+        self.max
+    }
+
+    /// Predicts taken when the value is in the upper half of the range.
+    #[inline]
+    pub fn predict(self) -> Outcome {
+        Outcome::from(2 * self.value > self.max)
+    }
+
+    /// Counts up on taken, down on not-taken, saturating at the ends.
+    #[inline]
+    pub fn train(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Taken => {
+                if self.value < self.max {
+                    self.value += 1;
+                }
+            }
+            Outcome::NotTaken => {
+                self.value = self.value.saturating_sub(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trip() {
+        for s in CounterState::ALL {
+            assert_eq!(CounterState::from_bits(s.bits()), Some(s));
+        }
+        assert_eq!(CounterState::from_bits(4), None);
+    }
+
+    #[test]
+    fn prediction_threshold() {
+        assert_eq!(
+            TwoBitCounter::new(CounterState::StrongNotTaken).predict(),
+            Outcome::NotTaken
+        );
+        assert_eq!(
+            TwoBitCounter::new(CounterState::WeakNotTaken).predict(),
+            Outcome::NotTaken
+        );
+        assert_eq!(
+            TwoBitCounter::new(CounterState::WeakTaken).predict(),
+            Outcome::Taken
+        );
+        assert_eq!(
+            TwoBitCounter::new(CounterState::StrongTaken).predict(),
+            Outcome::Taken
+        );
+    }
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = TwoBitCounter::new(CounterState::StrongTaken);
+        c.train(Outcome::Taken);
+        assert_eq!(c.state(), CounterState::StrongTaken);
+        let mut c = TwoBitCounter::new(CounterState::StrongNotTaken);
+        c.train(Outcome::NotTaken);
+        assert_eq!(c.state(), CounterState::StrongNotTaken);
+    }
+
+    #[test]
+    fn hysteresis_requires_two_misses_to_flip() {
+        let mut c = TwoBitCounter::new(CounterState::StrongTaken);
+        c.train(Outcome::NotTaken);
+        assert_eq!(c.predict(), Outcome::Taken); // still predicts taken
+        c.train(Outcome::NotTaken);
+        assert_eq!(c.predict(), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn transitions_are_adjacent() {
+        for s in CounterState::ALL {
+            for o in [Outcome::Taken, Outcome::NotTaken] {
+                let mut c = TwoBitCounter::new(s);
+                c.train(o);
+                let diff = (c.state().bits() as i8 - s.bits() as i8).abs();
+                assert!(diff <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_weak_taken() {
+        assert_eq!(TwoBitCounter::default().state(), CounterState::WeakTaken);
+    }
+
+    #[test]
+    fn wide_counter_matches_two_bit_semantics() {
+        // A 2-bit SaturatingCounter behaves exactly like TwoBitCounter.
+        for init in 0..4u32 {
+            let mut wide = SaturatingCounter::new(2, init);
+            let mut narrow = TwoBitCounter::new(CounterState::from_bits(init as u8).unwrap());
+            for o in [
+                Outcome::Taken,
+                Outcome::Taken,
+                Outcome::NotTaken,
+                Outcome::Taken,
+                Outcome::NotTaken,
+                Outcome::NotTaken,
+                Outcome::NotTaken,
+            ] {
+                assert_eq!(wide.predict(), narrow.predict(), "init {init}");
+                wide.train(o);
+                narrow.train(o);
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_counter_bounds() {
+        let mut c = SaturatingCounter::new(3, 7);
+        c.train(Outcome::Taken);
+        assert_eq!(c.value(), 7);
+        for _ in 0..20 {
+            c.train(Outcome::NotTaken);
+        }
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.max(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_counter_panics() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_init_panics() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+
+    #[test]
+    fn one_bit_counter_is_last_time() {
+        let mut c = SaturatingCounter::new(1, 0);
+        assert_eq!(c.predict(), Outcome::NotTaken);
+        c.train(Outcome::Taken);
+        assert_eq!(c.predict(), Outcome::Taken);
+        c.train(Outcome::NotTaken);
+        assert_eq!(c.predict(), Outcome::NotTaken);
+    }
+}

@@ -1,0 +1,220 @@
+use std::fmt;
+
+use crate::history::low_mask;
+
+/// The shape of a second-level predictor table: `2^row_bits` rows
+/// (selected by the first-level row-selection box) by `2^col_bits`
+/// columns (selected by branch-address bits).
+///
+/// This is the organisational axis of the paper's design-space figures:
+/// every tier of a surface holds `row_bits + col_bits` constant while
+/// trading rows for columns.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::TableGeometry;
+///
+/// let g = TableGeometry::new(8, 4); // 256 rows x 16 columns
+/// assert_eq!(g.counters(), 1 << 12);
+/// assert_eq!(g.index(0b1010_1010, 0xF), 0b1010_1010 << 4 | 0xF);
+///
+/// // All splits of a 4096-counter table, GAg-like to address-indexed:
+/// let splits: Vec<_> = TableGeometry::splits(12).collect();
+/// assert_eq!(splits.len(), 13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableGeometry {
+    row_bits: u32,
+    col_bits: u32,
+}
+
+impl TableGeometry {
+    /// Maximum supported total index width.
+    pub const MAX_TOTAL_BITS: u32 = 30;
+
+    /// Creates a geometry with `2^row_bits` rows and `2^col_bits`
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bits + col_bits` exceeds
+    /// [`MAX_TOTAL_BITS`](Self::MAX_TOTAL_BITS) (a 2^30-counter table is
+    /// already 256 MiB of simulated state).
+    pub fn new(row_bits: u32, col_bits: u32) -> Self {
+        assert!(
+            row_bits + col_bits <= Self::MAX_TOTAL_BITS,
+            "table of 2^{} counters exceeds the supported maximum 2^{}",
+            row_bits + col_bits,
+            Self::MAX_TOTAL_BITS
+        );
+        TableGeometry { row_bits, col_bits }
+    }
+
+    /// A single row of `2^col_bits` address-indexed counters.
+    pub fn single_row(col_bits: u32) -> Self {
+        TableGeometry::new(0, col_bits)
+    }
+
+    /// A single column of `2^row_bits` history-indexed counters.
+    pub fn single_column(row_bits: u32) -> Self {
+        TableGeometry::new(row_bits, 0)
+    }
+
+    /// Number of row-index bits.
+    #[inline]
+    pub fn row_bits(self) -> u32 {
+        self.row_bits
+    }
+
+    /// Number of column-index bits.
+    #[inline]
+    pub fn col_bits(self) -> u32 {
+        self.col_bits
+    }
+
+    /// Total index width, `log2` of the counter count.
+    #[inline]
+    pub fn total_bits(self) -> u32 {
+        self.row_bits + self.col_bits
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(self) -> u64 {
+        1u64 << self.row_bits
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(self) -> u64 {
+        1u64 << self.col_bits
+    }
+
+    /// Total number of counters.
+    #[inline]
+    pub fn counters(self) -> u64 {
+        1u64 << self.total_bits()
+    }
+
+    /// Flattens a (row, column) pair into a table index. Inputs are
+    /// masked to their respective widths, so callers may pass raw
+    /// history registers and word addresses.
+    #[inline]
+    pub fn index(self, row: u64, col: u64) -> usize {
+        let row = row & low_mask(self.row_bits);
+        let col = col & low_mask(self.col_bits);
+        ((row << self.col_bits) | col) as usize
+    }
+
+    /// Extracts the column index from a branch word address (the low
+    /// `col_bits` bits).
+    #[inline]
+    pub fn column_of(self, word_pc: u64) -> u64 {
+        word_pc & low_mask(self.col_bits)
+    }
+
+    /// Extracts `row_bits` address bits *above* the column field — the
+    /// bits gshare XORs with the global history so row and column
+    /// information stay disjoint.
+    #[inline]
+    pub fn row_address_bits(self, word_pc: u64) -> u64 {
+        (word_pc >> self.col_bits) & low_mask(self.row_bits)
+    }
+
+    /// Iterates over every split of a `2^total_bits`-counter table, from
+    /// the single-column (all rows, GAg-like) configuration to the
+    /// single-row (address-indexed) one: `total_bits + 1` geometries.
+    pub fn splits(total_bits: u32) -> impl DoubleEndedIterator<Item = TableGeometry> + Clone {
+        assert!(
+            total_bits <= Self::MAX_TOTAL_BITS,
+            "table of 2^{total_bits} counters exceeds the supported maximum"
+        );
+        (0..=total_bits).map(move |col_bits| TableGeometry::new(total_bits - col_bits, col_bits))
+    }
+}
+
+impl fmt::Display for TableGeometry {
+    /// Paper-style notation: `2^8 x 2^4` (rows × columns).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^{} x 2^{}", self.row_bits, self.col_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_powers_of_two() {
+        let g = TableGeometry::new(3, 5);
+        assert_eq!(g.rows(), 8);
+        assert_eq!(g.cols(), 32);
+        assert_eq!(g.counters(), 256);
+        assert_eq!(g.total_bits(), 8);
+    }
+
+    #[test]
+    fn index_is_bijective_over_the_table() {
+        let g = TableGeometry::new(3, 4);
+        let mut seen = vec![false; g.counters() as usize];
+        for row in 0..g.rows() {
+            for col in 0..g.cols() {
+                let idx = g.index(row, col);
+                assert!(!seen[idx], "index collision at ({row},{col})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn index_masks_out_of_range_inputs() {
+        let g = TableGeometry::new(2, 2);
+        assert_eq!(g.index(0xFF, 0xFF), g.index(0x3, 0x3));
+        assert!(g.index(u64::MAX, u64::MAX) < g.counters() as usize);
+    }
+
+    #[test]
+    fn zero_bit_dimensions() {
+        let row = TableGeometry::single_row(4);
+        assert_eq!(row.rows(), 1);
+        assert_eq!(row.index(u64::MAX, 5), 5);
+        let col = TableGeometry::single_column(4);
+        assert_eq!(col.cols(), 1);
+        assert_eq!(col.index(5, u64::MAX), 5);
+        let unit = TableGeometry::new(0, 0);
+        assert_eq!(unit.counters(), 1);
+        assert_eq!(unit.index(9, 9), 0);
+    }
+
+    #[test]
+    fn column_and_row_address_bits_are_disjoint() {
+        let g = TableGeometry::new(4, 6);
+        let word_pc = 0b1011_0101_1100_1010u64;
+        let col = g.column_of(word_pc);
+        let row_addr = g.row_address_bits(word_pc);
+        assert_eq!(col, word_pc & 0x3F);
+        assert_eq!(row_addr, (word_pc >> 6) & 0xF);
+    }
+
+    #[test]
+    fn splits_cover_the_tier() {
+        let splits: Vec<_> = TableGeometry::splits(4).collect();
+        assert_eq!(splits.len(), 5);
+        assert_eq!(splits[0], TableGeometry::new(4, 0));
+        assert_eq!(splits[4], TableGeometry::new(0, 4));
+        assert!(splits.iter().all(|g| g.total_bits() == 4));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(TableGeometry::new(8, 4).to_string(), "2^8 x 2^4");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn oversized_table_panics() {
+        let _ = TableGeometry::new(20, 20);
+    }
+}

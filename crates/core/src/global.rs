@@ -1,0 +1,524 @@
+//! Global-history and path-history schemes: address-indexed, GAg, GAs,
+//! gshare, and Nair's path-based predictor.
+//!
+//! These share a single first-level register recording the outcomes (or
+//! path) of *all* recent branches. §4 of the paper shows their accuracy
+//! on large programs is limited by second-level aliasing: "the global
+//! history is less useful at distinguishing between branches than are
+//! the branch addresses themselves".
+
+use bpred_trace::{BranchKind, BranchRecord, Outcome};
+
+use crate::history::low_mask;
+use crate::{
+    HistoryRegister, PathRegister, RowSelection, RowSelector, TableGeometry, TwoLevel,
+};
+
+/// Row selector that always chooses row 0: with a single-row geometry
+/// this is the classic address-indexed table of two-bit counters
+/// (Smith 1981) — the paper's baseline and the left wall of every
+/// surface figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSelector;
+
+impl RowSelector for NullSelector {
+    fn select(&mut self, _pc: u64, _geometry: TableGeometry) -> RowSelection {
+        RowSelection::plain(0)
+    }
+
+    fn train(&mut self, _pc: u64, _target: u64, _outcome: Outcome, _geometry: TableGeometry) {}
+
+    fn state_bits(&self) -> u64 {
+        0
+    }
+
+    fn describe(&self, geometry: TableGeometry) -> String {
+        format!("address-indexed(2^{})", geometry.col_bits())
+    }
+}
+
+/// An address-indexed predictor: `2^n` two-bit counters selected purely
+/// by branch-address bits (Figure 2 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{AddressIndexed, BranchPredictor};
+/// use bpred_trace::Outcome;
+///
+/// let mut p = AddressIndexed::new(10); // 1024 counters
+/// let _ = p.predict(0x400, 0x200);
+/// p.update(0x400, 0x200, Outcome::Taken);
+/// assert_eq!(p.name(), "address-indexed(2^10)");
+/// ```
+pub type AddressIndexed = TwoLevel<NullSelector>;
+
+impl AddressIndexed {
+    /// Creates an address-indexed table of `2^addr_bits` counters.
+    pub fn new(addr_bits: u32) -> Self {
+        TwoLevel::with_selector(NullSelector, TableGeometry::single_row(addr_bits))
+    }
+}
+
+/// Row selector holding a global branch-outcome history register —
+/// the first level of GAg and GAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalSelector {
+    history: HistoryRegister,
+}
+
+impl GlobalSelector {
+    /// Creates a selector with `history_bits` of global history.
+    pub fn new(history_bits: u32) -> Self {
+        GlobalSelector {
+            history: HistoryRegister::new(history_bits),
+        }
+    }
+
+    /// The current global history register.
+    pub fn history(&self) -> HistoryRegister {
+        self.history
+    }
+}
+
+impl RowSelector for GlobalSelector {
+    fn select(&mut self, _pc: u64, _geometry: TableGeometry) -> RowSelection {
+        RowSelection {
+            row: self.history.bits(),
+            all_taken_pattern: self.history.is_all_taken(),
+        }
+    }
+
+    fn train(&mut self, _pc: u64, _target: u64, outcome: Outcome, _geometry: TableGeometry) {
+        self.history.push(outcome);
+    }
+
+    fn state_bits(&self) -> u64 {
+        u64::from(self.history.width())
+    }
+
+    fn describe(&self, geometry: TableGeometry) -> String {
+        if geometry.row_bits() == 0 {
+            // The paper treats the zero-history split of every tier as
+            // plain address-indexed prediction.
+            format!("address-indexed(2^{})", geometry.col_bits())
+        } else if geometry.col_bits() == 0 {
+            format!("GAg(2^{})", geometry.row_bits())
+        } else {
+            format!("GAs({geometry})")
+        }
+    }
+}
+
+/// GAs: global history selects the row, address bits select the column
+/// (Figure 4). With zero column bits this is GAg (Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{BranchPredictor, Gas};
+///
+/// let mut gas = Gas::new(8, 4); // 2^8 rows x 2^4 columns
+/// assert_eq!(gas.name(), "GAs(2^8 x 2^4)");
+/// let mut gag = Gas::gag(10);
+/// assert_eq!(gag.name(), "GAg(2^10)");
+/// assert_eq!(gag.state_bits(), 2 * 1024 + 10);
+/// ```
+pub type Gas = TwoLevel<GlobalSelector>;
+
+impl Gas {
+    /// Creates a GAs predictor with `2^history_bits` rows selected by
+    /// global history and `2^col_bits` columns selected by address.
+    pub fn new(history_bits: u32, col_bits: u32) -> Self {
+        TwoLevel::with_selector(
+            GlobalSelector::new(history_bits),
+            TableGeometry::new(history_bits, col_bits),
+        )
+    }
+
+    /// The single-column special case, GAg.
+    pub fn gag(history_bits: u32) -> Self {
+        Gas::new(history_bits, 0)
+    }
+}
+
+/// Row selector XORing global history with branch-address bits —
+/// McFarling's gshare (WRL TN-36).
+///
+/// The address bits are taken *above* the column field
+/// ([`TableGeometry::row_address_bits`]) so row and column information
+/// stay disjoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GshareSelector {
+    history: HistoryRegister,
+}
+
+impl GshareSelector {
+    /// Creates a selector with `history_bits` of global history.
+    pub fn new(history_bits: u32) -> Self {
+        GshareSelector {
+            history: HistoryRegister::new(history_bits),
+        }
+    }
+
+    /// The current global history register.
+    pub fn history(&self) -> HistoryRegister {
+        self.history
+    }
+}
+
+impl RowSelector for GshareSelector {
+    fn select(&mut self, pc: u64, geometry: TableGeometry) -> RowSelection {
+        let addr = geometry.row_address_bits(pc >> 2);
+        RowSelection {
+            row: self.history.bits() ^ addr,
+            // Harmlessness is a property of the underlying history
+            // pattern, not the XORed row index.
+            all_taken_pattern: self.history.is_all_taken(),
+        }
+    }
+
+    fn train(&mut self, _pc: u64, _target: u64, outcome: Outcome, _geometry: TableGeometry) {
+        self.history.push(outcome);
+    }
+
+    fn state_bits(&self) -> u64 {
+        u64::from(self.history.width())
+    }
+
+    fn describe(&self, geometry: TableGeometry) -> String {
+        if geometry.row_bits() == 0 {
+            format!("address-indexed(2^{})", geometry.col_bits())
+        } else {
+            format!("gshare({geometry})")
+        }
+    }
+}
+
+/// gshare: global history XOR address bits select the row, further
+/// address bits select the column (Figure 6).
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{BranchPredictor, Gshare};
+///
+/// let mut p = Gshare::new(8, 2);
+/// assert_eq!(p.name(), "gshare(2^8 x 2^2)");
+/// ```
+pub type Gshare = TwoLevel<GshareSelector>;
+
+impl Gshare {
+    /// Creates a gshare predictor with a `2^history_bits`-row,
+    /// `2^col_bits`-column table.
+    pub fn new(history_bits: u32, col_bits: u32) -> Self {
+        TwoLevel::with_selector(
+            GshareSelector::new(history_bits),
+            TableGeometry::new(history_bits, col_bits),
+        )
+    }
+}
+
+/// Row selector recording target-address bits of executed control
+/// transfers — Nair's path-based correlation (MICRO-28, 1995).
+///
+/// Each resolved conditional branch contributes the low bits of the
+/// address it actually went to (the target when taken, the fall-through
+/// when not); non-conditional transfers contribute their targets via
+/// [`RowSelector::note_control_transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathSelector {
+    path: PathRegister,
+}
+
+impl PathSelector {
+    /// Creates a selector keeping `row_bits` total path bits,
+    /// `bits_per_target` from each destination.
+    pub fn new(row_bits: u32, bits_per_target: u32) -> Self {
+        PathSelector {
+            path: PathRegister::new(row_bits, bits_per_target),
+        }
+    }
+
+    /// The current path register.
+    pub fn path(&self) -> PathRegister {
+        self.path
+    }
+}
+
+impl RowSelector for PathSelector {
+    fn select(&mut self, _pc: u64, _geometry: TableGeometry) -> RowSelection {
+        RowSelection::plain(self.path.bits())
+    }
+
+    fn train(&mut self, pc: u64, target: u64, outcome: Outcome, _geometry: TableGeometry) {
+        let destination = match outcome {
+            Outcome::Taken => target,
+            Outcome::NotTaken => pc.wrapping_add(4),
+        };
+        self.path.push(destination);
+    }
+
+    fn note_control_transfer(&mut self, record: &BranchRecord) {
+        if record.kind != BranchKind::Conditional {
+            self.path.push(record.target);
+        }
+    }
+
+    fn state_bits(&self) -> u64 {
+        u64::from(self.path.width())
+    }
+
+    fn describe(&self, geometry: TableGeometry) -> String {
+        format!("path(q={}, {geometry})", self.path.bits_per_target())
+    }
+}
+
+/// Nair's path-based predictor: recent target-address bits select the
+/// row, branch-address bits select the column (Figure 8).
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{BranchPredictor, PathBased};
+///
+/// // Nair's simulated configuration: 2^6 rows x 2^4 columns, 2 bits
+/// // per target.
+/// let mut p = PathBased::new(6, 4, 2);
+/// assert_eq!(p.name(), "path(q=2, 2^6 x 2^4)");
+/// ```
+pub type PathBased = TwoLevel<PathSelector>;
+
+impl PathBased {
+    /// Creates a path-based predictor with `2^row_bits` rows selected
+    /// by the path register (`bits_per_target` bits per destination)
+    /// and `2^col_bits` columns selected by address.
+    pub fn new(row_bits: u32, col_bits: u32, bits_per_target: u32) -> Self {
+        TwoLevel::with_selector(
+            PathSelector::new(row_bits, bits_per_target),
+            TableGeometry::new(row_bits, col_bits),
+        )
+    }
+}
+
+/// Returns `true` when `bits` is the all-ones pattern of width `width`
+/// (and `width > 0`). Shared helper for self-history selectors.
+pub(crate) fn is_all_ones(bits: u64, width: u32) -> bool {
+    width > 0 && bits == low_mask(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BranchPredictor;
+
+    /// Drives a predictor through one branch instance.
+    fn step<P: BranchPredictor>(p: &mut P, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        let predicted = p.predict(pc, target);
+        p.update(pc, target, outcome);
+        predicted
+    }
+
+    #[test]
+    fn address_indexed_learns_per_branch_bias() {
+        let mut p = AddressIndexed::new(4);
+        // Branch A always taken, branch B never taken; distinct columns.
+        for _ in 0..20 {
+            step(&mut p, 0x40, 0x10, Outcome::Taken);
+            step(&mut p, 0x44, 0x10, Outcome::NotTaken);
+        }
+        assert_eq!(p.predict(0x40, 0x10), Outcome::Taken);
+        assert_eq!(p.predict(0x44, 0x10), Outcome::NotTaken);
+    }
+
+    #[test]
+    fn address_indexed_aliases_when_columns_collide() {
+        let mut p = AddressIndexed::new(1); // 2 counters
+        // Word addresses 0x10 and 0x12 share column 0.
+        for _ in 0..10 {
+            step(&mut p, 0x40, 0, Outcome::Taken);
+            step(&mut p, 0x48, 0, Outcome::NotTaken);
+        }
+        assert!(p.table_alias_stats().conflicts > 0);
+    }
+
+    #[test]
+    fn gag_learns_alternation_through_history() {
+        // A single branch alternating T,N,T,N is mispredicted forever by
+        // a one-counter table but learned perfectly by GAg(2).
+        let mut p = Gas::gag(2);
+        let mut wrong = 0;
+        for i in 0..200u32 {
+            let outcome = Outcome::from(i % 2 == 0);
+            if step(&mut p, 0x40, 0x10, outcome) != outcome {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 10, "GAg(2) failed to learn alternation: {wrong} misses");
+    }
+
+    #[test]
+    fn gag_detects_all_taken_pattern() {
+        let mut p = Gas::gag(3);
+        for _ in 0..10 {
+            step(&mut p, 0x40, 0x10, Outcome::Taken);
+        }
+        // After history fills with taken outcomes, another branch
+        // aliasing into the same row is harmless.
+        step(&mut p, 0x80, 0x10, Outcome::Taken);
+        let s = p.table_alias_stats();
+        assert!(s.conflicts >= 1);
+        assert_eq!(s.harmless_conflicts, s.conflicts);
+    }
+
+    #[test]
+    fn gas_uses_address_columns_to_separate_branches() {
+        // Two branches with opposite fixed behaviour; with 1 column bit
+        // they get distinct counters even under identical history.
+        let mut separated = Gas::new(2, 1);
+        let mut merged = Gas::gag(2);
+        let mut sep_wrong = 0;
+        let mut mrg_wrong = 0;
+        for _ in 0..200 {
+            // word addresses: 0x40>>2=0x10 (col 0), 0x44>>2=0x11 (col 1)
+            if step(&mut separated, 0x40, 0x10, Outcome::Taken) != Outcome::Taken {
+                sep_wrong += 1;
+            }
+            if step(&mut separated, 0x44, 0x10, Outcome::NotTaken) != Outcome::NotTaken {
+                sep_wrong += 1;
+            }
+            if step(&mut merged, 0x40, 0x10, Outcome::Taken) != Outcome::Taken {
+                mrg_wrong += 1;
+            }
+            if step(&mut merged, 0x44, 0x10, Outcome::NotTaken) != Outcome::NotTaken {
+                mrg_wrong += 1;
+            }
+        }
+        assert!(sep_wrong <= mrg_wrong);
+        assert!(sep_wrong < 20);
+    }
+
+    #[test]
+    fn gshare_with_zero_history_is_address_indexed() {
+        // r=0: rows collapse, behaviour must equal an address-indexed
+        // table of the same size.
+        let mut gshare = Gshare::new(0, 6);
+        let mut addr = AddressIndexed::new(6);
+        let mut mismatches = 0;
+        for i in 0..500u64 {
+            let pc = 0x400 + 4 * (i % 37);
+            let outcome = Outcome::from((i / 3) % 2 == 0);
+            if step(&mut gshare, pc, 0x100, outcome) != step(&mut addr, pc, 0x100, outcome) {
+                mismatches += 1;
+            }
+        }
+        assert_eq!(mismatches, 0);
+    }
+
+    #[test]
+    fn gas_with_zero_history_is_address_indexed() {
+        let mut gas = Gas::new(0, 6);
+        let mut addr = AddressIndexed::new(6);
+        for i in 0..500u64 {
+            let pc = 0x400 + 4 * (i % 37);
+            let outcome = Outcome::from((i / 5) % 3 == 0);
+            assert_eq!(
+                step(&mut gas, pc, 0x100, outcome),
+                step(&mut addr, pc, 0x100, outcome)
+            );
+        }
+    }
+
+    #[test]
+    fn gshare_separates_aliased_history_patterns() {
+        // Branches A and B are each preceded by four taken executions
+        // of a loop branch X, so both are predicted under the all-ones
+        // history pattern. GAg(4) merges them into one counter that
+        // thrashes (A taken, B not taken); gshare(4, 0) XORs their
+        // addresses into the row and separates them.
+        let mut gag = Gas::gag(4);
+        let mut gsh = Gshare::new(4, 0);
+        let mut gag_wrong = 0;
+        let mut gsh_wrong = 0;
+        // Word addresses: A = 0x10 (low bits 0000), B = 0x1C (1100).
+        // Under gshare, B lands in row 1111^1100 = 0011, away from the
+        // rows the loop branch X trains taken; under GAg both A and B
+        // land in row 1111, which X also keeps pushing towards taken.
+        for _ in 0..250 {
+            for (pc, out) in [(0x40u64, Outcome::Taken), (0x70, Outcome::NotTaken)] {
+                for _ in 0..4 {
+                    step(&mut gag, 0x100, 0x80, Outcome::Taken);
+                    step(&mut gsh, 0x100, 0x80, Outcome::Taken);
+                }
+                if step(&mut gag, pc, 0x10, out) != out {
+                    gag_wrong += 1;
+                }
+                if step(&mut gsh, pc, 0x10, out) != out {
+                    gsh_wrong += 1;
+                }
+            }
+        }
+        assert!(
+            gsh_wrong < gag_wrong / 4,
+            "gshare {gsh_wrong} should beat GAg {gag_wrong}"
+        );
+    }
+
+    #[test]
+    fn path_register_distinguishes_paths_to_a_branch() {
+        // Branch C's outcome equals the direction of the preceding
+        // branch A. Path history of A's destinations predicts C.
+        let mut p = PathBased::new(4, 0, 2);
+        let mut wrong = 0;
+        for i in 0..400u32 {
+            let a_taken = Outcome::from(i % 3 == 0);
+            step(&mut p, 0x100, 0x200, a_taken);
+            if step(&mut p, 0x300, 0x400, a_taken) != a_taken {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 40, "path predictor failed correlation: {wrong}");
+    }
+
+    #[test]
+    fn path_selector_observes_unconditional_transfers() {
+        let mut s = PathSelector::new(4, 2);
+        let g = TableGeometry::new(4, 0);
+        let before = s.select(0, g).row;
+        s.note_control_transfer(&BranchRecord::jump(0x40, 0x84));
+        let after = s.select(0, g).row;
+        assert_ne!(before, after);
+        // Conditional records are not folded in through this path.
+        let mut s2 = PathSelector::new(4, 2);
+        s2.note_control_transfer(&BranchRecord::conditional(
+            0x40,
+            0x84,
+            Outcome::Taken,
+        ));
+        assert_eq!(s2.select(0, g).row, 0);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(AddressIndexed::new(5).name(), "address-indexed(2^5)");
+        assert_eq!(Gas::new(8, 4).name(), "GAs(2^8 x 2^4)");
+        assert_eq!(Gas::gag(8).name(), "GAg(2^8)");
+        assert_eq!(Gshare::new(8, 4).name(), "gshare(2^8 x 2^4)");
+        assert_eq!(PathBased::new(6, 4, 2).name(), "path(q=2, 2^6 x 2^4)");
+    }
+
+    #[test]
+    fn state_bits_include_history_registers() {
+        assert_eq!(AddressIndexed::new(5).state_bits(), 2 * 32);
+        assert_eq!(Gas::new(8, 4).state_bits(), 2 * 4096 + 8);
+        assert_eq!(Gshare::new(10, 0).state_bits(), 2 * 1024 + 10);
+        assert_eq!(PathBased::new(6, 4, 2).state_bits(), 2 * 1024 + 6);
+    }
+
+    #[test]
+    fn is_all_ones_helper() {
+        assert!(is_all_ones(0b111, 3));
+        assert!(!is_all_ones(0b110, 3));
+        assert!(!is_all_ones(0, 0));
+    }
+}

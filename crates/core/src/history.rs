@@ -1,0 +1,354 @@
+use std::fmt;
+
+use bpred_trace::Outcome;
+
+/// Returns a mask with the low `bits` bits set. `bits` may be 0 (empty
+/// mask) up to 64 (full mask).
+#[inline]
+pub(crate) fn low_mask(bits: u32) -> u64 {
+    match bits {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A shift register of recent branch outcomes, newest outcome in bit 0.
+///
+/// This is both the *global* history register of GAg/GAs/gshare (fed by
+/// every conditional branch) and the *per-branch* history pattern of
+/// PAg/PAs (one register per first-level-table entry).
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::HistoryRegister;
+/// use bpred_trace::Outcome;
+///
+/// let mut h = HistoryRegister::new(4);
+/// h.push(Outcome::Taken);
+/// h.push(Outcome::Taken);
+/// h.push(Outcome::NotTaken);
+/// assert_eq!(h.bits(), 0b110); // newest (not taken) in bit 0
+/// assert!(!h.is_all_taken());
+/// h.push(Outcome::Taken);
+/// h.push(Outcome::Taken);
+/// h.push(Outcome::Taken);
+/// h.push(Outcome::Taken);
+/// assert!(h.is_all_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistoryRegister {
+    bits: u64,
+    width: u32,
+}
+
+impl HistoryRegister {
+    /// Creates an all-zero (all not-taken) register of `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn new(width: u32) -> Self {
+        assert!(width <= 64, "history width {width} exceeds 64 bits");
+        HistoryRegister { bits: 0, width }
+    }
+
+    /// Creates a register preloaded with `bits` (masked to `width`).
+    pub fn with_bits(width: u32, bits: u64) -> Self {
+        let mut h = HistoryRegister::new(width);
+        h.bits = bits & low_mask(width);
+        h
+    }
+
+    /// The register width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The current pattern; newest outcome in bit 0, all high bits zero.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Shifts `outcome` into bit 0, discarding the oldest outcome.
+    /// A zero-width register stays empty.
+    #[inline]
+    pub fn push(&mut self, outcome: Outcome) {
+        if self.width == 0 {
+            return;
+        }
+        self.bits = ((self.bits << 1) | outcome.as_bit()) & low_mask(self.width);
+    }
+
+    /// Overwrites the pattern (masked to the register width).
+    #[inline]
+    pub fn set_bits(&mut self, bits: u64) {
+        self.bits = bits & low_mask(self.width);
+    }
+
+    /// Returns `true` if every recorded outcome is taken — the paper's
+    /// "all-ones pattern" that makes aliasing between tight loops
+    /// harmless. A zero-width register reports `false` (it records
+    /// nothing).
+    #[inline]
+    pub fn is_all_taken(self) -> bool {
+        self.width > 0 && self.bits == low_mask(self.width)
+    }
+
+    /// The outcome recorded `age` pushes ago (0 = newest). `None` if
+    /// `age` is outside the register.
+    pub fn outcome_at(self, age: u32) -> Option<Outcome> {
+        (age < self.width).then(|| Outcome::from_bit((self.bits >> age) & 1))
+    }
+}
+
+impl fmt::Display for HistoryRegister {
+    /// Renders the pattern as `T`/`N` characters, oldest first, e.g.
+    /// `TTN` for a 3-bit register whose newest outcome was not taken.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for age in (0..self.width).rev() {
+            let c = if (self.bits >> age) & 1 == 1 { 'T' } else { 'N' };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The history-reset pattern Sechrest, Lee & Mudge use when a finite
+/// first-level table misses: "the appropriate length prefix of the
+/// pattern 0xC3FF" (§5). A prefix avoids excessive aliasing with the
+/// all-taken and all-not-taken patterns.
+///
+/// The 16-bit pattern is repeated so prefixes longer than 16 bits are
+/// well defined.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::reset_pattern;
+///
+/// assert_eq!(reset_pattern(16), 0xC3FF);
+/// assert_eq!(reset_pattern(4), 0xC); // the first four bits, 1100
+/// assert_eq!(reset_pattern(0), 0);
+/// ```
+pub fn reset_pattern(bits: u32) -> u64 {
+    const REPEATED: u64 = 0xC3FF_C3FF_C3FF_C3FF;
+    match bits {
+        0 => 0,
+        b if b >= 64 => REPEATED,
+        b => REPEATED >> (64 - b),
+    }
+}
+
+/// A register of recent branch-*target* address bits — the first level of
+/// Nair's path-based scheme (MICRO-28, 1995). Each control transfer
+/// contributes `bits_per_target` low bits of the destination word
+/// address; the register keeps the most recent `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::PathRegister;
+///
+/// let mut p = PathRegister::new(6, 2);
+/// p.push(0x40); // word address 0x10, low 2 bits 00
+/// p.push(0x4c); // word address 0x13, low 2 bits 11
+/// assert_eq!(p.bits(), 0b0011);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathRegister {
+    bits: u64,
+    width: u32,
+    bits_per_target: u32,
+}
+
+impl PathRegister {
+    /// Creates an empty path register holding `width` bits total,
+    /// `bits_per_target` bits from each destination address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `bits_per_target` is 0 or greater
+    /// than 16.
+    pub fn new(width: u32, bits_per_target: u32) -> Self {
+        assert!(width <= 64, "path width {width} exceeds 64 bits");
+        assert!(
+            (1..=16).contains(&bits_per_target),
+            "bits per target {bits_per_target} out of range 1..=16"
+        );
+        PathRegister {
+            bits: 0,
+            width,
+            bits_per_target,
+        }
+    }
+
+    /// Total register width in bits.
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Bits contributed by each target.
+    #[inline]
+    pub fn bits_per_target(self) -> u32 {
+        self.bits_per_target
+    }
+
+    /// The current path pattern.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of distinct targets the register can distinguish
+    /// (`width / bits_per_target`, the depth Nair trades against
+    /// per-target precision).
+    #[inline]
+    pub fn depth(self) -> u32 {
+        if self.bits_per_target == 0 {
+            0
+        } else {
+            self.width / self.bits_per_target
+        }
+    }
+
+    /// Folds the destination address of an executed control transfer
+    /// into the register.
+    #[inline]
+    pub fn push(&mut self, destination: u64) {
+        if self.width == 0 {
+            return;
+        }
+        let contribution = (destination >> 2) & low_mask(self.bits_per_target);
+        self.bits = ((self.bits << self.bits_per_target) | contribution) & low_mask(self.width);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_mask_edges() {
+        assert_eq!(low_mask(0), 0);
+        assert_eq!(low_mask(1), 1);
+        assert_eq!(low_mask(16), 0xFFFF);
+        assert_eq!(low_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn push_shifts_newest_into_bit_zero() {
+        let mut h = HistoryRegister::new(3);
+        h.push(Outcome::Taken);
+        assert_eq!(h.bits(), 0b001);
+        h.push(Outcome::NotTaken);
+        assert_eq!(h.bits(), 0b010);
+        h.push(Outcome::Taken);
+        assert_eq!(h.bits(), 0b101);
+        h.push(Outcome::Taken); // oldest (taken) falls off
+        assert_eq!(h.bits(), 0b011);
+    }
+
+    #[test]
+    fn zero_width_register_is_inert() {
+        let mut h = HistoryRegister::new(0);
+        h.push(Outcome::Taken);
+        assert_eq!(h.bits(), 0);
+        assert!(!h.is_all_taken());
+        assert_eq!(h.outcome_at(0), None);
+    }
+
+    #[test]
+    fn all_taken_detection() {
+        let mut h = HistoryRegister::new(2);
+        assert!(!h.is_all_taken());
+        h.push(Outcome::Taken);
+        assert!(!h.is_all_taken());
+        h.push(Outcome::Taken);
+        assert!(h.is_all_taken());
+        h.push(Outcome::NotTaken);
+        assert!(!h.is_all_taken());
+    }
+
+    #[test]
+    fn outcome_at_reads_back_pushes() {
+        let mut h = HistoryRegister::new(4);
+        let seq = [Outcome::Taken, Outcome::NotTaken, Outcome::Taken, Outcome::Taken];
+        for o in seq {
+            h.push(o);
+        }
+        // age 0 is the newest = last pushed
+        assert_eq!(h.outcome_at(0), Some(Outcome::Taken));
+        assert_eq!(h.outcome_at(1), Some(Outcome::Taken));
+        assert_eq!(h.outcome_at(2), Some(Outcome::NotTaken));
+        assert_eq!(h.outcome_at(3), Some(Outcome::Taken));
+        assert_eq!(h.outcome_at(4), None);
+    }
+
+    #[test]
+    fn with_bits_masks_to_width() {
+        let h = HistoryRegister::with_bits(4, 0xFF);
+        assert_eq!(h.bits(), 0xF);
+        assert!(h.is_all_taken());
+    }
+
+    #[test]
+    fn display_renders_oldest_first() {
+        let mut h = HistoryRegister::new(3);
+        h.push(Outcome::Taken);
+        h.push(Outcome::Taken);
+        h.push(Outcome::NotTaken);
+        assert_eq!(h.to_string(), "TTN");
+    }
+
+    #[test]
+    fn reset_pattern_prefixes() {
+        // 0xC3FF = 1100 0011 1111 1111
+        assert_eq!(reset_pattern(1), 0b1);
+        assert_eq!(reset_pattern(2), 0b11);
+        assert_eq!(reset_pattern(3), 0b110);
+        assert_eq!(reset_pattern(8), 0b1100_0011);
+        assert_eq!(reset_pattern(16), 0xC3FF);
+        assert_eq!(reset_pattern(20), 0xC3FFC);
+        assert_eq!(reset_pattern(64), 0xC3FF_C3FF_C3FF_C3FF);
+        assert_eq!(reset_pattern(100), 0xC3FF_C3FF_C3FF_C3FF);
+    }
+
+    #[test]
+    fn reset_pattern_is_never_all_ones_or_zero_beyond_two_bits() {
+        for bits in 3..=32 {
+            let p = reset_pattern(bits);
+            assert_ne!(p, 0, "bits {bits}");
+            assert_ne!(p, low_mask(bits), "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn path_register_packs_target_bits() {
+        let mut p = PathRegister::new(6, 2);
+        p.push(0x40); // word 0x10 -> 00
+        p.push(0x44); // word 0x11 -> 01
+        p.push(0x4c); // word 0x13 -> 11
+        assert_eq!(p.bits(), 0b00_01_11);
+        p.push(0x48); // word 0x12 -> 10; oldest 00 falls off
+        assert_eq!(p.bits(), 0b01_11_10);
+        assert_eq!(p.depth(), 3);
+    }
+
+    #[test]
+    fn path_register_zero_width_is_inert() {
+        let mut p = PathRegister::new(0, 2);
+        p.push(0xFFFF);
+        assert_eq!(p.bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn path_register_rejects_zero_bits_per_target() {
+        let _ = PathRegister::new(8, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-address (self-history) schemes: PAg and PAs.
+//!
+//! The first level keeps an outcome history *per branch* in a
+//! [`HistoryTable`]; the history selects the second-level row. §5 of the
+//! paper observes that the most frequent self-history patterns mean the
+//! same thing across branches ("the appropriate predictions for the most
+//! frequently occurring patterns are strongly correlated across
+//! branches"), so PAs loses little by collapsing all columns into one —
+//! but it depends critically on the first-level table being large enough
+//! to keep histories unpolluted.
+
+use bpred_trace::Outcome;
+
+use crate::global::is_all_ones;
+use crate::{
+    BhtStats, HistoryTable, PerfectBht, RowSelection, RowSelector, SetAssocBht, TableGeometry,
+    TwoLevel,
+};
+
+/// Row selector reading each branch's own history from a first-level
+/// [`HistoryTable`].
+#[derive(Debug, Clone)]
+pub struct SelfSelector<H> {
+    bht: H,
+}
+
+impl<H: HistoryTable> SelfSelector<H> {
+    /// Wraps a first-level table. Its [`HistoryTable::width`] must
+    /// equal the row bits of the geometry it is used with; the
+    /// [`Pas`] constructors guarantee this.
+    pub fn new(bht: H) -> Self {
+        SelfSelector { bht }
+    }
+
+    /// The first-level table.
+    pub fn bht(&self) -> &H {
+        &self.bht
+    }
+
+    /// First-level access statistics (Table 3's miss-rate column).
+    pub fn bht_stats(&self) -> BhtStats {
+        self.bht.stats()
+    }
+}
+
+impl<H: HistoryTable> RowSelector for SelfSelector<H> {
+    fn select(&mut self, pc: u64, _geometry: TableGeometry) -> RowSelection {
+        let bits = self.bht.lookup(pc);
+        RowSelection {
+            row: bits,
+            all_taken_pattern: is_all_ones(bits, self.bht.width()),
+        }
+    }
+
+    fn train(&mut self, pc: u64, _target: u64, outcome: Outcome, _geometry: TableGeometry) {
+        self.bht.record(pc, outcome);
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.bht.state_bits()
+    }
+
+    fn level1_stats(&self) -> Option<BhtStats> {
+        Some(self.bht.stats())
+    }
+
+    fn describe(&self, geometry: TableGeometry) -> String {
+        let level1 = self.bht.label();
+        if geometry.col_bits() == 0 {
+            format!("PAg[{level1}](2^{})", geometry.row_bits())
+        } else {
+            format!("PAs[{level1}]({geometry})")
+        }
+    }
+}
+
+/// A per-address two-level predictor generic over its first-level
+/// table: `Pas<PerfectBht>` is the paper's "PAs(inf)",
+/// `Pas<SetAssocBht>` its finite variants like "PAs(1k)".
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{BranchPredictor, Pas};
+///
+/// // PAs with unbounded first level: 2^8 rows x 2^2 columns.
+/// let mut ideal = Pas::perfect(8, 2);
+/// assert_eq!(ideal.name(), "PAs[inf](2^8 x 2^2)");
+///
+/// // The paper's realistic first level: 1024 entries, 4-way.
+/// let mut real = Pas::with_bht(8, 2, 1024, 4);
+/// assert_eq!(real.name(), "PAs[1024x4](2^8 x 2^2)");
+/// ```
+pub type Pas<H> = TwoLevel<SelfSelector<H>>;
+
+impl Pas<PerfectBht> {
+    /// PAs with an unbounded first-level table: `history_bits` of
+    /// per-branch history select among `2^history_bits` rows,
+    /// `col_bits` address bits select the column.
+    pub fn perfect(history_bits: u32, col_bits: u32) -> Self {
+        TwoLevel::with_selector(
+            SelfSelector::new(PerfectBht::new(history_bits)),
+            TableGeometry::new(history_bits, col_bits),
+        )
+    }
+
+    /// PAg (single column) with an unbounded first level.
+    pub fn perfect_pag(history_bits: u32) -> Self {
+        Self::perfect(history_bits, 0)
+    }
+}
+
+impl Pas<SetAssocBht> {
+    /// PAs with a finite, tag-checked, LRU first-level table of
+    /// `entries` entries and `ways` ways. A first-level miss resets the
+    /// history to the `0xC3FF`-prefix pattern.
+    pub fn with_bht(history_bits: u32, col_bits: u32, entries: usize, ways: usize) -> Self {
+        TwoLevel::with_selector(
+            SelfSelector::new(SetAssocBht::new(entries, ways, history_bits)),
+            TableGeometry::new(history_bits, col_bits),
+        )
+    }
+
+    /// PAg (single column) with a finite first level.
+    pub fn pag_with_bht(history_bits: u32, entries: usize, ways: usize) -> Self {
+        Self::with_bht(history_bits, 0, entries, ways)
+    }
+}
+
+impl<H: HistoryTable> Pas<H> {
+    /// First-level access statistics (accesses and tag misses) —
+    /// Table 3's miss-rate column.
+    pub fn first_level_stats(&self) -> BhtStats {
+        self.selector().bht_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BranchPredictor;
+
+    fn step<P: BranchPredictor>(p: &mut P, pc: u64, outcome: Outcome) -> Outcome {
+        let predicted = p.predict(pc, 0x100);
+        p.update(pc, 0x100, outcome);
+        predicted
+    }
+
+    #[test]
+    fn pas_learns_periodic_pattern() {
+        // Loop with trip count 4: T T T N repeating. 4 history bits
+        // distinguish every phase; after warmup prediction is perfect.
+        let mut p = Pas::perfect(4, 0);
+        let mut wrong = 0;
+        for i in 0..400u32 {
+            let outcome = Outcome::from(i % 4 != 3);
+            if step(&mut p, 0x40, outcome) != outcome {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 20, "PAs failed periodic pattern: {wrong} misses");
+    }
+
+    #[test]
+    fn pas_histories_are_per_branch() {
+        // Global history would interleave these two alternating
+        // branches into a fixed pattern; self-history keeps them
+        // separate and both perfectly predictable.
+        let mut p = Pas::perfect(2, 1);
+        let mut wrong = 0;
+        for i in 0..400u32 {
+            let a = Outcome::from(i % 2 == 0);
+            let b = Outcome::from(i % 2 == 1);
+            if step(&mut p, 0x40, a) != a {
+                wrong += 1;
+            }
+            if step(&mut p, 0x44, b) != b {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 20, "{wrong} misses");
+    }
+
+    #[test]
+    fn perfect_and_oversized_finite_bht_agree() {
+        // A finite BHT far larger than the branch working set behaves
+        // identically to the perfect one (cold-start reset pattern is
+        // the same).
+        let mut ideal = Pas::perfect(6, 2);
+        let mut big = Pas::with_bht(6, 2, 4096, 4);
+        for i in 0..2000u64 {
+            let pc = 0x400 + 4 * (i % 64);
+            let outcome = Outcome::from((i * 7) % 5 < 3);
+            assert_eq!(step(&mut ideal, pc, outcome), step(&mut big, pc, outcome));
+        }
+        assert_eq!(big.first_level_stats().misses, 64); // cold misses only
+    }
+
+    #[test]
+    fn tiny_bht_hurts_prediction() {
+        // Two hundred branches thrash a 16-entry first level; the same
+        // workload on a perfect first level predicts far better.
+        let branches: Vec<u64> = (0..200).map(|i| 0x1000 + 4 * i).collect();
+        let mut ideal = Pas::perfect(4, 0);
+        let mut tiny = Pas::with_bht(4, 0, 16, 4);
+        let mut ideal_wrong = 0u32;
+        let mut tiny_wrong = 0u32;
+        for round in 0..30u32 {
+            for &pc in &branches {
+                // Periodic per-branch behaviour self-history can learn.
+                let outcome = Outcome::from(round % 4 != 3);
+                if step(&mut ideal, pc, outcome) != outcome {
+                    ideal_wrong += 1;
+                }
+                if step(&mut tiny, pc, outcome) != outcome {
+                    tiny_wrong += 1;
+                }
+            }
+        }
+        assert!(tiny.first_level_stats().miss_rate() > 0.5);
+        assert!(ideal_wrong < tiny_wrong);
+    }
+
+    #[test]
+    fn pas_all_taken_pattern_marks_harmless_aliasing() {
+        // Single-column PAs: two always-taken loop branches share every
+        // counter once their histories saturate to all-ones; those
+        // conflicts are classified harmless.
+        let mut p = Pas::perfect(3, 0);
+        for _ in 0..20 {
+            step(&mut p, 0x40, Outcome::Taken);
+            step(&mut p, 0x80, Outcome::Taken);
+        }
+        let s = p.table_alias_stats();
+        assert!(s.conflicts > 0);
+        assert!(s.harmless_conflicts > 0);
+    }
+
+    #[test]
+    fn names_and_state_bits() {
+        assert_eq!(Pas::perfect_pag(10).name(), "PAg[inf](2^10)");
+        assert_eq!(
+            Pas::pag_with_bht(6, 512, 4).name(),
+            "PAg[512x4](2^6)"
+        );
+        // Finite PAs state: counters + entries*width
+        let p = Pas::with_bht(10, 0, 1024, 4);
+        assert_eq!(p.state_bits(), 2 * 1024 + 1024 * 10);
+    }
+
+    #[test]
+    fn bht_stats_count_one_access_per_prediction() {
+        let mut p = Pas::with_bht(4, 0, 64, 2);
+        for i in 0..50u64 {
+            step(&mut p, 0x40 + 4 * (i % 3), Outcome::Taken);
+        }
+        assert_eq!(p.first_level_stats().accesses, 50);
+        assert_eq!(p.first_level_stats().misses, 3);
+    }
+}

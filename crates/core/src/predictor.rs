@@ -1,0 +1,155 @@
+use bpred_trace::{BranchRecord, Outcome};
+
+use crate::{AliasStats, BhtStats};
+
+/// A dynamic conditional-branch predictor.
+///
+/// The simulation protocol is two-phase, mirroring hardware: for every
+/// dynamic conditional branch the engine first calls
+/// [`predict`](BranchPredictor::predict) with the branch address and its
+/// taken-target, then resolves the branch and calls
+/// [`update`](BranchPredictor::update) with the actual outcome. The
+/// engine reports non-conditional control transfers through
+/// [`note_control_transfer`](BranchPredictor::note_control_transfer) so
+/// path-history schemes can observe them; most predictors ignore these.
+///
+/// Implementations must be deterministic: the same call sequence must
+/// produce the same predictions.
+///
+/// # Examples
+///
+/// Implementing a trivial static predictor:
+///
+/// ```
+/// use bpred_core::BranchPredictor;
+/// use bpred_trace::Outcome;
+///
+/// #[derive(Debug)]
+/// struct AlwaysTaken;
+///
+/// impl BranchPredictor for AlwaysTaken {
+///     fn predict(&mut self, _pc: u64, _target: u64) -> Outcome {
+///         Outcome::Taken
+///     }
+///     fn update(&mut self, _pc: u64, _target: u64, _outcome: Outcome) {}
+///     fn name(&self) -> String {
+///         "always-taken".into()
+///     }
+///     fn state_bits(&self) -> u64 {
+///         0
+///     }
+/// }
+///
+/// let mut p = AlwaysTaken;
+/// assert_eq!(p.predict(0x400, 0x200), Outcome::Taken);
+/// ```
+pub trait BranchPredictor {
+    /// Predicts the direction of the conditional branch at `pc` whose
+    /// taken-target is `target`.
+    ///
+    /// Takes `&mut self` because table-based predictors record
+    /// bookkeeping (e.g. aliasing-conflict detection, first-level-table
+    /// allocation) at prediction time, exactly when the hardware access
+    /// happens.
+    fn predict(&mut self, pc: u64, target: u64) -> Outcome;
+
+    /// Trains the predictor with the resolved `outcome` of the branch at
+    /// `pc`. Must be called exactly once after each
+    /// [`predict`](BranchPredictor::predict), with the same `pc` and
+    /// `target`.
+    fn update(&mut self, pc: u64, target: u64, outcome: Outcome);
+
+    /// Informs the predictor of a non-conditional control transfer
+    /// (jump, call, return, indirect). Path-based schemes fold the
+    /// target address into their path register; the default
+    /// implementation does nothing.
+    fn note_control_transfer(&mut self, record: &BranchRecord) {
+        let _ = record;
+    }
+
+    /// Human-readable scheme name including its configuration, e.g.
+    /// `"GAs(2^8 x 2^4)"`. Used in reports.
+    fn name(&self) -> String;
+
+    /// Total predictor state in bits (counter table + history registers
+    /// + first-level tables, excluding tags unless the scheme requires
+    /// them). Used for cost-normalised comparisons.
+    fn state_bits(&self) -> u64;
+
+    /// Second-level-table aliasing statistics, if this predictor tracks
+    /// them. Table-based predictors report; static schemes return
+    /// `None` (the default).
+    fn alias_stats(&self) -> Option<AliasStats> {
+        None
+    }
+
+    /// First-level history-table statistics, if this predictor has a
+    /// first-level table (per-address schemes). The default is `None`.
+    fn bht_stats(&self) -> Option<BhtStats> {
+        None
+    }
+}
+
+impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
+    fn predict(&mut self, pc: u64, target: u64) -> Outcome {
+        (**self).predict(pc, target)
+    }
+
+    fn update(&mut self, pc: u64, target: u64, outcome: Outcome) {
+        (**self).update(pc, target, outcome)
+    }
+
+    fn note_control_transfer(&mut self, record: &BranchRecord) {
+        (**self).note_control_transfer(record)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn state_bits(&self) -> u64 {
+        (**self).state_bits()
+    }
+
+    fn alias_stats(&self) -> Option<AliasStats> {
+        (**self).alias_stats()
+    }
+
+    fn bht_stats(&self) -> Option<BhtStats> {
+        (**self).bht_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Flip(bool);
+
+    impl BranchPredictor for Flip {
+        fn predict(&mut self, _pc: u64, _target: u64) -> Outcome {
+            Outcome::from(self.0)
+        }
+        fn update(&mut self, _pc: u64, _target: u64, _outcome: Outcome) {
+            self.0 = !self.0;
+        }
+        fn name(&self) -> String {
+            "flip".into()
+        }
+        fn state_bits(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn boxed_predictor_delegates() {
+        let mut boxed: Box<dyn BranchPredictor> = Box::new(Flip::default());
+        assert_eq!(boxed.predict(0, 0), Outcome::NotTaken);
+        boxed.update(0, 0, Outcome::Taken);
+        assert_eq!(boxed.predict(0, 0), Outcome::Taken);
+        assert_eq!(boxed.name(), "flip");
+        assert_eq!(boxed.state_bits(), 1);
+        boxed.note_control_transfer(&BranchRecord::jump(0, 4));
+    }
+}

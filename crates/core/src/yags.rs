@@ -1,0 +1,310 @@
+//! YAGS — "Yet Another Global Scheme" (Eden & Mudge, MICRO 1998; the
+//! same Michigan group as this paper). The lineage runs straight
+//! through the paper's conclusion: bi-mode removed *cross-bias*
+//! aliasing; YAGS observes that most branches simply follow their
+//! bias, so the direction tables only need to store the *exceptions*,
+//! and adds small tags so exception entries don't alias each other.
+//!
+//! Structure: an address-indexed choice PHT gives each branch's bias;
+//! two small tagged caches (the "T-cache" and "NT-cache") hold
+//! gshare-indexed exception counters. A branch biased taken consults
+//! the NT-cache: on a tag hit the cached counter overrides the bias.
+
+use bpred_trace::Outcome;
+
+use crate::history::low_mask;
+use crate::{AliasStats, BranchPredictor, CounterState, CounterTable, TableGeometry, TwoBitCounter};
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    /// `u16::MAX` marks an empty slot (tags are ≤ 8 bits).
+    tag: u16,
+    counter: TwoBitCounter,
+}
+
+/// A direction cache: direct-mapped, tagged, gshare-indexed.
+#[derive(Debug, Clone)]
+struct DirectionCache {
+    entries: Vec<CacheEntry>,
+    index_bits: u32,
+    tag_bits: u32,
+}
+
+impl DirectionCache {
+    fn new(index_bits: u32, tag_bits: u32, initial: CounterState) -> Self {
+        DirectionCache {
+            entries: vec![
+                CacheEntry {
+                    tag: u16::MAX,
+                    counter: TwoBitCounter::new(initial),
+                };
+                1usize << index_bits
+            ],
+            index_bits,
+            tag_bits,
+        }
+    }
+
+    fn index(&self, pc: u64, history: u64) -> usize {
+        ((history ^ (pc >> 2)) & low_mask(self.index_bits)) as usize
+    }
+
+    fn tag_of(&self, pc: u64) -> u16 {
+        ((pc >> 2) & low_mask(self.tag_bits)) as u16
+    }
+
+    fn lookup(&self, pc: u64, history: u64) -> Option<Outcome> {
+        let entry = &self.entries[self.index(pc, history)];
+        (entry.tag == self.tag_of(pc)).then(|| entry.counter.predict())
+    }
+
+    fn train_hit(&mut self, pc: u64, history: u64, outcome: Outcome) -> bool {
+        let tag = self.tag_of(pc);
+        let idx = self.index(pc, history);
+        let entry = &mut self.entries[idx];
+        if entry.tag == tag {
+            entry.counter.train(outcome);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn allocate(&mut self, pc: u64, history: u64, outcome: Outcome) {
+        let idx = self.index(pc, history);
+        let bias = if outcome.is_taken() {
+            CounterState::WeakTaken
+        } else {
+            CounterState::WeakNotTaken
+        };
+        self.entries[idx] = CacheEntry {
+            tag: self.tag_of(pc),
+            counter: TwoBitCounter::new(bias),
+        };
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.entries.len() as u64 * (2 + u64::from(self.tag_bits))
+    }
+}
+
+/// The YAGS predictor.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::{BranchPredictor, Yags};
+///
+/// let mut p = Yags::new(10, 9, 6);
+/// assert_eq!(p.name(), "yags(choice 2^10, 2x2^9 cache, tag 6, h=9)");
+/// let _ = p.predict(0x400, 0x100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Yags {
+    /// Address-indexed bias table.
+    choice: CounterTable,
+    taken_cache: DirectionCache,
+    not_taken_cache: DirectionCache,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Yags {
+    /// Creates a YAGS predictor: a `2^choice_bits` bias PHT, two
+    /// `2^cache_bits` direction caches with `tag_bits`-bit tags, and
+    /// `cache_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag_bits` is 0 or greater than 8 (YAGS uses small
+    /// tags; the paper's point is that 6–8 bits suffice).
+    pub fn new(choice_bits: u32, cache_bits: u32, tag_bits: u32) -> Self {
+        assert!(
+            (1..=8).contains(&tag_bits),
+            "YAGS tags are 1..=8 bits, got {tag_bits}"
+        );
+        Yags {
+            choice: CounterTable::new(TableGeometry::new(0, choice_bits)),
+            taken_cache: DirectionCache::new(cache_bits, tag_bits, CounterState::WeakTaken),
+            not_taken_cache: DirectionCache::new(cache_bits, tag_bits, CounterState::WeakNotTaken),
+            history: 0,
+            history_bits: cache_bits,
+        }
+    }
+
+    fn bias(&self, pc: u64) -> Outcome {
+        self.choice.peek(0, pc >> 2)
+    }
+
+    fn masked_history(&self) -> u64 {
+        self.history & low_mask(self.history_bits)
+    }
+}
+
+impl BranchPredictor for Yags {
+    fn predict(&mut self, pc: u64, _target: u64) -> Outcome {
+        let all_taken = self.history_bits > 0
+            && self.masked_history() == low_mask(self.history_bits);
+        // The choice access is the instrumented one (it is the table
+        // every branch touches).
+        let bias = self.choice.access(0, pc >> 2, pc, all_taken);
+        // Exceptions to a taken bias live in the NT-cache and vice
+        // versa.
+        let exception = if bias.is_taken() {
+            self.not_taken_cache.lookup(pc, self.masked_history())
+        } else {
+            self.taken_cache.lookup(pc, self.masked_history())
+        };
+        exception.unwrap_or(bias)
+    }
+
+    fn update(&mut self, pc: u64, _target: u64, outcome: Outcome) {
+        let bias = self.bias(pc);
+        let history = self.masked_history();
+        let cache = if bias.is_taken() {
+            &mut self.not_taken_cache
+        } else {
+            &mut self.taken_cache
+        };
+        let hit = cache.train_hit(pc, history, outcome);
+        if !hit && outcome != bias {
+            // The bias failed and no exception entry existed: allocate.
+            cache.allocate(pc, history, outcome);
+        }
+        // The choice PHT trains unless the exception cache both hit
+        // and was right while the bias was wrong (keep the bias).
+        let keep_bias = hit && outcome != bias;
+        if !keep_bias {
+            self.choice.train(0, pc >> 2, outcome);
+        }
+        self.history = (self.history << 1) | outcome.as_bit();
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "yags(choice 2^{}, 2x2^{} cache, tag {}, h={})",
+            self.choice.geometry().col_bits(),
+            self.taken_cache.index_bits,
+            self.taken_cache.tag_bits,
+            self.history_bits
+        )
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.choice.state_bits()
+            + self.taken_cache.state_bits()
+            + self.not_taken_cache.state_bits()
+            + u64::from(self.history_bits)
+    }
+
+    fn alias_stats(&self) -> Option<AliasStats> {
+        Some(self.choice.alias_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step<P: BranchPredictor>(p: &mut P, pc: u64, outcome: Outcome) -> Outcome {
+        let predicted = p.predict(pc, 0x100);
+        p.update(pc, 0x100, outcome);
+        predicted
+    }
+
+    #[test]
+    fn biased_branches_never_touch_the_caches() {
+        let mut p = Yags::new(6, 6, 6);
+        let mut wrong = 0;
+        for i in 0..300u32 {
+            if step(&mut p, 0x40, Outcome::Taken) != Outcome::Taken && i > 2 {
+                wrong += 1;
+            }
+        }
+        assert_eq!(wrong, 0);
+        // No exception was ever allocated for an always-taken branch
+        // whose bias says taken.
+        assert!(p
+            .not_taken_cache
+            .entries
+            .iter()
+            .all(|e| e.tag == u16::MAX));
+    }
+
+    #[test]
+    fn exceptions_are_learned_per_history_pattern() {
+        // A branch that is taken except after two not-taken outcomes
+        // of a companion: the bias stays taken, and the exception
+        // pattern lands in the NT-cache.
+        let mut p = Yags::new(6, 6, 6);
+        let mut wrong = 0;
+        for i in 0..600u32 {
+            let phase = i % 4;
+            // Companion: N N T T; subject taken unless companion just
+            // produced two Ns.
+            let companion = Outcome::from(phase >= 2);
+            step(&mut p, 0x80, companion);
+            let subject = Outcome::from(phase != 1);
+            if step(&mut p, 0x40, subject) != subject && i > 50 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 30, "{wrong} late misses");
+    }
+
+    #[test]
+    fn opposed_aliased_branches_survive_via_tags() {
+        // Two branches with identical cache indices but different
+        // tags: the tags keep their exception entries apart.
+        let mut p = Yags::new(4, 4, 6);
+        let mut wrong = 0;
+        for i in 0..500u32 {
+            for (pc, out) in [(0x1000u64, Outcome::Taken), (0x1000 + (4 << 4), Outcome::NotTaken)]
+            {
+                if step(&mut p, pc, out) != out && i > 20 {
+                    wrong += 1;
+                }
+            }
+        }
+        assert!(wrong < 40, "{wrong} late misses");
+    }
+
+    #[test]
+    fn beats_gshare_under_heavy_aliasing() {
+        use crate::Gshare;
+        // Many opposite-biased branch pairs in a tiny table.
+        let mut yags = Yags::new(6, 6, 8);
+        let mut gshare = Gshare::new(6, 0);
+        let mut yags_wrong = 0u32;
+        let mut gshare_wrong = 0u32;
+        for i in 0..2_000u32 {
+            let k = u64::from(i % 16);
+            let pc = 0x1000 + 4 * k;
+            let out = Outcome::from(k % 2 == 0);
+            if step(&mut yags, pc, out) != out {
+                yags_wrong += 1;
+            }
+            if step(&mut gshare, pc, out) != out {
+                gshare_wrong += 1;
+            }
+        }
+        assert!(
+            yags_wrong <= gshare_wrong,
+            "yags {yags_wrong} vs gshare {gshare_wrong}"
+        );
+    }
+
+    #[test]
+    fn name_and_state_bits() {
+        let p = Yags::new(10, 9, 6);
+        assert_eq!(p.name(), "yags(choice 2^10, 2x2^9 cache, tag 6, h=9)");
+        // choice 2*2^10 + 2 caches * 2^9 * (2 + 6) + history 9
+        assert_eq!(p.state_bits(), 2 * 1024 + 2 * 512 * 8 + 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8 bits")]
+    fn oversized_tags_panic() {
+        let _ = Yags::new(8, 8, 12);
+    }
+}

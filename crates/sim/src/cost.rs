@@ -1,0 +1,158 @@
+//! A first-order performance model.
+//!
+//! The paper deliberately restricts itself to misprediction rates,
+//! citing the studies that map rate changes to performance
+//! (McFarling & Hennessy 1986; Calder, Grunwald & Emer 1995, §2).
+//! [`CpiModel`] implements the standard first-order mapping those
+//! studies use, so downstream users can translate any [`SimResult`]
+//! into cycles per instruction and speedups:
+//!
+//! ```text
+//! CPI = base_cpi + branch_frequency × misprediction_rate × penalty
+//! ```
+
+use crate::SimResult;
+
+/// First-order CPI model for branch-misprediction cost.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_sim::CpiModel;
+///
+/// // A 5-stage in-order pipeline: base CPI 1.0, one conditional
+/// // branch every ~7 instructions, 3-cycle flush.
+/// let model = CpiModel::new(1.0, 1.0 / 7.0, 3.0);
+/// let cpi = model.cpi(0.10);
+/// assert!((cpi - 1.0428).abs() < 1e-3);
+/// // A perfect predictor bounds the achievable speedup.
+/// assert!(model.speedup(0.10, 0.0) > 1.04);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiModel {
+    base_cpi: f64,
+    branch_frequency: f64,
+    penalty_cycles: f64,
+}
+
+impl CpiModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_cpi` or `penalty_cycles` is negative or
+    /// non-finite, or `branch_frequency` is outside `[0, 1]`.
+    pub fn new(base_cpi: f64, branch_frequency: f64, penalty_cycles: f64) -> Self {
+        assert!(
+            base_cpi.is_finite() && base_cpi > 0.0,
+            "base CPI must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&branch_frequency),
+            "branch frequency must be a fraction of instructions"
+        );
+        assert!(
+            penalty_cycles.is_finite() && penalty_cycles >= 0.0,
+            "penalty must be non-negative"
+        );
+        CpiModel {
+            base_cpi,
+            branch_frequency,
+            penalty_cycles,
+        }
+    }
+
+    /// A model of the paper's era: MIPS-like base CPI 1.0, the ~13–15%
+    /// conditional-branch density of Table 1, and a 4-cycle redirect.
+    pub fn mips_r2000_like() -> Self {
+        CpiModel::new(1.0, 0.14, 4.0)
+    }
+
+    /// A deep-pipeline model where prediction matters far more
+    /// (15-cycle flush, wide issue folded into the base CPI).
+    pub fn deep_pipeline() -> Self {
+        CpiModel::new(0.5, 0.14, 15.0)
+    }
+
+    /// Cycles per instruction at a given misprediction rate.
+    pub fn cpi(&self, misprediction_rate: f64) -> f64 {
+        self.base_cpi
+            + self.branch_frequency * misprediction_rate.clamp(0.0, 1.0) * self.penalty_cycles
+    }
+
+    /// CPI for a simulation result.
+    pub fn cpi_of(&self, result: &SimResult) -> f64 {
+        self.cpi(result.misprediction_rate())
+    }
+
+    /// Relative speedup when the misprediction rate improves from
+    /// `from_rate` to `to_rate` (> 1 when `to_rate` is better).
+    pub fn speedup(&self, from_rate: f64, to_rate: f64) -> f64 {
+        self.cpi(from_rate) / self.cpi(to_rate)
+    }
+
+    /// Fraction of all cycles spent on misprediction recovery at the
+    /// given rate.
+    pub fn misprediction_cycle_share(&self, misprediction_rate: f64) -> f64 {
+        let waste = self.branch_frequency * misprediction_rate.clamp(0.0, 1.0) * self.penalty_cycles;
+        waste / self.cpi(misprediction_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_is_affine_in_rate() {
+        let m = CpiModel::new(1.0, 0.2, 5.0);
+        assert_eq!(m.cpi(0.0), 1.0);
+        assert!((m.cpi(0.1) - 1.1).abs() < 1e-12);
+        assert!((m.cpi(0.2) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_is_clamped() {
+        let m = CpiModel::new(1.0, 0.2, 5.0);
+        assert_eq!(m.cpi(-0.5), m.cpi(0.0));
+        assert_eq!(m.cpi(1.5), m.cpi(1.0));
+    }
+
+    #[test]
+    fn speedup_orientation() {
+        let m = CpiModel::mips_r2000_like();
+        assert!(m.speedup(0.10, 0.05) > 1.0);
+        assert!(m.speedup(0.05, 0.10) < 1.0);
+        assert_eq!(m.speedup(0.07, 0.07), 1.0);
+    }
+
+    #[test]
+    fn deep_pipelines_amplify_prediction_gains() {
+        let shallow = CpiModel::mips_r2000_like();
+        let deep = CpiModel::deep_pipeline();
+        let shallow_gain = shallow.speedup(0.10, 0.02);
+        let deep_gain = deep.speedup(0.10, 0.02);
+        assert!(deep_gain > shallow_gain);
+    }
+
+    #[test]
+    fn cycle_share_is_a_fraction() {
+        let m = CpiModel::deep_pipeline();
+        let share = m.misprediction_cycle_share(0.08);
+        assert!((0.0..1.0).contains(&share));
+        assert!(share > 0.2, "deep pipeline at 8% misprediction wastes a lot: {share}");
+        assert_eq!(m.misprediction_cycle_share(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "branch frequency")]
+    fn absurd_branch_frequency_panics() {
+        let _ = CpiModel::new(1.0, 1.5, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base CPI")]
+    fn non_positive_base_cpi_panics() {
+        let _ = CpiModel::new(0.0, 0.1, 3.0);
+    }
+}

@@ -1,0 +1,594 @@
+//! Drivers for every table and figure of the paper's evaluation.
+//!
+//! Each function regenerates the data behind one exhibit of Sechrest,
+//! Lee & Mudge (ISCA 1996) on the synthetic workload models. The
+//! `bpred-bench` binaries are thin wrappers that call these and print
+//! the result; tests call them with reduced trace lengths.
+
+use bpred_core::PredictorConfig;
+use bpred_trace::stats::TraceStats;
+use bpred_trace::Trace;
+use bpred_workloads::{suite, WorkloadModel};
+
+use crate::report::{percent, TextTable};
+use crate::{run_configs, SimResult, Simulator, Surface};
+
+/// Common knobs shared by all experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOptions {
+    /// Override the per-model default trace length (conditional
+    /// branches), e.g. for quick runs.
+    pub branches: Option<usize>,
+    /// Trace generation seed.
+    pub seed: u64,
+    /// Smallest tier, as log2 of the counter count (paper: 4, i.e. 16
+    /// counters).
+    pub min_bits: u32,
+    /// Largest tier (paper: 15, i.e. 32,768 counters).
+    pub max_bits: u32,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            branches: None,
+            seed: 1996,
+            min_bits: 4,
+            max_bits: 15,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Quick variant used by tests: short traces, tiers 4..=8.
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            branches: Some(30_000),
+            min_bits: 4,
+            max_bits: 8,
+            ..ExperimentOptions::default()
+        }
+    }
+
+    /// Generates the trace for `model` under these options.
+    pub fn trace(&self, model: &WorkloadModel) -> Trace {
+        match self.branches {
+            Some(n) => model.trace_of_length(self.seed, n),
+            None => model.trace(self.seed),
+        }
+    }
+}
+
+// ------------------------------------------------------------- Tables 1 & 2
+
+/// Table 1: benchmark characterization, paper's published trace
+/// numbers beside the synthetic model's measured statistics.
+pub fn table1(opts: &ExperimentOptions) -> TextTable {
+    let mut table = TextTable::new(
+        [
+            "benchmark",
+            "paper dyn-instr",
+            "paper dyn-cond",
+            "paper static",
+            "paper 90%",
+            "model dyn-cond",
+            "model static",
+            "model 90%",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for model in suite::all() {
+        let stats = TraceStats::measure(&opts.trace(&model));
+        let paper = model.paper_reference();
+        table.push_row(vec![
+            model.name().to_owned(),
+            paper.dynamic_instructions.to_string(),
+            paper.dynamic_conditionals.to_string(),
+            paper.static_conditionals.to_string(),
+            paper.static_for_90.to_string(),
+            stats.dynamic_conditionals.to_string(),
+            stats.static_conditionals.to_string(),
+            stats.static_for_90.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Table 2: branch execution-frequency buckets for the three focus
+/// benchmarks, paper beside model.
+pub fn table2(opts: &ExperimentOptions) -> TextTable {
+    let mut table = TextTable::new(
+        [
+            "benchmark",
+            "paper 50%",
+            "paper 40%",
+            "paper 9%",
+            "paper 1%",
+            "model 50%",
+            "model 40%",
+            "model 9%",
+            "model 1%",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for model in suite::focus() {
+        let stats = TraceStats::measure(&opts.trace(&model));
+        let measured = stats.coverage;
+        let paper = model
+            .paper_reference()
+            .table2
+            .expect("focus benchmarks have Table 2 data");
+        table.push_row(vec![
+            model.name().to_owned(),
+            paper.first_50.to_string(),
+            paper.next_40.to_string(),
+            paper.next_9.to_string(),
+            paper.last_1.to_string(),
+            measured.first_50.to_string(),
+            measured.next_40.to_string(),
+            measured.next_9.to_string(),
+            measured.last_1.to_string(),
+        ]);
+    }
+    table
+}
+
+// ------------------------------------------------------------ Figures 2 & 3
+
+/// One benchmark's misprediction-rate series over table sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeSeries {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(log2 counters, result)` in increasing size order.
+    pub points: Vec<(u32, SimResult)>,
+}
+
+fn size_sweep(
+    opts: &ExperimentOptions,
+    models: &[WorkloadModel],
+    make: impl Fn(u32) -> PredictorConfig,
+) -> Vec<SizeSeries> {
+    let sizes: Vec<u32> = (opts.min_bits..=opts.max_bits).collect();
+    let configs: Vec<PredictorConfig> = sizes.iter().map(|&n| make(n)).collect();
+    models
+        .iter()
+        .map(|model| {
+            let trace = opts.trace(model);
+            let results = run_configs(&configs, &trace, Simulator::new());
+            SizeSeries {
+                benchmark: model.name().to_owned(),
+                points: sizes.iter().copied().zip(results).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 2: address-indexed predictors over all fourteen benchmarks,
+/// table sizes `2^min_bits ..= 2^max_bits`.
+pub fn fig2(opts: &ExperimentOptions) -> Vec<SizeSeries> {
+    size_sweep(opts, &suite::all(), |n| PredictorConfig::AddressIndexed {
+        addr_bits: n,
+    })
+}
+
+/// Figure 3: GAg over all fourteen benchmarks.
+pub fn fig3(opts: &ExperimentOptions) -> Vec<SizeSeries> {
+    size_sweep(opts, &suite::all(), |n| PredictorConfig::Gas {
+        history_bits: n,
+        col_bits: 0,
+    })
+}
+
+/// Renders Figure 2/3-style series as a table: one row per benchmark,
+/// one column per size.
+pub fn render_size_series(series: &[SizeSeries]) -> TextTable {
+    let mut headers = vec!["benchmark".to_owned()];
+    if let Some(first) = series.first() {
+        headers.extend(first.points.iter().map(|(n, _)| format!("2^{n}")));
+    }
+    let mut table = TextTable::new(headers);
+    for s in series {
+        let mut row = vec![s.benchmark.clone()];
+        row.extend(
+            s.points
+                .iter()
+                .map(|(_, r)| percent(r.misprediction_rate())),
+        );
+        table.push_row(row);
+    }
+    table
+}
+
+// --------------------------------------------------------- Figures 4 — 10
+
+/// Figure 4 (and the misprediction layer of Figure 5): GAs surfaces
+/// for the three focus benchmarks.
+pub fn fig4(opts: &ExperimentOptions) -> Vec<Surface> {
+    scheme_surfaces(opts, "GAs", |r, c| PredictorConfig::Gas {
+        history_bits: r,
+        col_bits: c,
+    })
+}
+
+/// Figure 6: gshare surfaces for the three focus benchmarks.
+pub fn fig6(opts: &ExperimentOptions) -> Vec<Surface> {
+    scheme_surfaces(opts, "gshare", |r, c| PredictorConfig::Gshare {
+        history_bits: r,
+        col_bits: c,
+    })
+}
+
+/// Figure 9: PAs surfaces with perfect first-level history for the
+/// three focus benchmarks.
+pub fn fig9(opts: &ExperimentOptions) -> Vec<Surface> {
+    scheme_surfaces(opts, "PAs(inf)", |r, c| PredictorConfig::PasInfinite {
+        history_bits: r,
+        col_bits: c,
+    })
+}
+
+/// Sweeps one scheme over the three focus benchmarks.
+pub fn scheme_surfaces(
+    opts: &ExperimentOptions,
+    scheme: &str,
+    make: impl Fn(u32, u32) -> PredictorConfig + Copy,
+) -> Vec<Surface> {
+    suite::focus()
+        .iter()
+        .map(|model| {
+            let trace = opts.trace(model);
+            Surface::sweep(
+                scheme,
+                model.name(),
+                opts.min_bits..=opts.max_bits,
+                &trace,
+                Simulator::new(),
+                make,
+            )
+        })
+        .collect()
+}
+
+/// Sweeps one scheme on one named benchmark.
+pub fn scheme_surface_on(
+    opts: &ExperimentOptions,
+    scheme: &str,
+    benchmark: &str,
+    make: impl Fn(u32, u32) -> PredictorConfig,
+) -> Surface {
+    let model = suite::by_name(benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {benchmark:?}"));
+    let trace = opts.trace(&model);
+    Surface::sweep(
+        scheme,
+        benchmark,
+        opts.min_bits..=opts.max_bits,
+        &trace,
+        Simulator::new(),
+        make,
+    )
+}
+
+/// Figure 7: point-wise `gshare − GAs` misprediction difference on
+/// mpeg_play. Positive values mean gshare predicted *better* (its rate
+/// was lower), matching the paper's orientation.
+pub fn fig7(opts: &ExperimentOptions) -> Vec<(u32, u32, f64)> {
+    let gas = scheme_surface_on(opts, "GAs", "mpeg_play", |r, c| PredictorConfig::Gas {
+        history_bits: r,
+        col_bits: c,
+    });
+    let gshare = scheme_surface_on(opts, "gshare", "mpeg_play", |r, c| {
+        PredictorConfig::Gshare {
+            history_bits: r,
+            col_bits: c,
+        }
+    });
+    // gas.rate - gshare.rate: positive = gshare superior.
+    gas.difference(&gshare)
+}
+
+/// Figure 8: point-wise `path − GAs` difference on mpeg_play.
+/// Positive values mean the path scheme predicted better.
+pub fn fig8(opts: &ExperimentOptions) -> Vec<(u32, u32, f64)> {
+    let gas = scheme_surface_on(opts, "GAs", "mpeg_play", |r, c| PredictorConfig::Gas {
+        history_bits: r,
+        col_bits: c,
+    });
+    let path = scheme_surface_on(opts, "path", "mpeg_play", |r, c| PredictorConfig::Path {
+        row_bits: r,
+        col_bits: c,
+        bits_per_target: 2,
+    });
+    gas.difference(&path)
+}
+
+/// Renders a difference grid (Figures 7–8) as a table: one row per
+/// tier, columns from address-indexed to single-column, values in
+/// percentage points.
+pub fn render_difference(diff: &[(u32, u32, f64)]) -> TextTable {
+    let mut tiers: Vec<u32> = diff.iter().map(|&(r, c, _)| r + c).collect();
+    tiers.sort_unstable();
+    tiers.dedup();
+    let max_total = tiers.last().copied().unwrap_or(0);
+    let mut headers = vec!["counters".to_owned()];
+    headers.extend((0..=max_total).map(|i| format!("c={}", max_total - i)));
+    let mut table = TextTable::new(headers);
+    for &total in &tiers {
+        let mut row = vec![format!("2^{total}")];
+        for col in (0..=total).rev() {
+            let cell = diff
+                .iter()
+                .find(|&&(r, c, _)| r + c == total && c == col)
+                .map(|&(_, _, d)| format!("{:+.2}", 100.0 * d))
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 10: PAs surfaces on mpeg_play with finite 4-way first-level
+/// tables of the given entry counts (paper: 128, 1024, 2048).
+pub fn fig10(opts: &ExperimentOptions, entries: &[usize]) -> Vec<Surface> {
+    entries
+        .iter()
+        .map(|&e| {
+            scheme_surface_on(opts, &format!("PAs({e}x4)"), "mpeg_play", |r, c| {
+                PredictorConfig::PasFinite {
+                    history_bits: r,
+                    col_bits: c,
+                    entries: e as u32,
+                    ways: 4,
+                }
+            })
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Table 3
+
+/// The schemes compared in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table3Scheme {
+    /// GAs at every split.
+    Gas,
+    /// gshare at every split.
+    Gshare,
+    /// PAs with unbounded first level.
+    PasInfinite,
+    /// PAs with a finite 4-way first level of the given entry count.
+    PasFinite(usize),
+}
+
+impl Table3Scheme {
+    /// The paper's row label.
+    pub fn label(self) -> String {
+        match self {
+            Table3Scheme::Gas => "GAs".to_owned(),
+            Table3Scheme::Gshare => "gshare".to_owned(),
+            Table3Scheme::PasInfinite => "PAs(inf)".to_owned(),
+            Table3Scheme::PasFinite(e) => format!("PAs({e})"),
+        }
+    }
+
+    fn config(self, row_bits: u32, col_bits: u32) -> PredictorConfig {
+        match self {
+            Table3Scheme::Gas => PredictorConfig::Gas {
+                history_bits: row_bits,
+                col_bits,
+            },
+            Table3Scheme::Gshare => PredictorConfig::Gshare {
+                history_bits: row_bits,
+                col_bits,
+            },
+            Table3Scheme::PasInfinite => PredictorConfig::PasInfinite {
+                history_bits: row_bits,
+                col_bits,
+            },
+            Table3Scheme::PasFinite(entries) => PredictorConfig::PasFinite {
+                history_bits: row_bits,
+                col_bits,
+                entries: entries as u32,
+                ways: 4,
+            },
+        }
+    }
+
+    /// The default scheme list (the paper's rows).
+    pub fn all() -> Vec<Table3Scheme> {
+        vec![
+            Table3Scheme::Gas,
+            Table3Scheme::Gshare,
+            Table3Scheme::PasInfinite,
+            Table3Scheme::PasFinite(2048),
+            Table3Scheme::PasFinite(1024),
+            Table3Scheme::PasFinite(128),
+        ]
+    }
+}
+
+/// One Table 3 entry: the best configuration of a scheme at a fixed
+/// counter budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestConfig {
+    /// Row bits of the winning split.
+    pub row_bits: u32,
+    /// Column bits of the winning split.
+    pub col_bits: u32,
+    /// The winning run.
+    pub result: SimResult,
+}
+
+/// Finds the best split of `scheme` at `2^total_bits` counters on a
+/// trace.
+pub fn best_config(
+    scheme: Table3Scheme,
+    total_bits: u32,
+    trace: &Trace,
+) -> BestConfig {
+    let shapes: Vec<(u32, u32)> = (0..=total_bits)
+        .rev()
+        .map(|c| (total_bits - c, c))
+        .collect();
+    let configs: Vec<PredictorConfig> =
+        shapes.iter().map(|&(r, c)| scheme.config(r, c)).collect();
+    let results = run_configs(&configs, trace, Simulator::new());
+    let (shape, result) = shapes
+        .into_iter()
+        .zip(results)
+        .min_by(|(_, a), (_, b)| {
+            a.misprediction_rate()
+                .partial_cmp(&b.misprediction_rate())
+                .expect("rates are never NaN")
+        })
+        .expect("at least one shape");
+    BestConfig {
+        row_bits: shape.0,
+        col_bits: shape.1,
+        result,
+    }
+}
+
+/// Table 3: best configuration and misprediction rate for each scheme
+/// at each counter budget (paper: 512, 4096, 32768 ⇒ `total_bits` of
+/// 9, 12, 15), for the three focus benchmarks. PAs rows include the
+/// first-level miss rate.
+pub fn table3(opts: &ExperimentOptions, budgets: &[u32], schemes: &[Table3Scheme]) -> TextTable {
+    let mut headers = vec!["benchmark".to_owned(), "predictor".to_owned(), "L1 miss".to_owned()];
+    headers.extend(budgets.iter().map(|b| format!("{} counters", 1u64 << b)));
+    let mut table = TextTable::new(headers);
+
+    for model in suite::focus() {
+        let trace = opts.trace(&model);
+        for &scheme in schemes {
+            let mut row = vec![model.name().to_owned(), scheme.label(), String::new()];
+            let mut miss_rate: Option<f64> = None;
+            for &bits in budgets {
+                let best = best_config(scheme, bits, &trace);
+                if best.result.bht.is_some() && matches!(scheme, Table3Scheme::PasFinite(_)) {
+                    miss_rate = Some(best.result.bht_miss_rate());
+                }
+                row.push(format!(
+                    "2^{} x 2^{} ({})",
+                    best.row_bits,
+                    best.col_bits,
+                    percent(best.result.misprediction_rate())
+                ));
+            }
+            row[2] = miss_rate.map(percent).unwrap_or_else(|| "-".to_owned());
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentOptions {
+        ExperimentOptions {
+            branches: Some(4_000),
+            seed: 7,
+            min_bits: 4,
+            max_bits: 6,
+        }
+    }
+
+    #[test]
+    fn table1_covers_all_benchmarks() {
+        let opts = ExperimentOptions {
+            branches: Some(2_000),
+            ..tiny()
+        };
+        let t = table1(&opts);
+        assert_eq!(t.len(), 14);
+        let text = t.render();
+        assert!(text.contains("espresso"));
+        assert!(text.contains("video_play"));
+    }
+
+    #[test]
+    fn table2_covers_focus_benchmarks() {
+        let t = table2(&tiny());
+        assert_eq!(t.len(), 3);
+        assert!(t.render().contains("real_gcc"));
+    }
+
+    #[test]
+    fn fig2_series_shapes() {
+        let opts = ExperimentOptions {
+            branches: Some(1_000),
+            ..tiny()
+        };
+        let series = fig2(&opts);
+        assert_eq!(series.len(), 14);
+        for s in &series {
+            assert_eq!(s.points.len(), 3); // 4..=6
+        }
+        let rendered = render_size_series(&series);
+        assert_eq!(rendered.len(), 14);
+    }
+
+    #[test]
+    fn fig4_produces_three_surfaces() {
+        let surfaces = fig4(&tiny());
+        assert_eq!(surfaces.len(), 3);
+        assert_eq!(surfaces[0].workload, "espresso");
+        assert_eq!(surfaces[0].tiers.len(), 3);
+    }
+
+    #[test]
+    fn fig7_grid_covers_all_shapes() {
+        let diff = fig7(&tiny());
+        // Tiers 4..=6: 5 + 6 + 7 points.
+        assert_eq!(diff.len(), 18);
+        let rendered = render_difference(&diff);
+        assert_eq!(rendered.len(), 3);
+    }
+
+    #[test]
+    fn fig10_labels_bht_sizes() {
+        let surfaces = fig10(&tiny(), &[128, 1024]);
+        assert_eq!(surfaces.len(), 2);
+        assert_eq!(surfaces[0].scheme, "PAs(128x4)");
+        // The bigger first level can only help.
+        let small = surfaces[0].tier(6).unwrap().best().rate();
+        let large = surfaces[1].tier(6).unwrap().best().rate();
+        assert!(large <= small + 0.02, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn best_config_is_min_over_splits() {
+        let model = suite::espresso().scaled(4_000);
+        let trace = model.trace(1);
+        let best = best_config(Table3Scheme::Gshare, 6, &trace);
+        assert_eq!(best.row_bits + best.col_bits, 6);
+        // Exhaustive check against a manual sweep.
+        for c in 0..=6u32 {
+            let r = run_configs(
+                &[PredictorConfig::Gshare {
+                    history_bits: 6 - c,
+                    col_bits: c,
+                }],
+                &trace,
+                Simulator::new(),
+            );
+            assert!(best.result.misprediction_rate() <= r[0].misprediction_rate() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn table3_has_rows_per_benchmark_and_scheme() {
+        let schemes = [Table3Scheme::Gas, Table3Scheme::PasFinite(128)];
+        let t = table3(&tiny(), &[5], &schemes);
+        assert_eq!(t.len(), 6); // 3 benchmarks x 2 schemes
+        let text = t.render();
+        assert!(text.contains("PAs(128)"));
+        assert!(text.contains("32 counters"));
+    }
+}

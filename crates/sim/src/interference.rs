@@ -1,0 +1,235 @@
+//! Interference classification.
+//!
+//! The paper's aliasing metric counts *conflicting accesses*; its
+//! related work (Talcott, Nemirovsky & Wood 1995) goes further and
+//! asks whether each conflict actually changed the outcome. This
+//! module implements that refinement: every prediction is classified
+//! by (conflicting?, correct?), so destructive interference — the
+//! quantity the paper argues "can easily drown the benefits of
+//! correlation" — is measured directly instead of being inferred from
+//! rate differences.
+
+use bpred_core::BranchPredictor;
+use bpred_trace::Trace;
+
+use crate::report::{percent, TextTable};
+
+/// Predictions cross-classified by counter-conflict and correctness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterferenceStats {
+    /// Correct predictions from counters last touched by the same
+    /// branch.
+    pub clean_correct: u64,
+    /// Incorrect predictions without a conflict (training error,
+    /// inherent unpredictability).
+    pub clean_incorrect: u64,
+    /// Correct predictions despite a conflict (neutral or
+    /// constructive interference).
+    pub conflict_correct: u64,
+    /// Incorrect predictions under a conflict (at most this much of
+    /// the error is attributable to destructive interference).
+    pub conflict_incorrect: u64,
+}
+
+impl InterferenceStats {
+    /// Total classified predictions.
+    pub fn total(&self) -> u64 {
+        self.clean_correct + self.clean_incorrect + self.conflict_correct + self.conflict_incorrect
+    }
+
+    /// Misprediction rate among conflicting accesses.
+    pub fn conflict_miss_rate(&self) -> f64 {
+        ratio(
+            self.conflict_incorrect,
+            self.conflict_correct + self.conflict_incorrect,
+        )
+    }
+
+    /// Misprediction rate among clean accesses.
+    pub fn clean_miss_rate(&self) -> f64 {
+        ratio(
+            self.clean_incorrect,
+            self.clean_correct + self.clean_incorrect,
+        )
+    }
+
+    /// Share of all mispredictions that occurred under a conflict —
+    /// an upper bound on the error attributable to interference.
+    pub fn misses_under_conflict(&self) -> f64 {
+        ratio(
+            self.conflict_incorrect,
+            self.clean_incorrect + self.conflict_incorrect,
+        )
+    }
+
+    /// Excess misprediction rate of conflicting over clean accesses —
+    /// a lower-bound estimate of destructive interference per access.
+    pub fn destructive_excess(&self) -> f64 {
+        self.conflict_miss_rate() - self.clean_miss_rate()
+    }
+
+    /// Renders the two-by-two classification.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            ["access kind", "predictions", "miss rate"]
+                .map(str::to_owned)
+                .to_vec(),
+        );
+        t.push_row(vec![
+            "clean".to_owned(),
+            (self.clean_correct + self.clean_incorrect).to_string(),
+            percent(self.clean_miss_rate()),
+        ]);
+        t.push_row(vec![
+            "conflicting".to_owned(),
+            (self.conflict_correct + self.conflict_incorrect).to_string(),
+            percent(self.conflict_miss_rate()),
+        ]);
+        t
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Replays `trace`, classifying each prediction by whether its table
+/// access conflicted (detected through the predictor's own
+/// [`alias_stats`](BranchPredictor::alias_stats) delta) and whether it
+/// was correct.
+///
+/// Predictors without aliasing instrumentation classify every access
+/// as clean.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::AddressIndexed;
+/// use bpred_sim::interference;
+/// use bpred_trace::{BranchRecord, Outcome, Trace};
+///
+/// // Two opposed branches share the single counter of a 1-entry table.
+/// let trace: Trace = (0..100)
+///     .flat_map(|_| {
+///         [
+///             BranchRecord::conditional(0x40, 0x20, Outcome::Taken),
+///             BranchRecord::conditional(0x44, 0x20, Outcome::NotTaken),
+///         ]
+///     })
+///     .collect();
+/// let stats = interference::classify(&mut AddressIndexed::new(0), &trace);
+/// assert!(stats.conflict_miss_rate() > 0.45); // the losing branch thrashes
+/// ```
+pub fn classify<P: BranchPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+) -> InterferenceStats {
+    let mut stats = InterferenceStats::default();
+    let mut conflicts_seen = predictor
+        .alias_stats()
+        .map(|a| a.conflicts)
+        .unwrap_or_default();
+
+    for record in trace.iter() {
+        if !record.is_conditional() {
+            predictor.note_control_transfer(record);
+            continue;
+        }
+        let predicted = predictor.predict(record.pc, record.target);
+        let conflicts_now = predictor
+            .alias_stats()
+            .map(|a| a.conflicts)
+            .unwrap_or_default();
+        let conflicted = conflicts_now > conflicts_seen;
+        conflicts_seen = conflicts_now;
+        let correct = predicted == record.outcome;
+        match (conflicted, correct) {
+            (false, true) => stats.clean_correct += 1,
+            (false, false) => stats.clean_incorrect += 1,
+            (true, true) => stats.conflict_correct += 1,
+            (true, false) => stats.conflict_incorrect += 1,
+        }
+        predictor.update(record.pc, record.target, record.outcome);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_core::{AddressIndexed, AlwaysTaken, Gas};
+    use bpred_trace::{BranchRecord, Outcome};
+
+    fn opposed_pair(n: usize) -> Trace {
+        (0..n)
+            .flat_map(|_| {
+                [
+                    BranchRecord::conditional(0x40, 0x20, Outcome::Taken),
+                    BranchRecord::conditional(0x44, 0x20, Outcome::NotTaken),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_partition_all_predictions() {
+        let trace = opposed_pair(200);
+        let stats = classify(&mut Gas::new(4, 2), &trace);
+        assert_eq!(stats.total(), 400);
+    }
+
+    #[test]
+    fn thrashing_shows_up_as_destructive_interference() {
+        let trace = opposed_pair(200);
+        // One counter: every access after the first conflicts, and the
+        // opposed directions thrash it.
+        let stats = classify(&mut AddressIndexed::new(0), &trace);
+        // The weaker branch loses every time: half of all conflicting
+        // accesses mispredict, and essentially all misses happen under
+        // conflict.
+        assert!(stats.conflict_miss_rate() > 0.45, "{stats:?}");
+        assert!(stats.destructive_excess() > 0.4, "{stats:?}");
+        assert!(stats.misses_under_conflict() > 0.95, "{stats:?}");
+    }
+
+    #[test]
+    fn separated_branches_have_clean_accesses() {
+        let trace = opposed_pair(200);
+        // Two counters: no sharing, no conflicts, near-perfect.
+        let stats = classify(&mut AddressIndexed::new(1), &trace);
+        assert_eq!(stats.conflict_correct + stats.conflict_incorrect, 0);
+        assert!(stats.clean_miss_rate() < 0.02, "{stats:?}");
+    }
+
+    #[test]
+    fn uninstrumented_predictors_classify_as_clean() {
+        let trace = opposed_pair(50);
+        let stats = classify(&mut AlwaysTaken, &trace);
+        assert_eq!(stats.conflict_correct + stats.conflict_incorrect, 0);
+        assert_eq!(stats.clean_incorrect, 50);
+    }
+
+    #[test]
+    fn aggregate_matches_plain_simulation() {
+        let trace = opposed_pair(150);
+        let stats = classify(&mut Gas::new(3, 1), &trace);
+        let result = crate::Simulator::new().run(&mut Gas::new(3, 1), &trace);
+        assert_eq!(
+            stats.clean_incorrect + stats.conflict_incorrect,
+            result.mispredictions
+        );
+    }
+
+    #[test]
+    fn table_renders_both_rows() {
+        let trace = opposed_pair(50);
+        let stats = classify(&mut AddressIndexed::new(0), &trace);
+        let text = stats.table().render();
+        assert!(text.contains("clean"));
+        assert!(text.contains("conflicting"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Trace-driven branch-prediction simulation: engine, parallel
+//! configuration sweeps, design-space surfaces, report formatting, and
+//! the experiment drivers that regenerate every table and figure of
+//! Sechrest, Lee & Mudge (ISCA 1996).
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_core::{Gas, Gshare};
+//! use bpred_sim::Simulator;
+//! use bpred_workloads::suite;
+//!
+//! let trace = suite::mpeg_play().scaled(20_000).trace(1);
+//! let sim = Simulator::new();
+//! let gas = sim.run(&mut Gas::new(6, 4), &trace);
+//! let gshare = sim.run(&mut Gshare::new(6, 4), &trace);
+//! println!("{gas}\n{gshare}");
+//! assert!(gas.conditionals == 20_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod engine;
+pub mod experiments;
+pub mod interference;
+mod profiled;
+pub mod ranking;
+mod replicate;
+pub mod report;
+mod surface;
+mod sweep;
+
+pub use cost::CpiModel;
+pub use engine::{SimResult, Simulator};
+pub use interference::InterferenceStats;
+pub use profiled::{BranchOutcomeCounts, ProfiledRun};
+pub use replicate::{replicate, Replication};
+pub use report::TextTable;
+pub use surface::{Surface, SurfacePoint, Tier};
+pub use sweep::{run_config, run_configs};

@@ -1,0 +1,186 @@
+//! Ranking agreement between workloads.
+//!
+//! The substitution argument in DESIGN.md rests on a claim: predictor
+//! *rankings* transfer between the real traces and the synthetic
+//! models even though absolute rates do not. This module gives that
+//! claim a number. [`rank_schemes`] orders a set of configurations by
+//! misprediction rate on one trace; [`kendall_tau`] measures how well
+//! two such orderings agree (1 = identical order, −1 = reversed,
+//! 0 = unrelated).
+
+use bpred_core::PredictorConfig;
+use bpred_trace::Trace;
+
+use crate::{run_configs, SimResult, Simulator};
+
+/// One entry of a scheme ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedScheme {
+    /// The configuration.
+    pub config: PredictorConfig,
+    /// Its simulation result on the ranking's trace.
+    pub result: SimResult,
+}
+
+/// Simulates every configuration on `trace` and returns them ordered
+/// best (lowest misprediction) first.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::PredictorConfig;
+/// use bpred_sim::ranking::rank_schemes;
+/// use bpred_trace::{BranchRecord, Outcome, Trace};
+///
+/// let trace: Trace = (0..500)
+///     .map(|i| BranchRecord::conditional(0x40 + 4 * (i % 8), 0x20, Outcome::from(i % 9 != 0)))
+///     .collect();
+/// let ranking = rank_schemes(
+///     &[
+///         PredictorConfig::AlwaysNotTaken,
+///         PredictorConfig::AddressIndexed { addr_bits: 6 },
+///     ],
+///     &trace,
+/// );
+/// // The table predictor must outrank always-not-taken on a
+/// // mostly-taken stream.
+/// assert!(matches!(ranking[0].config, PredictorConfig::AddressIndexed { .. }));
+/// ```
+pub fn rank_schemes(configs: &[PredictorConfig], trace: &Trace) -> Vec<RankedScheme> {
+    let results = run_configs(configs, trace, Simulator::new());
+    let mut ranked: Vec<RankedScheme> = configs
+        .iter()
+        .copied()
+        .zip(results)
+        .map(|(config, result)| RankedScheme { config, result })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.result
+            .misprediction_rate()
+            .partial_cmp(&b.result.misprediction_rate())
+            .expect("rates are never NaN")
+    });
+    ranked
+}
+
+/// Kendall's τ between two rankings of the same configurations.
+///
+/// Both slices must contain exactly the same configurations (in any
+/// order). Returns τ in `[-1, 1]`; with fewer than two items, τ = 1.
+///
+/// # Panics
+///
+/// Panics if the rankings do not cover the same configuration set.
+pub fn kendall_tau(a: &[RankedScheme], b: &[RankedScheme]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rankings must cover the same schemes");
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Position of each config in ranking b.
+    let position_in_b = |config: &PredictorConfig| -> usize {
+        b.iter()
+            .position(|r| &r.config == config)
+            .expect("rankings must cover the same schemes")
+    };
+    let order: Vec<usize> = a.iter().map(|r| position_in_b(&r.config)).collect();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            if order[i] < order[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (concordant + discordant) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::{BranchRecord, Outcome};
+
+    fn configs() -> Vec<PredictorConfig> {
+        vec![
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::AddressIndexed { addr_bits: 6 },
+            PredictorConfig::Gshare {
+                history_bits: 6,
+                col_bits: 2,
+            },
+            PredictorConfig::PasInfinite {
+                history_bits: 6,
+                col_bits: 0,
+            },
+        ]
+    }
+
+    fn trace(seed: u64) -> Trace {
+        (0..3_000u64)
+            .map(|i| {
+                let k = (i + seed) % 17;
+                BranchRecord::conditional(
+                    0x400 + 4 * k,
+                    0x100,
+                    Outcome::from((i + seed) % (k + 2) != 0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_rate() {
+        let ranked = rank_schemes(&configs(), &trace(0));
+        for w in ranked.windows(2) {
+            assert!(
+                w[0].result.misprediction_rate() <= w[1].result.misprediction_rate()
+            );
+        }
+        assert_eq!(ranked.len(), 4);
+    }
+
+    #[test]
+    fn tau_of_identical_rankings_is_one() {
+        let ranked = rank_schemes(&configs(), &trace(0));
+        assert_eq!(kendall_tau(&ranked, &ranked), 1.0);
+    }
+
+    #[test]
+    fn tau_of_reversed_ranking_is_minus_one() {
+        let ranked = rank_schemes(&configs(), &trace(0));
+        let mut reversed = ranked.clone();
+        reversed.reverse();
+        assert_eq!(kendall_tau(&ranked, &reversed), -1.0);
+    }
+
+    #[test]
+    fn tau_is_symmetric() {
+        let a = rank_schemes(&configs(), &trace(0));
+        let b = rank_schemes(&configs(), &trace(5));
+        assert_eq!(kendall_tau(&a, &b), kendall_tau(&b, &a));
+    }
+
+    #[test]
+    fn similar_traces_rank_similarly() {
+        let a = rank_schemes(&configs(), &trace(1));
+        let b = rank_schemes(&configs(), &trace(2));
+        assert!(kendall_tau(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn single_scheme_tau_is_one() {
+        let one = rank_schemes(&configs()[..1], &trace(0));
+        assert_eq!(kendall_tau(&one, &one), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same schemes")]
+    fn mismatched_rankings_panic() {
+        let a = rank_schemes(&configs(), &trace(0));
+        let b = rank_schemes(&configs()[..2], &trace(0));
+        let _ = kendall_tau(&a, &b);
+    }
+}

@@ -1,0 +1,171 @@
+//! Seed replication: error bars for synthetic-workload experiments.
+//!
+//! The paper measured fixed traces, so its numbers carry no sampling
+//! error; ours come from seeded generators, so any comparison should
+//! know how much a number moves across seeds. [`replicate`] runs one
+//! configuration over several independently seeded traces of a model
+//! and summarises the misprediction rate's distribution.
+
+use bpred_core::PredictorConfig;
+use bpred_workloads::WorkloadModel;
+
+use crate::{run_config, Simulator};
+
+/// Summary of a replicated measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replication {
+    /// Per-seed misprediction rates, in seed order.
+    pub rates: Vec<f64>,
+}
+
+impl Replication {
+    /// Number of replicates.
+    pub fn runs(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Mean misprediction rate.
+    pub fn mean(&self) -> f64 {
+        self.rates.iter().sum::<f64>() / self.rates.len() as f64
+    }
+
+    /// Sample standard deviation (0 for a single run).
+    pub fn std_dev(&self) -> f64 {
+        if self.rates.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .rates
+            .iter()
+            .map(|r| (r - mean).powi(2))
+            .sum::<f64>()
+            / (self.rates.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest observed rate.
+    pub fn min(&self) -> f64 {
+        self.rates.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest observed rate.
+    pub fn max(&self) -> f64 {
+        self.rates.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Half-width of a ~95% normal confidence interval on the mean.
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.std_dev() / (self.rates.len() as f64).sqrt()
+    }
+}
+
+/// Runs `config` over `runs` traces of `model` seeded `base_seed,
+/// base_seed+1, …` and summarises the misprediction rates.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::PredictorConfig;
+/// use bpred_sim::replicate;
+/// use bpred_workloads::suite;
+///
+/// let model = suite::espresso().scaled(5_000);
+/// let config = PredictorConfig::Gshare { history_bits: 8, col_bits: 2 };
+/// let stats = replicate(config, &model, 4, 100);
+/// assert_eq!(stats.runs(), 4);
+/// assert!(stats.std_dev() < 0.05); // seeds agree closely
+/// ```
+pub fn replicate(
+    config: PredictorConfig,
+    model: &WorkloadModel,
+    runs: usize,
+    base_seed: u64,
+) -> Replication {
+    assert!(runs > 0, "replication needs at least one run");
+    let rates = (0..runs as u64)
+        .map(|i| {
+            let trace = model.trace(base_seed + i);
+            run_config(config, &trace, Simulator::new()).misprediction_rate()
+        })
+        .collect();
+    Replication { rates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_workloads::suite;
+
+    fn sample() -> Replication {
+        Replication {
+            rates: vec![0.10, 0.12, 0.11, 0.13],
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let r = sample();
+        assert!((r.mean() - 0.115).abs() < 1e-12);
+        assert!((r.min() - 0.10).abs() < 1e-12);
+        assert!((r.max() - 0.13).abs() < 1e-12);
+        assert!(r.std_dev() > 0.0 && r.std_dev() < 0.02);
+        assert!(r.ci95() > 0.0);
+    }
+
+    #[test]
+    fn single_run_has_zero_spread() {
+        let r = Replication { rates: vec![0.2] };
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.ci95(), 0.0);
+        assert_eq!(r.mean(), 0.2);
+    }
+
+    #[test]
+    fn replicated_measurements_are_tight() {
+        // The headline property: across seeds, rates on the same model
+        // vary little relative to the between-scheme differences the
+        // experiments report.
+        let model = suite::sdet().scaled(30_000);
+        let stats = replicate(
+            PredictorConfig::AddressIndexed { addr_bits: 10 },
+            &model,
+            5,
+            400,
+        );
+        assert_eq!(stats.runs(), 5);
+        assert!(
+            stats.std_dev() < 0.01,
+            "seed noise too large: {:?}",
+            stats.rates
+        );
+        assert!(stats.max() - stats.min() < 0.02);
+    }
+
+    #[test]
+    fn seeds_actually_differ() {
+        let model = suite::sdet().scaled(10_000);
+        let stats = replicate(
+            PredictorConfig::Gshare {
+                history_bits: 8,
+                col_bits: 2,
+            },
+            &model,
+            3,
+            7,
+        );
+        // Different seeds give different (but close) rates.
+        assert!(stats.rates[0] != stats.rates[1] || stats.rates[1] != stats.rates[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let model = suite::sdet().scaled(1_000);
+        let _ = replicate(PredictorConfig::Btfn, &model, 0, 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Report formatting: aligned text tables, surface renderings, and CSV
+//! emission for external plotting.
+
+use std::fmt::Write as _;
+
+use crate::{Surface, Tier};
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_sim::TextTable;
+///
+/// let mut t = TextTable::new(vec!["bench".into(), "rate".into()]);
+/// t.push_row(vec!["espresso".into(), "4.79%".into()]);
+/// let text = t.render();
+/// assert!(text.contains("espresso"));
+/// assert!(text.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Short rows are padded with empty cells; long
+    /// rows extend the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns (first column
+    /// left-aligned, the rest right-aligned, which suits numbers).
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let all_rows = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        self.render_row(&mut out, &self.headers, &widths);
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            self.render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    fn render_row(&self, out: &mut String, row: &[String], widths: &[usize]) {
+        let empty = String::new();
+        let cells: Vec<String> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let cell = row.get(i).unwrap_or(&empty);
+                if i == 0 {
+                    format!("{cell:<w$}")
+                } else {
+                    format!("{cell:>w$}")
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join("  ").trim_end());
+    }
+
+    /// Renders the table as CSV (comma-separated, quotes only where a
+    /// cell contains a comma or quote).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| csv_cell(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+fn csv_cell(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Formats a rate as the paper prints them: `4.79%`.
+pub fn percent(rate: f64) -> String {
+    format!("{:.2}%", 100.0 * rate)
+}
+
+/// Renders one tier of a surface as a line of rates, best-in-tier
+/// marked with `*` — the text analogue of the paper's blackened bars.
+pub fn render_tier(tier: &Tier, value: impl Fn(&crate::SurfacePoint) -> f64) -> String {
+    let best_cols = tier.best().col_bits;
+    let cells: Vec<String> = tier
+        .points
+        .iter()
+        .map(|p| {
+            let marker = if p.col_bits == best_cols { "*" } else { "" };
+            format!("{}{}", percent(value(p)), marker)
+        })
+        .collect();
+    format!("2^{:<2} | {}", tier.total_bits, cells.join("  "))
+}
+
+/// Renders a whole surface: one row per tier, columns running from the
+/// address-indexed split (left) to the single-column split (right).
+pub fn render_surface(surface: &Surface) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {} (columns: address-indexed -> single column)",
+        surface.scheme, surface.workload
+    );
+    for tier in &surface.tiers {
+        let _ = writeln!(out, "{}", render_tier(tier, |p| p.rate()));
+    }
+    out
+}
+
+/// Emits a surface as CSV rows
+/// `scheme,workload,total_bits,row_bits,col_bits,misprediction_rate,alias_rate,bht_miss_rate,best`.
+pub fn surface_csv(surface: &Surface) -> String {
+    let mut out = String::from(
+        "scheme,workload,total_bits,row_bits,col_bits,misprediction_rate,alias_rate,bht_miss_rate,best\n",
+    );
+    for tier in &surface.tiers {
+        let best_cols = tier.best().col_bits;
+        for p in &tier.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6},{:.6},{:.6},{}",
+                surface.scheme,
+                surface.workload,
+                tier.total_bits,
+                p.row_bits,
+                p.col_bits,
+                p.rate(),
+                p.result.alias_rate(),
+                p.result.bht_miss_rate(),
+                u8::from(p.col_bits == best_cols),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_core::PredictorConfig;
+    use bpred_trace::{BranchRecord, Outcome, Trace};
+
+    fn surface() -> Surface {
+        let trace: Trace = (0..500)
+            .map(|i| {
+                BranchRecord::conditional(
+                    0x40 + 4 * (i as u64 % 8),
+                    0x20,
+                    Outcome::from(i % 3 == 0),
+                )
+            })
+            .collect();
+        Surface::sweep(
+            "GAs",
+            "toy",
+            3..=4,
+            &trace,
+            crate::Simulator::new(),
+            |r, c| PredictorConfig::Gas {
+                history_bits: r,
+                col_bits: c,
+            },
+        )
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name".into(), "value".into()]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer-name".into(), "22".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All value cells end in the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.push_row(vec!["x".into()]);
+        let text = t.render();
+        assert!(text.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn percent_formats_like_the_paper() {
+        assert_eq!(percent(0.0479), "4.79%");
+        assert_eq!(percent(0.0), "0.00%");
+    }
+
+    #[test]
+    fn rendered_surface_marks_best() {
+        let text = render_surface(&surface());
+        assert!(text.contains('*'));
+        assert!(text.contains("2^3"));
+        assert!(text.contains("2^4"));
+    }
+
+    #[test]
+    fn surface_csv_has_one_row_per_point() {
+        let s = surface();
+        let csv = surface_csv(&s);
+        let points: usize = s.tiers.iter().map(|t| t.points.len()).sum();
+        assert_eq!(csv.lines().count(), points + 1);
+        assert!(csv.lines().nth(1).unwrap().starts_with("GAs,toy,3,0,3,"));
+    }
+}

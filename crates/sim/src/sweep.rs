@@ -1,0 +1,152 @@
+//! Parallel configuration sweeps.
+//!
+//! The paper's figures each come from tens of simulations of the same
+//! trace under different predictor configurations. [`run_configs`]
+//! executes a batch in parallel over a shared immutable trace; results
+//! come back in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use bpred_core::PredictorConfig;
+use bpred_trace::Trace;
+
+use crate::{SimResult, Simulator};
+
+/// Number of worker threads used by [`run_configs`]: the available
+/// parallelism, capped by the number of jobs.
+fn worker_count(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(jobs).max(1)
+}
+
+/// Simulates every configuration against `trace` in parallel,
+/// returning results in the same order as `configs`.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::PredictorConfig;
+/// use bpred_sim::run_configs;
+/// use bpred_trace::{BranchRecord, Outcome, Trace};
+///
+/// let trace: Trace = (0..200)
+///     .map(|i| BranchRecord::conditional(0x40 + 4 * (i % 8), 0x20, Outcome::from(i % 3 == 0)))
+///     .collect();
+/// let configs = vec![
+///     PredictorConfig::AddressIndexed { addr_bits: 4 },
+///     PredictorConfig::Gshare { history_bits: 4, col_bits: 2 },
+/// ];
+/// let results = run_configs(&configs, &trace, Simulator::new());
+/// # use bpred_sim::Simulator;
+/// assert_eq!(results.len(), 2);
+/// assert!(results[0].predictor.starts_with("address-indexed"));
+/// ```
+pub fn run_configs(
+    configs: &[PredictorConfig],
+    trace: &Trace,
+    simulator: Simulator,
+) -> Vec<SimResult> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; configs.len()]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..worker_count(configs.len()) {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= configs.len() {
+                    return;
+                }
+                let mut predictor = configs[index].build();
+                let result = simulator.run(&mut predictor, trace);
+                results.lock()[index] = Some(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every configuration simulated"))
+        .collect()
+}
+
+/// Simulates one configuration (convenience wrapper matching
+/// [`run_configs`] semantics for a single point).
+pub fn run_config(config: PredictorConfig, trace: &Trace, simulator: Simulator) -> SimResult {
+    let mut predictor = config.build();
+    simulator.run(&mut predictor, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::{BranchRecord, Outcome};
+
+    fn trace(n: usize) -> Trace {
+        (0..n)
+            .map(|i| {
+                BranchRecord::conditional(
+                    0x400 + 4 * (i as u64 % 32),
+                    0x100,
+                    Outcome::from(i % 7 < 4),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_preserve_config_order() {
+        let configs: Vec<PredictorConfig> = (0..12)
+            .map(|n| PredictorConfig::AddressIndexed { addr_bits: n })
+            .collect();
+        let results = run_configs(&configs, &trace(500), Simulator::new());
+        assert_eq!(results.len(), 12);
+        for (cfg, r) in configs.iter().zip(&results) {
+            assert_eq!(r.predictor, cfg.build().name());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let configs = vec![
+            PredictorConfig::Gshare {
+                history_bits: 6,
+                col_bits: 2,
+            },
+            PredictorConfig::Gas {
+                history_bits: 4,
+                col_bits: 4,
+            },
+            PredictorConfig::PasInfinite {
+                history_bits: 5,
+                col_bits: 1,
+            },
+        ];
+        let t = trace(2_000);
+        let parallel = run_configs(&configs, &t, Simulator::new());
+        for (cfg, par) in configs.iter().zip(&parallel) {
+            let seq = run_config(*cfg, &t, Simulator::new());
+            assert_eq!(&seq, par, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn empty_config_list_is_empty_result() {
+        assert!(run_configs(&[], &trace(10), Simulator::new()).is_empty());
+    }
+
+    #[test]
+    fn simulator_options_are_honoured() {
+        let configs = vec![PredictorConfig::AlwaysTaken];
+        let r = run_configs(&configs, &trace(100), Simulator::with_warmup(40));
+        assert_eq!(r[0].conditionals, 60);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the simulation engine and parallel sweep machinery
+//! over arbitrary configurations and streams.
+
+use proptest::prelude::*;
+
+use bpred_core::PredictorConfig;
+use bpred_sim::{run_config, run_configs, Simulator};
+use bpred_trace::{BranchRecord, Outcome, Trace};
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..48, any::<bool>()), 1..300).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(slot, taken)| {
+                BranchRecord::conditional(0x4000 + 4 * slot, 0x100, Outcome::from(taken))
+            })
+            .collect()
+    })
+}
+
+fn arb_config() -> impl Strategy<Value = PredictorConfig> {
+    prop_oneof![
+        Just(PredictorConfig::AlwaysTaken),
+        Just(PredictorConfig::Btfn),
+        (0u32..=8).prop_map(|n| PredictorConfig::AddressIndexed { addr_bits: n }),
+        (0u32..=8, 0u32..=4).prop_map(|(h, c)| PredictorConfig::Gas {
+            history_bits: h,
+            col_bits: c
+        }),
+        (0u32..=8, 0u32..=4).prop_map(|(h, c)| PredictorConfig::Gshare {
+            history_bits: h,
+            col_bits: c
+        }),
+        (1u32..=8, 0u32..=4).prop_map(|(h, c)| PredictorConfig::PasInfinite {
+            history_bits: h,
+            col_bits: c
+        }),
+        (1u32..=6, 0u32..=2, 4u32..=8).prop_map(|(h, c, e)| PredictorConfig::PasFinite {
+            history_bits: h,
+            col_bits: c,
+            entries: 1 << e,
+            ways: 2,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn result_invariants_hold_for_any_config(trace in arb_trace(), config in arb_config()) {
+        let r = run_config(config, &trace, Simulator::new());
+        prop_assert_eq!(r.conditionals as usize, trace.conditional_len());
+        prop_assert!(r.mispredictions <= r.conditionals);
+        prop_assert!((0.0..=1.0).contains(&r.misprediction_rate()));
+        prop_assert!((r.accuracy() + r.misprediction_rate() - 1.0).abs() < 1e-12);
+        if let Some(alias) = r.alias {
+            prop_assert_eq!(alias.accesses, r.conditionals);
+            prop_assert!(alias.conflicts <= alias.accesses);
+        }
+        if let Some(bht) = r.bht {
+            prop_assert_eq!(bht.accesses, r.conditionals);
+            prop_assert!(bht.misses <= bht.accesses);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential(
+        trace in arb_trace(),
+        configs in prop::collection::vec(arb_config(), 1..8),
+    ) {
+        let parallel = run_configs(&configs, &trace, Simulator::new());
+        prop_assert_eq!(parallel.len(), configs.len());
+        for (config, result) in configs.iter().zip(&parallel) {
+            let sequential = run_config(*config, &trace, Simulator::new());
+            prop_assert_eq!(&sequential, result);
+        }
+    }
+
+    #[test]
+    fn warmup_only_shrinks_the_scored_window(
+        trace in arb_trace(),
+        config in arb_config(),
+        warmup in 0usize..400,
+    ) {
+        let full = run_config(config, &trace, Simulator::new());
+        let warm = run_config(config, &trace, Simulator::with_warmup(warmup));
+        let expected = trace.conditional_len().saturating_sub(warmup);
+        prop_assert_eq!(warm.conditionals as usize, expected);
+        prop_assert!(warm.mispredictions <= full.mispredictions);
+    }
+
+    #[test]
+    fn rerunning_is_reproducible(trace in arb_trace(), config in arb_config()) {
+        let a = run_config(config, &trace, Simulator::new());
+        let b = run_config(config, &trace, Simulator::new());
+        prop_assert_eq!(a, b);
+    }
+}

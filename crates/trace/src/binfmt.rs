@@ -1,0 +1,284 @@
+//! Compact binary trace format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   : 4 bytes  b"BPRT"
+//! version : u16      currently 1
+//! reserved: u16      zero
+//! count   : u64      number of records
+//! records : count × { tag: u8, pc_delta: zigzag-varint, target_delta: zigzag-varint }
+//! ```
+//!
+//! The tag byte packs the [`BranchKind`] (low 3 bits) and the
+//! [`Outcome`] (bit 3). Addresses are delta-encoded: `pc_delta` is the
+//! signed difference from the previous record's `pc` (zero for the first
+//! record), and `target_delta` is the signed difference from the record's
+//! own `pc`. Branches are local in address space, so deltas are small and
+//! the LEB128 varints keep typical records at 3–5 bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_trace::{binfmt, BranchRecord, Outcome, Trace};
+//!
+//! let trace: Trace = (0..100u64)
+//!     .map(|i| BranchRecord::conditional(0x1000 + 4 * i, 0x1000, Outcome::from(i % 3 == 0)))
+//!     .collect();
+//! let bytes = binfmt::encode(&trace);
+//! let back = binfmt::decode(&bytes)?;
+//! assert_eq!(back, trace);
+//! # Ok::<(), bpred_trace::DecodeTraceError>(())
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{BranchKind, BranchRecord, DecodeTraceError, Outcome, Trace};
+
+const MAGIC: &[u8; 4] = b"BPRT";
+const VERSION: u16 = 1;
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        _ => return None,
+    })
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a trace into the binary format.
+///
+/// The returned [`Bytes`] can be written to disk verbatim and later read
+/// back with [`decode`].
+pub fn encode(trace: &Trace) -> Bytes {
+    // Typical record is ~4 bytes; reserve generously to avoid re-allocation.
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * 6);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0);
+    buf.put_u64_le(trace.len() as u64);
+    let mut prev_pc = 0i64;
+    for r in trace.iter() {
+        let tag = kind_code(r.kind) | (u8::from(r.outcome.is_taken()) << 3);
+        buf.put_u8(tag);
+        put_varint(&mut buf, zigzag(r.pc as i64 - prev_pc));
+        put_varint(&mut buf, zigzag(r.target as i64 - r.pc as i64));
+        prev_pc = r.pc as i64;
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] if the magic or version is wrong, the
+/// buffer is truncated, or a record carries an invalid tag byte.
+pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeTraceError> {
+    if buf.remaining() < 16 {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeTraceError::UnsupportedVersion { found: version });
+    }
+    let _reserved = buf.get_u16_le();
+    let count = buf.get_u64_le();
+    let mut trace = Trace::with_capacity(usize::try_from(count).unwrap_or(0));
+    let mut prev_pc = 0i64;
+    for index in 0..count {
+        let truncated = DecodeTraceError::Truncated {
+            decoded: index,
+            expected: count,
+        };
+        if !buf.has_remaining() {
+            return Err(truncated);
+        }
+        let tag = buf.get_u8();
+        let kind = kind_from_code(tag & 0x07)
+            .filter(|_| tag & !0x0f == 0)
+            .ok_or(DecodeTraceError::BadTag { tag, index })?;
+        let outcome = Outcome::from(tag & 0x08 != 0);
+        let pc_delta = get_varint(&mut buf).ok_or_else(|| truncated.clone())?;
+        let target_delta = get_varint(&mut buf).ok_or(truncated)?;
+        let pc = prev_pc.wrapping_add(unzigzag(pc_delta));
+        let target = pc.wrapping_add(unzigzag(target_delta));
+        prev_pc = pc;
+        trace.push(BranchRecord::new(pc as u64, target as u64, kind, outcome));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        vec![
+            BranchRecord::conditional(0x0040_0100, 0x0040_00c0, Outcome::Taken),
+            BranchRecord::jump(0x0040_0104, 0x0041_0000),
+            BranchRecord::new(0x0041_0000, 0x0040_0108, BranchKind::Return, Outcome::Taken),
+            BranchRecord::conditional(0x0040_0108, 0x0040_0200, Outcome::NotTaken),
+            BranchRecord::new(0x0040_020c, 0x0100_0000, BranchKind::Call, Outcome::Taken),
+            BranchRecord::new(0x0100_0040, 0x0200_0000, BranchKind::Indirect, Outcome::Taken),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let t = sample();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let t = Trace::new();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn encoding_is_compact_for_local_branches() {
+        let t: Trace = (0..1000u64)
+            .map(|i| BranchRecord::conditional(0x1000 + 4 * (i % 64), 0x1000, Outcome::Taken))
+            .collect();
+        let bytes = encode(&t);
+        // header + <=4 bytes per record for branches within one page
+        assert!(bytes.len() <= 16 + 4 * 1000, "got {}", bytes.len());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert_eq!(decode(b"nope").unwrap_err(), DecodeTraceError::BadMagic);
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes).unwrap_err(), DecodeTraceError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[4] = 9;
+        assert_eq!(
+            decode(&bytes).unwrap_err(),
+            DecodeTraceError::UnsupportedVersion { found: 9 }
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected_with_progress() {
+        let bytes = encode(&sample());
+        let cut = &bytes[..bytes.len() - 1];
+        match decode(cut).unwrap_err() {
+            DecodeTraceError::Truncated { decoded, expected } => {
+                assert_eq!(expected, 6);
+                assert!(decoded < 6);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_detected() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[16] = 0x07; // kind code 7 does not exist
+        match decode(&bytes).unwrap_err() {
+            DecodeTraceError::BadTag { tag, index } => {
+                assert_eq!(tag, 0x07);
+                assert_eq!(index, 0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn high_tag_bits_are_rejected() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[16] |= 0xf0;
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            DecodeTraceError::BadTag { .. }
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 123_456, -987_654] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut slice: &[u8] = &buf;
+            assert_eq!(get_varint(&mut slice), Some(v));
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_empty() {
+        let mut empty: &[u8] = &[];
+        assert_eq!(get_varint(&mut empty), None);
+        let mut unterminated: &[u8] = &[0x80, 0x80];
+        assert_eq!(get_varint(&mut unterminated), None);
+    }
+}

@@ -1,0 +1,148 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing the line-oriented text trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number where parsing failed.
+    pub line: usize,
+    /// What was wrong with the line.
+    pub kind: ParseTraceErrorKind,
+}
+
+/// The specific problem behind a [`ParseTraceError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseTraceErrorKind {
+    /// The line did not have the expected number of fields.
+    FieldCount {
+        /// Number of whitespace-separated fields found.
+        found: usize,
+    },
+    /// A hexadecimal address field failed to parse.
+    BadAddress {
+        /// The offending field text.
+        field: String,
+    },
+    /// The branch-kind mnemonic was not recognised.
+    BadKind {
+        /// The offending mnemonic character, if the field was one char.
+        field: String,
+    },
+    /// The outcome mnemonic was not recognised.
+    BadOutcome {
+        /// The offending field text.
+        field: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseTraceErrorKind::FieldCount { found } => {
+                write!(f, "expected 4 fields, found {found}")
+            }
+            ParseTraceErrorKind::BadAddress { field } => {
+                write!(f, "invalid hexadecimal address {field:?}")
+            }
+            ParseTraceErrorKind::BadKind { field } => {
+                write!(f, "unknown branch kind mnemonic {field:?}")
+            }
+            ParseTraceErrorKind::BadOutcome { field } => {
+                write!(f, "unknown outcome mnemonic {field:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Error produced when decoding the binary trace format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeTraceError {
+    /// The buffer did not start with the expected magic bytes.
+    BadMagic,
+    /// The format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version number found in the header.
+        found: u16,
+    },
+    /// The buffer ended before the declared number of records.
+    Truncated {
+        /// Records successfully decoded before the buffer ran out.
+        decoded: u64,
+        /// Records the header promised.
+        expected: u64,
+    },
+    /// A record contained an invalid kind/outcome tag byte.
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// Index of the record in which it appeared.
+        index: u64,
+    },
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeTraceError::BadMagic => f.write_str("buffer is not a bpred trace (bad magic)"),
+            DecodeTraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace format version {found}")
+            }
+            DecodeTraceError::Truncated { decoded, expected } => {
+                write!(
+                    f,
+                    "trace truncated: decoded {decoded} of {expected} records"
+                )
+            }
+            DecodeTraceError::BadTag { tag, index } => {
+                write!(f, "record {index} has invalid tag byte {tag:#04x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeTraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_messages_are_specific() {
+        let e = ParseTraceError {
+            line: 3,
+            kind: ParseTraceErrorKind::FieldCount { found: 2 },
+        };
+        assert_eq!(e.to_string(), "line 3: expected 4 fields, found 2");
+        let e = ParseTraceError {
+            line: 1,
+            kind: ParseTraceErrorKind::BadAddress {
+                field: "zz".into(),
+            },
+        };
+        assert!(e.to_string().contains("\"zz\""));
+    }
+
+    #[test]
+    fn decode_error_messages_are_specific() {
+        assert!(DecodeTraceError::BadMagic.to_string().contains("magic"));
+        let e = DecodeTraceError::Truncated {
+            decoded: 5,
+            expected: 9,
+        };
+        assert!(e.to_string().contains("5 of 9"));
+        let e = DecodeTraceError::BadTag { tag: 0xff, index: 2 };
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParseTraceError>();
+        assert_error::<DecodeTraceError>();
+    }
+}

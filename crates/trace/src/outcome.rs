@@ -1,0 +1,196 @@
+use std::fmt;
+use std::ops::Not;
+
+/// The resolved direction of a conditional branch.
+///
+/// `Outcome` is deliberately a two-variant enum rather than a bare `bool`
+/// so that call sites read unambiguously (`Outcome::Taken` instead of
+/// `true`), per the custom-type argument convention. Cheap conversions to
+/// and from `bool` are provided for predictor arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_trace::Outcome;
+///
+/// let o = Outcome::Taken;
+/// assert!(o.is_taken());
+/// assert_eq!(!o, Outcome::NotTaken);
+/// assert_eq!(Outcome::from(true), Outcome::Taken);
+/// assert_eq!(bool::from(Outcome::NotTaken), false);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Outcome {
+    /// The branch was not taken (fell through).
+    NotTaken,
+    /// The branch was taken.
+    Taken,
+}
+
+impl Outcome {
+    /// Returns `true` if the branch was taken.
+    ///
+    /// ```
+    /// # use bpred_trace::Outcome;
+    /// assert!(Outcome::Taken.is_taken());
+    /// assert!(!Outcome::NotTaken.is_taken());
+    /// ```
+    #[inline]
+    pub fn is_taken(self) -> bool {
+        matches!(self, Outcome::Taken)
+    }
+
+    /// Returns `true` if the branch was not taken.
+    ///
+    /// ```
+    /// # use bpred_trace::Outcome;
+    /// assert!(Outcome::NotTaken.is_not_taken());
+    /// ```
+    #[inline]
+    pub fn is_not_taken(self) -> bool {
+        matches!(self, Outcome::NotTaken)
+    }
+
+    /// The outcome as a single history bit: taken = 1, not taken = 0.
+    ///
+    /// This is the convention used throughout the workspace for history
+    /// registers and pattern tables.
+    ///
+    /// ```
+    /// # use bpred_trace::Outcome;
+    /// assert_eq!(Outcome::Taken.as_bit(), 1);
+    /// assert_eq!(Outcome::NotTaken.as_bit(), 0);
+    /// ```
+    #[inline]
+    pub fn as_bit(self) -> u64 {
+        self.is_taken() as u64
+    }
+
+    /// Builds an outcome from a history bit; any non-zero value is taken.
+    ///
+    /// ```
+    /// # use bpred_trace::Outcome;
+    /// assert_eq!(Outcome::from_bit(1), Outcome::Taken);
+    /// assert_eq!(Outcome::from_bit(0), Outcome::NotTaken);
+    /// ```
+    #[inline]
+    pub fn from_bit(bit: u64) -> Self {
+        if bit != 0 {
+            Outcome::Taken
+        } else {
+            Outcome::NotTaken
+        }
+    }
+
+    /// Single-character mnemonic used by the text trace format:
+    /// `'T'` for taken, `'N'` for not taken.
+    #[inline]
+    pub fn mnemonic(self) -> char {
+        match self {
+            Outcome::Taken => 'T',
+            Outcome::NotTaken => 'N',
+        }
+    }
+
+    /// Parses the text-format mnemonic produced by [`Outcome::mnemonic`].
+    ///
+    /// Returns `None` for any character other than `'T'` or `'N'`.
+    #[inline]
+    pub fn from_mnemonic(c: char) -> Option<Self> {
+        match c {
+            'T' => Some(Outcome::Taken),
+            'N' => Some(Outcome::NotTaken),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Outcome {
+    #[inline]
+    fn from(taken: bool) -> Self {
+        if taken {
+            Outcome::Taken
+        } else {
+            Outcome::NotTaken
+        }
+    }
+}
+
+impl From<Outcome> for bool {
+    #[inline]
+    fn from(o: Outcome) -> bool {
+        o.is_taken()
+    }
+}
+
+impl Not for Outcome {
+    type Output = Outcome;
+
+    #[inline]
+    fn not(self) -> Outcome {
+        match self {
+            Outcome::Taken => Outcome::NotTaken,
+            Outcome::NotTaken => Outcome::Taken,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Taken => f.write_str("taken"),
+            Outcome::NotTaken => f.write_str("not-taken"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(bool::from(Outcome::from(true)), true);
+        assert_eq!(bool::from(Outcome::from(false)), false);
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for o in [Outcome::Taken, Outcome::NotTaken] {
+            assert_eq!(Outcome::from_bit(o.as_bit()), o);
+        }
+    }
+
+    #[test]
+    fn from_bit_accepts_any_nonzero() {
+        assert_eq!(Outcome::from_bit(42), Outcome::Taken);
+        assert_eq!(Outcome::from_bit(u64::MAX), Outcome::Taken);
+    }
+
+    #[test]
+    fn negation_is_involutive() {
+        for o in [Outcome::Taken, Outcome::NotTaken] {
+            assert_eq!(!!o, o);
+            assert_ne!(!o, o);
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for o in [Outcome::Taken, Outcome::NotTaken] {
+            assert_eq!(Outcome::from_mnemonic(o.mnemonic()), Some(o));
+        }
+        assert_eq!(Outcome::from_mnemonic('x'), None);
+    }
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        assert_eq!(Outcome::Taken.to_string(), "taken");
+        assert_eq!(Outcome::NotTaken.to_string(), "not-taken");
+    }
+
+    #[test]
+    fn ordering_puts_not_taken_first() {
+        assert!(Outcome::NotTaken < Outcome::Taken);
+    }
+}

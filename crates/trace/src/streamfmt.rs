@@ -1,0 +1,364 @@
+//! Streaming binary trace I/O.
+//!
+//! [`crate::binfmt`] works on whole in-memory buffers; these types
+//! stream the same format incrementally over any `Read`/`Write`, so
+//! traces larger than memory (the paper's real traces ran to 1.4B
+//! instructions) can be produced and consumed record by record.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_trace::streamfmt::{TraceReader, TraceWriter};
+//! use bpred_trace::{BranchRecord, Outcome};
+//!
+//! let mut buffer = Vec::new();
+//! let mut writer = TraceWriter::new(&mut buffer, 3)?;
+//! for i in 0..3u64 {
+//!     writer.write(&BranchRecord::conditional(0x40 + 4 * i, 0x20, Outcome::Taken))?;
+//! }
+//! writer.finish()?;
+//!
+//! let mut reader = TraceReader::new(buffer.as_slice())?;
+//! assert_eq!(reader.remaining(), 3);
+//! let first = reader.next_record()?.unwrap();
+//! assert_eq!(first.pc, 0x40);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{Error, ErrorKind, Read, Write};
+
+use crate::{BranchKind, BranchRecord, Outcome};
+
+const MAGIC: &[u8; 4] = b"BPRT";
+const VERSION: u16 = 1;
+
+fn invalid(message: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, message.into())
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<BranchKind> {
+    Some(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        _ => return None,
+    })
+}
+
+/// Streams records into the binary trace format.
+///
+/// The record count is part of the header, so it must be declared up
+/// front; [`TraceWriter::finish`] verifies the promise was kept.
+#[derive(Debug)]
+pub struct TraceWriter<W> {
+    sink: W,
+    declared: u64,
+    written: u64,
+    prev_pc: i64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Writes the header for a trace of exactly `records` records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W, records: u64) -> Result<Self, Error> {
+        sink.write_all(MAGIC)?;
+        sink.write_all(&VERSION.to_le_bytes())?;
+        sink.write_all(&0u16.to_le_bytes())?;
+        sink.write_all(&records.to_le_bytes())?;
+        Ok(TraceWriter {
+            sink,
+            declared: records,
+            written: 0,
+            prev_pc: 0,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ErrorKind::InvalidInput`] when more records are
+    /// written than declared, and propagates sink errors.
+    pub fn write(&mut self, record: &BranchRecord) -> Result<(), Error> {
+        if self.written == self.declared {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!("trace declared {} records", self.declared),
+            ));
+        }
+        let tag = kind_code(record.kind) | (u8::from(record.outcome.is_taken()) << 3);
+        self.sink.write_all(&[tag])?;
+        write_varint(&mut self.sink, zigzag(record.pc as i64 - self.prev_pc))?;
+        write_varint(
+            &mut self.sink,
+            zigzag(record.target as i64 - record.pc as i64),
+        )?;
+        self.prev_pc = record.pc as i64;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the sink, verifying the declared count.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ErrorKind::InvalidInput`] if fewer records were
+    /// written than declared.
+    pub fn finish(mut self) -> Result<W, Error> {
+        if self.written != self.declared {
+            return Err(Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "trace declared {} records but only {} were written",
+                    self.declared, self.written
+                ),
+            ));
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+fn write_varint<W: Write>(sink: &mut W, mut v: u64) -> Result<(), Error> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return sink.write_all(&[byte]);
+        }
+        sink.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Streams records out of the binary trace format.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    source: R,
+    remaining: u64,
+    prev_pc: i64,
+    index: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ErrorKind::InvalidData`] on a bad magic or
+    /// unsupported version, and propagates source errors.
+    pub fn new(mut source: R) -> Result<Self, Error> {
+        let mut header = [0u8; 16];
+        source.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(invalid("buffer is not a bpred trace (bad magic)"));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(invalid(format!("unsupported trace format version {version}")));
+        }
+        let remaining = u64::from_le_bytes(header[8..16].try_into().expect("eight bytes"));
+        Ok(TraceReader {
+            source,
+            remaining,
+            prev_pc: 0,
+            index: 0,
+        })
+    }
+
+    /// Records not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads the next record, or `None` at the end of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ErrorKind::InvalidData`] on a malformed record and
+    /// propagates source errors (including truncation, reported as
+    /// [`ErrorKind::UnexpectedEof`]).
+    pub fn next_record(&mut self) -> Result<Option<BranchRecord>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut tag = [0u8; 1];
+        self.source.read_exact(&mut tag)?;
+        let tag = tag[0];
+        let kind = kind_from_code(tag & 0x07)
+            .filter(|_| tag & !0x0f == 0)
+            .ok_or_else(|| invalid(format!("record {} has invalid tag {tag:#04x}", self.index)))?;
+        let outcome = Outcome::from(tag & 0x08 != 0);
+        let pc_delta = read_varint(&mut self.source)?;
+        let target_delta = read_varint(&mut self.source)?;
+        let pc = self.prev_pc.wrapping_add(unzigzag(pc_delta));
+        let target = pc.wrapping_add(unzigzag(target_delta));
+        self.prev_pc = pc;
+        self.remaining -= 1;
+        self.index += 1;
+        Ok(Some(BranchRecord::new(pc as u64, target as u64, kind, outcome)))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<BranchRecord, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+fn read_varint<R: Read>(source: &mut R) -> Result<u64, Error> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if shift >= 64 {
+            return Err(invalid("varint is longer than 64 bits"));
+        }
+        let mut byte = [0u8; 1];
+        source.read_exact(&mut byte)?;
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{binfmt, Trace};
+
+    fn sample() -> Trace {
+        (0..200u64)
+            .map(|i| {
+                BranchRecord::new(
+                    0x1000 + 4 * (i % 37),
+                    0x2000 + 4 * i,
+                    match i % 4 {
+                        0 => BranchKind::Conditional,
+                        1 => BranchKind::Call,
+                        2 => BranchKind::Return,
+                        _ => BranchKind::Unconditional,
+                    },
+                    Outcome::from(i % 3 == 0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_round_trip() {
+        let trace = sample();
+        let mut buffer = Vec::new();
+        let mut writer = TraceWriter::new(&mut buffer, trace.len() as u64).unwrap();
+        for r in trace.iter() {
+            writer.write(r).unwrap();
+        }
+        writer.finish().unwrap();
+
+        let reader = TraceReader::new(buffer.as_slice()).unwrap();
+        let records: Result<Vec<BranchRecord>, Error> = reader.collect();
+        assert_eq!(Trace::from_records(records.unwrap()), trace);
+    }
+
+    #[test]
+    fn stream_format_is_identical_to_batch_format() {
+        // The streaming writer must produce byte-for-byte what
+        // binfmt::encode produces, so the formats interoperate.
+        let trace = sample();
+        let mut streamed = Vec::new();
+        let mut writer = TraceWriter::new(&mut streamed, trace.len() as u64).unwrap();
+        for r in trace.iter() {
+            writer.write(r).unwrap();
+        }
+        writer.finish().unwrap();
+        assert_eq!(streamed, binfmt::encode(&trace).to_vec());
+        // And the streaming reader consumes batch output.
+        let reader = TraceReader::new(streamed.as_slice()).unwrap();
+        assert_eq!(reader.remaining(), trace.len() as u64);
+    }
+
+    #[test]
+    fn over_writing_is_rejected() {
+        let mut buffer = Vec::new();
+        let mut writer = TraceWriter::new(&mut buffer, 1).unwrap();
+        writer.write(&BranchRecord::default()).unwrap();
+        let err = writer.write(&BranchRecord::default()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn under_writing_is_rejected_at_finish() {
+        let mut buffer = Vec::new();
+        let writer = TraceWriter::new(&mut buffer, 5).unwrap();
+        let err = writer.finish().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("declared 5"));
+    }
+
+    #[test]
+    fn truncated_stream_reports_eof() {
+        let trace = sample();
+        let bytes = binfmt::encode(&trace);
+        let cut = &bytes[..bytes.len() / 2];
+        let mut reader = TraceReader::new(cut).unwrap();
+        let mut last = Ok(None);
+        for _ in 0..trace.len() {
+            last = reader.next_record();
+            if last.is_err() {
+                break;
+            }
+        }
+        assert_eq!(last.unwrap_err().kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = TraceReader::new(&b"XXXXxxxxxxxxxxxx"[..]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn iterator_ends_cleanly() {
+        let trace = sample();
+        let bytes = binfmt::encode(&trace);
+        let mut reader = TraceReader::new(&bytes[..]).unwrap();
+        let mut count = 0;
+        while let Some(result) = reader.next() {
+            result.unwrap();
+            count += 1;
+        }
+        assert_eq!(count, trace.len());
+        assert_eq!(reader.remaining(), 0);
+        assert!(reader.next_record().unwrap().is_none());
+    }
+}

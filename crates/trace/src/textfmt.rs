@@ -1,0 +1,188 @@
+//! Line-oriented text trace format.
+//!
+//! Each record is one line of four whitespace-separated fields:
+//!
+//! ```text
+//! <pc-hex> <target-hex> <kind-mnemonic> <outcome-mnemonic>
+//! ```
+//!
+//! for example `00400100 004000c0 C T`. Blank lines and lines starting
+//! with `#` are ignored, so traces can carry comments. The format is
+//! intended for small hand-written fixtures and interoperability with
+//! shell tooling; bulk storage should use [`crate::binfmt`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_trace::textfmt;
+//!
+//! let text = "# two branches\n00400100 004000c0 C T\n00400104 00400200 C N\n";
+//! let trace = textfmt::parse(text)?;
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(textfmt::parse(&textfmt::emit(&trace))?, trace);
+//! # Ok::<(), bpred_trace::ParseTraceError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::error::ParseTraceErrorKind;
+use crate::{BranchKind, BranchRecord, Outcome, ParseTraceError, Trace};
+
+/// Renders a trace in the text format, one record per line.
+pub fn emit(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 24);
+    for r in trace.iter() {
+        // Addresses are fixed-width for column alignment in editors.
+        let _ = writeln!(
+            out,
+            "{:08x} {:08x} {} {}",
+            r.pc,
+            r.target,
+            r.kind.mnemonic(),
+            r.outcome.mnemonic()
+        );
+    }
+    out
+}
+
+/// Parses the text format produced by [`emit`].
+///
+/// Blank lines and `#` comments are skipped. Field widths are not
+/// significant; any hexadecimal address (with or without a `0x` prefix)
+/// is accepted.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] identifying the first offending line.
+pub fn parse(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut trace = Trace::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.trim();
+        if content.is_empty() || content.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseTraceError {
+                line,
+                kind: ParseTraceErrorKind::FieldCount {
+                    found: fields.len(),
+                },
+            });
+        }
+        let pc = parse_addr(fields[0]).ok_or_else(|| ParseTraceError {
+            line,
+            kind: ParseTraceErrorKind::BadAddress {
+                field: fields[0].to_owned(),
+            },
+        })?;
+        let target = parse_addr(fields[1]).ok_or_else(|| ParseTraceError {
+            line,
+            kind: ParseTraceErrorKind::BadAddress {
+                field: fields[1].to_owned(),
+            },
+        })?;
+        let kind = single_char(fields[2])
+            .and_then(BranchKind::from_mnemonic)
+            .ok_or_else(|| ParseTraceError {
+                line,
+                kind: ParseTraceErrorKind::BadKind {
+                    field: fields[2].to_owned(),
+                },
+            })?;
+        let outcome = single_char(fields[3])
+            .and_then(Outcome::from_mnemonic)
+            .ok_or_else(|| ParseTraceError {
+                line,
+                kind: ParseTraceErrorKind::BadOutcome {
+                    field: fields[3].to_owned(),
+                },
+            })?;
+        trace.push(BranchRecord::new(pc, target, kind, outcome));
+    }
+    Ok(trace)
+}
+
+fn parse_addr(field: &str) -> Option<u64> {
+    let digits = field
+        .strip_prefix("0x")
+        .or_else(|| field.strip_prefix("0X"))
+        .unwrap_or(field);
+    u64::from_str_radix(digits, 16).ok()
+}
+
+fn single_char(field: &str) -> Option<char> {
+    let mut chars = field.chars();
+    let c = chars.next()?;
+    chars.next().is_none().then_some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        vec![
+            BranchRecord::conditional(0x0040_0100, 0x0040_00c0, Outcome::Taken),
+            BranchRecord::jump(0x0040_0104, 0x0041_0000),
+            BranchRecord::new(0x0041_0000, 0x0040_0108, BranchKind::Return, Outcome::Taken),
+            BranchRecord::conditional(0x0040_0108, 0x0040_0200, Outcome::NotTaken),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        assert_eq!(parse(&emit(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "\n# header\n  \n00400100 004000c0 C T\n\n# trailing\n";
+        let t = parse(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].pc, 0x0040_0100);
+    }
+
+    #[test]
+    fn hex_prefix_is_accepted() {
+        let t = parse("0x10 0X20 C N").unwrap();
+        assert_eq!(t[0].pc, 0x10);
+        assert_eq!(t[0].target, 0x20);
+    }
+
+    #[test]
+    fn field_count_error_reports_line() {
+        let err = parse("00400100 004000c0 C T\n00400104 C T").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseTraceErrorKind::FieldCount { found: 3 });
+    }
+
+    #[test]
+    fn bad_address_error() {
+        let err = parse("zz 004000c0 C T").unwrap_err();
+        assert!(matches!(err.kind, ParseTraceErrorKind::BadAddress { .. }));
+    }
+
+    #[test]
+    fn bad_kind_error() {
+        let err = parse("10 20 Q T").unwrap_err();
+        assert!(matches!(err.kind, ParseTraceErrorKind::BadKind { .. }));
+        let err = parse("10 20 CC T").unwrap_err();
+        assert!(matches!(err.kind, ParseTraceErrorKind::BadKind { .. }));
+    }
+
+    #[test]
+    fn bad_outcome_error() {
+        let err = parse("10 20 C X").unwrap_err();
+        assert!(matches!(err.kind, ParseTraceErrorKind::BadOutcome { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: serialization round-trips and statistics
+//! invariants over arbitrary traces.
+
+use proptest::prelude::*;
+
+use bpred_trace::stats::{BranchProfile, TraceStats};
+use bpred_trace::{binfmt, textfmt, BranchKind, BranchRecord, Outcome, Trace};
+
+fn arb_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Conditional),
+        Just(BranchKind::Unconditional),
+        Just(BranchKind::Call),
+        Just(BranchKind::Return),
+        Just(BranchKind::Indirect),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        pc in 0u64..=0xFFFF_FFFF_FFFFu64,
+        target in 0u64..=0xFFFF_FFFF_FFFFu64,
+        kind in arb_kind(),
+        taken in any::<bool>(),
+    ) -> BranchRecord {
+        BranchRecord::new(pc, target, kind, Outcome::from(taken))
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_record(), 0..200).prop_map(Trace::from_records)
+}
+
+proptest! {
+    #[test]
+    fn binary_round_trip(trace in arb_trace()) {
+        let decoded = binfmt::decode(&binfmt::encode(&trace)).expect("decode");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    #[test]
+    fn text_round_trip(trace in arb_trace()) {
+        let parsed = textfmt::parse(&textfmt::emit(&trace)).expect("parse");
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Corrupt input must produce Err, never a panic.
+        let _ = binfmt::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_survives_truncation(trace in arb_trace(), cut in 0usize..64) {
+        let bytes = binfmt::encode(&trace);
+        let keep = bytes.len().saturating_sub(cut);
+        let _ = binfmt::decode(&bytes[..keep]);
+    }
+
+    #[test]
+    fn stats_counts_are_consistent(trace in arb_trace()) {
+        let stats = TraceStats::measure(&trace);
+        prop_assert_eq!(stats.total_records, trace.len());
+        prop_assert_eq!(stats.dynamic_conditionals as usize, trace.conditional_len());
+        prop_assert!(stats.static_conditionals <= trace.conditional_len());
+        prop_assert!((0.0..=1.0).contains(&stats.taken_rate));
+        prop_assert!((0.0..=1.0).contains(&stats.highly_biased_fraction));
+    }
+
+    #[test]
+    fn coverage_buckets_partition_statics(trace in arb_trace()) {
+        let stats = TraceStats::measure(&trace);
+        prop_assert_eq!(stats.coverage.total(), stats.static_conditionals);
+    }
+
+    #[test]
+    fn static_for_fraction_is_monotone(trace in arb_trace()) {
+        let profile = BranchProfile::measure(&trace);
+        let mut previous = 0usize;
+        for pct in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let n = profile.static_for_fraction(pct);
+            prop_assert!(n >= previous, "{pct}: {n} < {previous}");
+            previous = n;
+        }
+        prop_assert!(previous <= profile.static_conditionals());
+    }
+
+    #[test]
+    fn profile_execution_counts_sum_to_dynamic(trace in arb_trace()) {
+        let profile = BranchProfile::measure(&trace);
+        let total: u64 = profile.iter().map(|(_, c)| c.executions).sum();
+        prop_assert_eq!(total, profile.dynamic_conditionals());
+        for (_, counts) in profile.iter() {
+            prop_assert!(counts.taken <= counts.executions);
+            prop_assert!((0.5..=1.0).contains(&counts.bias()));
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_prefix(trace in arb_trace(), n in 0usize..250) {
+        let head = trace.truncated(n);
+        prop_assert_eq!(head.len(), n.min(trace.len()));
+        for (i, r) in head.iter().enumerate() {
+            prop_assert_eq!(r, &trace[i]);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Instruction-address layout for synthetic programs.
+//!
+//! Aliasing structure depends on *where* branches sit in the address
+//! space: real code clusters branches into function-sized extents
+//! spread over a text segment whose size grows with the program. The
+//! layout generator reproduces that: branches are grouped into
+//! functions of a few dozen instructions, functions are packed
+//! sequentially with realistic gaps, and the hot set is scattered over
+//! the whole segment (hot code is not contiguous in real programs).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Base of the synthetic text segment (the MIPS user text base).
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// A generated code layout: one program counter per static branch, plus
+/// the function entry points (used as targets for synthetic calls and
+/// jumps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextLayout {
+    branch_pcs: Vec<u64>,
+    function_entries: Vec<u64>,
+}
+
+impl TextLayout {
+    /// Generates a layout for `branches` static branches.
+    ///
+    /// Branch addresses are 4-byte aligned, grouped into functions of
+    /// 4–24 branches separated by 2–8 instruction gaps, and shuffled
+    /// before assignment so that consumers who assign execution weight
+    /// by index spread the hot set across the whole text segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is zero.
+    pub fn generate<R: Rng + ?Sized>(branches: usize, rng: &mut R) -> Self {
+        assert!(branches > 0, "a program needs at least one branch");
+        let mut branch_pcs = Vec::with_capacity(branches);
+        let mut function_entries = Vec::new();
+        let mut pc = TEXT_BASE;
+        let mut remaining = branches;
+        while remaining > 0 {
+            // Function prologue.
+            function_entries.push(pc);
+            pc += 4 * rng.gen_range(2..8u64);
+            let in_function = rng.gen_range(4..=24usize).min(remaining);
+            for _ in 0..in_function {
+                branch_pcs.push(pc);
+                // A branch every few instructions.
+                pc += 4 * rng.gen_range(2..=8u64);
+            }
+            remaining -= in_function;
+            // Epilogue + inter-function padding.
+            pc += 4 * rng.gen_range(4..32u64);
+        }
+        branch_pcs.shuffle(rng);
+        TextLayout {
+            branch_pcs,
+            function_entries,
+        }
+    }
+
+    /// The branch program counters, in (shuffled) assignment order.
+    pub fn branch_pcs(&self) -> &[u64] {
+        &self.branch_pcs
+    }
+
+    /// Function entry addresses, in text order.
+    pub fn function_entries(&self) -> &[u64] {
+        &self.function_entries
+    }
+
+    /// Extent of the generated text segment in bytes.
+    pub fn text_bytes(&self) -> u64 {
+        self.branch_pcs
+            .iter()
+            .chain(self.function_entries.iter())
+            .max()
+            .map_or(0, |max| max - TEXT_BASE + 4)
+    }
+
+    /// Picks a plausible taken-target for the branch at `pc`:
+    /// loop-shaped branches jump backward a short distance, others jump
+    /// forward.
+    pub fn target_for<R: Rng + ?Sized>(&self, pc: u64, backward: bool, rng: &mut R) -> u64 {
+        let span = 4 * rng.gen_range(2..64u64);
+        if backward {
+            pc.saturating_sub(span).max(TEXT_BASE)
+        } else {
+            pc + span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn layout(n: usize, seed: u64) -> TextLayout {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        TextLayout::generate(n, &mut rng)
+    }
+
+    #[test]
+    fn produces_requested_branch_count() {
+        for n in [1, 5, 100, 5000] {
+            assert_eq!(layout(n, 1).branch_pcs().len(), n);
+        }
+    }
+
+    #[test]
+    fn addresses_are_aligned_and_distinct() {
+        let l = layout(2000, 2);
+        let mut seen = HashSet::new();
+        for &pc in l.branch_pcs() {
+            assert_eq!(pc % 4, 0, "{pc:#x} misaligned");
+            assert!(pc >= TEXT_BASE);
+            assert!(seen.insert(pc), "duplicate pc {pc:#x}");
+        }
+    }
+
+    #[test]
+    fn text_segment_grows_with_program_size() {
+        let small = layout(100, 3).text_bytes();
+        let large = layout(10_000, 3).text_bytes();
+        assert!(large > 20 * small, "{small} vs {large}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(layout(500, 7), layout(500, 7));
+        assert_ne!(layout(500, 7), layout(500, 8));
+    }
+
+    #[test]
+    fn has_function_entries() {
+        let l = layout(1000, 4);
+        assert!(l.function_entries().len() >= 1000 / 24);
+        assert!(l.function_entries().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn hot_prefix_is_scattered() {
+        // After shuffling, the first 10% of branch_pcs (the hot set)
+        // must span most of the text segment, not just its start.
+        let l = layout(5000, 5);
+        let hot = &l.branch_pcs()[..500];
+        let max_hot = *hot.iter().max().unwrap();
+        assert!(max_hot - TEXT_BASE > l.text_bytes() / 2);
+    }
+
+    #[test]
+    fn targets_respect_direction() {
+        let l = layout(10, 6);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let pc = l.branch_pcs()[5];
+        for _ in 0..20 {
+            assert!(l.target_for(pc, true, &mut rng) < pc);
+            assert!(l.target_for(pc, false, &mut rng) > pc);
+        }
+    }
+
+    #[test]
+    fn backward_target_clamps_at_text_base() {
+        let l = layout(5, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(l.target_for(TEXT_BASE, true, &mut rng) >= TEXT_BASE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn zero_branches_panics() {
+        let _ = layout(0, 1);
+    }
+}

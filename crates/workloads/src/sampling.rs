@@ -1,0 +1,193 @@
+//! Weighted sampling utilities.
+//!
+//! Trace generation draws hundreds of thousands of branches from a
+//! skewed frequency distribution; Walker's alias method gives O(1)
+//! draws after O(n) setup.
+
+use rand::Rng;
+
+/// Walker alias table for O(1) weighted sampling of indices.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_workloads::AliasTable;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let table = AliasTable::new(&[8.0, 1.0, 1.0]);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut counts = [0u32; 3];
+/// for _ in 0..10_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// assert!(counts[0] > 7_000); // ~80%
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability for each cell.
+    prob: Vec<f64>,
+    /// Fallback index for each cell.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights
+            .iter()
+            .inspect(|w| {
+                assert!(
+                    w.is_finite() && **w >= 0.0,
+                    "weights must be finite and non-negative"
+                );
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] -= 1.0 - prob[s];
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining accepts outright.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of weights in the table.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no entries (never: construction
+    /// requires at least one weight).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index with probability proportional to its weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let cell = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[cell] {
+            cell
+        } else {
+            self.alias[cell]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize) -> Vec<f64> {
+        let table = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_uniform_weights() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 100_000);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn matches_skewed_weights() {
+        let freq = empirical(&[0.5, 0.25, 0.125, 0.125], 200_000);
+        let expect = [0.5, 0.25, 0.125, 0.125];
+        for (f, e) in freq.iter().zip(expect) {
+            assert!((f - e).abs() < 0.01, "{f} vs {e}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_are_never_drawn() {
+        let freq = empirical(&[1.0, 0.0, 1.0], 50_000);
+        assert_eq!(freq[1], 0.0);
+    }
+
+    #[test]
+    fn single_entry_always_selected() {
+        let table = AliasTable::new(&[3.0]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn unnormalised_weights_are_accepted() {
+        let a = empirical(&[2.0, 6.0], 100_000);
+        assert!((a[0] - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn len_reports_size() {
+        let t = AliasTable::new(&[1.0, 2.0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn large_table_samples_in_bounds() {
+        let weights: Vec<f64> = (1..=5000).map(|i| 1.0 / i as f64).collect();
+        let table = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(table.sample(&mut rng) < 5000);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Benchmark specifications.
+//!
+//! A [`BenchmarkSpec`] captures everything needed to synthesise a
+//! workload standing in for one of the paper's fourteen trace
+//! benchmarks: the coverage skew (how many static branches supply each
+//! slice of the dynamic instances), the behaviour mix of hot and cold
+//! branches, and the published reference numbers used for side-by-side
+//! reporting.
+
+use bpred_trace::stats::CoverageBuckets;
+
+/// Which benchmark suite a specification models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuiteKind {
+    /// The six SPECint92 programs (user-level traces).
+    SpecInt92,
+    /// The eight IBS-Ultrix programs (user + kernel traces).
+    IbsUltrix,
+}
+
+impl SuiteKind {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteKind::SpecInt92 => "SPECint92",
+            SuiteKind::IbsUltrix => "IBS-Ultrix",
+        }
+    }
+}
+
+/// Fractions of branches assigned to each behaviour class. Fields must
+/// be non-negative and sum to 1 (validated by
+/// [`BehaviorMix::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorMix {
+    /// Bernoulli branches biased towards taken.
+    pub biased_taken: f64,
+    /// Bernoulli branches biased towards not taken.
+    pub biased_not_taken: f64,
+    /// Loop-closing branches with fixed trip counts.
+    pub loops: f64,
+    /// Short periodic patterns.
+    pub patterns: f64,
+    /// Branches whose outcome is a function of recent global history.
+    pub correlated: f64,
+}
+
+impl BehaviorMix {
+    /// Checks the mix is a probability distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or the sum deviates from 1
+    /// by more than 1e-6.
+    pub fn validate(&self) {
+        let parts = [
+            self.biased_taken,
+            self.biased_not_taken,
+            self.loops,
+            self.patterns,
+            self.correlated,
+        ];
+        assert!(
+            parts.iter().all(|&p| p >= 0.0),
+            "behaviour fractions must be non-negative: {self:?}"
+        );
+        let sum: f64 = parts.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "behaviour fractions must sum to 1, got {sum}: {self:?}"
+        );
+    }
+
+    /// Cumulative thresholds used for sampling a class from a uniform
+    /// draw in `[0, 1)`.
+    pub(crate) fn thresholds(&self) -> [f64; 4] {
+        let t0 = self.biased_taken;
+        let t1 = t0 + self.biased_not_taken;
+        let t2 = t1 + self.loops;
+        let t3 = t2 + self.patterns;
+        [t0, t1, t2, t3]
+    }
+}
+
+/// Range of per-branch bias (probability of the dominant direction)
+/// for Bernoulli branches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasRange {
+    /// Minimum bias, ≥ 0.5.
+    pub low: f64,
+    /// Maximum bias, ≤ 1.0.
+    pub high: f64,
+}
+
+impl BiasRange {
+    /// Validates `0.5 ≤ low ≤ high ≤ 1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is malformed.
+    pub fn validate(&self) {
+        assert!(
+            (0.5..=1.0).contains(&self.low)
+                && (0.5..=1.0).contains(&self.high)
+                && self.low <= self.high,
+            "invalid bias range {self:?}"
+        );
+    }
+}
+
+/// Fine-grained behaviour parameters: loop trip-count distribution,
+/// periodic-pattern lengths, and the bias of correlated branches'
+/// underlying functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BehaviorTuning {
+    /// Maximum trip count of "short" loops (drawn uniformly in
+    /// `2..=loop_short_max`).
+    pub loop_short_max: u32,
+    /// Maximum trip count of "long" loops.
+    pub loop_long_max: u32,
+    /// Fraction of loops drawn from the long range.
+    pub loop_long_fraction: f64,
+    /// Minimum periodic-pattern length in bits.
+    pub pattern_min_bits: u32,
+    /// Maximum periodic-pattern length in bits (≤ 32).
+    pub pattern_max_bits: u32,
+    /// Lower bound of correlated branches' taken-weight.
+    pub correlated_taken_low: f64,
+    /// Upper bound of correlated branches' taken-weight.
+    pub correlated_taken_high: f64,
+    /// Size of the pool of distinct correlated functions branches draw
+    /// from (0 = every branch gets its own function). Real programs
+    /// reuse predicate structure — many branches test the same
+    /// conditions — which is what makes counter aliasing between
+    /// correlated branches partly harmless.
+    pub correlated_pool: u32,
+}
+
+impl Default for BehaviorTuning {
+    /// Short loops, short patterns, taken-leaning correlation — the
+    /// profile of the large IBS-style programs.
+    fn default() -> Self {
+        BehaviorTuning {
+            loop_short_max: 8,
+            loop_long_max: 48,
+            loop_long_fraction: 0.25,
+            pattern_min_bits: 2,
+            pattern_max_bits: 8,
+            correlated_taken_low: 0.7,
+            correlated_taken_high: 0.95,
+            correlated_pool: 12,
+        }
+    }
+}
+
+impl BehaviorTuning {
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any range is malformed.
+    pub fn validate(&self) {
+        assert!(
+            self.loop_short_max >= 2 && self.loop_short_max <= self.loop_long_max,
+            "invalid loop trip ranges in {self:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.loop_long_fraction),
+            "invalid loop_long_fraction in {self:?}"
+        );
+        assert!(
+            self.pattern_min_bits >= 2
+                && self.pattern_min_bits <= self.pattern_max_bits
+                && self.pattern_max_bits <= 32,
+            "invalid pattern lengths in {self:?}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.correlated_taken_low)
+                && self.correlated_taken_low <= self.correlated_taken_high
+                && self.correlated_taken_high <= 1.0,
+            "invalid correlated taken-weight range in {self:?}"
+        );
+    }
+}
+
+/// Published Table 1 / Table 2 numbers for one benchmark, reported
+/// alongside the synthetic model's measured statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperReference {
+    /// Dynamic instruction count of the original trace.
+    pub dynamic_instructions: u64,
+    /// Dynamic conditional-branch count of the original trace.
+    pub dynamic_conditionals: u64,
+    /// Static conditional branches in the original binary.
+    pub static_conditionals: u32,
+    /// Static branches supplying 90% of dynamic instances (Table 1).
+    pub static_for_90: u32,
+    /// Table 2 coverage buckets, where the paper published them.
+    pub table2: Option<CoverageBuckets>,
+}
+
+/// Complete description of one synthetic benchmark model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (matches the paper, e.g. `"mpeg_play"`).
+    pub name: String,
+    /// Which suite it belongs to.
+    pub suite: SuiteKind,
+    /// Static-branch coverage targets (the model's branch count is
+    /// `coverage.total()`).
+    pub coverage: CoverageBuckets,
+    /// Behaviour mix of the hot set (branches supplying the first 90%
+    /// of dynamic instances).
+    pub hot_mix: BehaviorMix,
+    /// Behaviour mix of the cold tail.
+    pub cold_mix: BehaviorMix,
+    /// Bias range of hot Bernoulli branches.
+    pub hot_bias: BiasRange,
+    /// Bias range of cold Bernoulli branches.
+    pub cold_bias: BiasRange,
+    /// Global-history depth that correlated branches depend on.
+    pub correlation_bits: u32,
+    /// Noise rate of correlated branches.
+    pub correlation_noise: f64,
+    /// Fine behaviour parameters (loop trips, pattern lengths,
+    /// correlated-function bias).
+    pub tuning: BehaviorTuning,
+    /// Probability that execution follows a block's fixed successor
+    /// instead of re-sampling by frequency. Higher coherence means
+    /// longer deterministic macro-sequences, which is what lets global
+    /// history identify branches in small programs.
+    pub sequence_coherence: f64,
+    /// Default trace length in conditional branches.
+    pub dynamic_branches: usize,
+    /// Fraction of records that are non-conditional transfers
+    /// (interleaved jumps/calls, exercising path predictors).
+    pub jump_fraction: f64,
+    /// The paper's published numbers for this benchmark.
+    pub paper: PaperReference,
+}
+
+impl BenchmarkSpec {
+    /// Validates all the embedded distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any mix, bias range, or fraction is malformed.
+    pub fn validate(&self) {
+        self.hot_mix.validate();
+        self.cold_mix.validate();
+        self.hot_bias.validate();
+        self.cold_bias.validate();
+        self.tuning.validate();
+        assert!(
+            (0.0..1.0).contains(&self.sequence_coherence),
+            "{}: sequence coherence {} out of range",
+            self.name,
+            self.sequence_coherence
+        );
+        assert!(self.coverage.total() > 0, "{}: no branches", self.name);
+        assert!(
+            (0.0..1.0).contains(&self.jump_fraction),
+            "{}: jump fraction {} out of range",
+            self.name,
+            self.jump_fraction
+        );
+        assert!(
+            (0.0..=0.5).contains(&self.correlation_noise),
+            "{}: correlation noise {} out of range",
+            self.name,
+            self.correlation_noise
+        );
+        assert!(self.correlation_bits <= 16, "{}: correlation too deep", self.name);
+        assert!(self.dynamic_branches > 0, "{}: empty trace", self.name);
+    }
+
+    /// Total static branches in the model.
+    pub fn static_branches(&self) -> usize {
+        self.coverage.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> BehaviorMix {
+        BehaviorMix {
+            biased_taken: 0.4,
+            biased_not_taken: 0.3,
+            loops: 0.15,
+            patterns: 0.05,
+            correlated: 0.1,
+        }
+    }
+
+    #[test]
+    fn valid_mix_passes() {
+        mix().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn non_normalised_mix_panics() {
+        BehaviorMix {
+            biased_taken: 0.9,
+            ..mix()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mix_panics() {
+        BehaviorMix {
+            biased_taken: -0.1,
+            biased_not_taken: 0.5,
+            loops: 0.3,
+            patterns: 0.2,
+            correlated: 0.1,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn thresholds_are_cumulative() {
+        let t = mix().thresholds();
+        assert!((t[0] - 0.4).abs() < 1e-12);
+        assert!((t[1] - 0.7).abs() < 1e-12);
+        assert!((t[2] - 0.85).abs() < 1e-12);
+        assert!((t[3] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bias range")]
+    fn inverted_bias_range_panics() {
+        BiasRange {
+            low: 0.95,
+            high: 0.9,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bias range")]
+    fn sub_half_bias_panics() {
+        BiasRange {
+            low: 0.3,
+            high: 0.9,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn default_tuning_validates() {
+        BehaviorTuning::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pattern lengths")]
+    fn inverted_pattern_range_panics() {
+        BehaviorTuning {
+            pattern_min_bits: 9,
+            pattern_max_bits: 4,
+            ..BehaviorTuning::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loop trip ranges")]
+    fn inverted_loop_range_panics() {
+        BehaviorTuning {
+            loop_short_max: 32,
+            loop_long_max: 8,
+            ..BehaviorTuning::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(SuiteKind::SpecInt92.label(), "SPECint92");
+        assert_eq!(SuiteKind::IbsUltrix.label(), "IBS-Ultrix");
+    }
+}

@@ -1,0 +1,175 @@
+//! Frequency-weight construction calibrated to coverage buckets.
+//!
+//! The paper characterises each benchmark by how many static branches
+//! supply the first 50%, next 40%, next 9%, and last 1% of dynamic
+//! conditional instances (Table 2). Rather than fitting a parametric
+//! Zipf law and hoping, we construct per-branch execution weights
+//! *directly* from those bucket counts: each bucket receives exactly its
+//! share of the total mass, distributed within the bucket with a mild
+//! geometric slope so the cumulative-coverage curve is smooth.
+
+use bpred_trace::stats::CoverageBuckets;
+
+/// Mass assigned to each bucket, in bucket order.
+const BUCKET_MASS: [f64; 4] = [0.50, 0.40, 0.09, 0.01];
+
+/// Ratio between the heaviest and lightest weight within one bucket.
+const INTRA_BUCKET_SKEW: f64 = 4.0;
+
+/// Builds per-branch weights (heaviest first) from bucket counts. The
+/// result has `buckets.total()` entries summing to 1.0, with the first
+/// `first_50` branches holding 50% of the mass, and so on.
+///
+/// Empty buckets simply contribute no branches; their mass is
+/// redistributed proportionally over the remaining buckets so the
+/// weights still sum to 1.
+///
+/// # Panics
+///
+/// Panics if every bucket is empty.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_trace::stats::CoverageBuckets;
+/// use bpred_workloads::bucket_weights;
+///
+/// let buckets = CoverageBuckets { first_50: 2, next_40: 3, next_9: 5, last_1: 10 };
+/// let w = bucket_weights(&buckets);
+/// assert_eq!(w.len(), 20);
+/// let head: f64 = w[..2].iter().sum();
+/// assert!((head - 0.5).abs() < 1e-9);
+/// ```
+pub fn bucket_weights(buckets: &CoverageBuckets) -> Vec<f64> {
+    let counts = [
+        buckets.first_50,
+        buckets.next_40,
+        buckets.next_9,
+        buckets.last_1,
+    ];
+    let present_mass: f64 = counts
+        .iter()
+        .zip(BUCKET_MASS)
+        .filter(|(&c, _)| c > 0)
+        .map(|(_, m)| m)
+        .sum();
+    assert!(present_mass > 0.0, "coverage buckets must not all be empty");
+
+    let mut weights = Vec::with_capacity(buckets.total());
+    for (&count, mass) in counts.iter().zip(BUCKET_MASS) {
+        if count == 0 {
+            continue;
+        }
+        let mass = mass / present_mass;
+        weights.extend(geometric_slope(count, mass));
+    }
+    weights
+}
+
+/// `count` weights summing to `mass`, decaying geometrically so the
+/// first is [`INTRA_BUCKET_SKEW`] times the last.
+fn geometric_slope(count: usize, mass: f64) -> Vec<f64> {
+    if count == 1 {
+        return vec![mass];
+    }
+    // ratio^(count-1) = 1/INTRA_BUCKET_SKEW
+    let ratio = (1.0 / INTRA_BUCKET_SKEW).powf(1.0 / (count - 1) as f64);
+    let mut w: Vec<f64> = (0..count).map(|i| ratio.powi(i as i32)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x *= mass / total;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cumulative_at(w: &[f64], n: usize) -> f64 {
+        w[..n].iter().sum()
+    }
+
+    #[test]
+    fn buckets_receive_their_mass() {
+        let b = CoverageBuckets {
+            first_50: 12,
+            next_40: 93,
+            next_9: 296,
+            last_1: 1376,
+        };
+        let w = bucket_weights(&b);
+        assert_eq!(w.len(), 1777);
+        assert!((cumulative_at(&w, 12) - 0.50).abs() < 1e-9);
+        assert!((cumulative_at(&w, 105) - 0.90).abs() < 1e-9);
+        assert!((cumulative_at(&w, 401) - 0.99).abs() < 1e-9);
+        assert!((cumulative_at(&w, 1777) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_monotone_within_buckets() {
+        let b = CoverageBuckets {
+            first_50: 5,
+            next_40: 10,
+            next_9: 20,
+            last_1: 40,
+        };
+        let w = bucket_weights(&b);
+        for range in [0..5usize, 5..15, 15..35, 35..75] {
+            let slice = &w[range];
+            assert!(slice.windows(2).all(|p| p[0] >= p[1]));
+        }
+    }
+
+    #[test]
+    fn intra_bucket_skew_is_bounded() {
+        let w = geometric_slope(50, 1.0);
+        let ratio = w[0] / w[49];
+        assert!((ratio - INTRA_BUCKET_SKEW).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_buckets_redistribute_mass() {
+        let b = CoverageBuckets {
+            first_50: 3,
+            next_40: 0,
+            next_9: 0,
+            last_1: 0,
+        };
+        let w = bucket_weights(&b);
+        assert_eq!(w.len(), 3);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_branch_bucket() {
+        let b = CoverageBuckets {
+            first_50: 1,
+            next_40: 1,
+            next_9: 1,
+            last_1: 1,
+        };
+        let w = bucket_weights(&b);
+        assert_eq!(w.len(), 4);
+        assert!((w[0] - 0.5).abs() < 1e-9);
+        assert!((w[3] - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be empty")]
+    fn all_empty_panics() {
+        let _ = bucket_weights(&CoverageBuckets::default());
+    }
+
+    #[test]
+    fn all_weights_positive() {
+        let b = CoverageBuckets {
+            first_50: 64,
+            next_40: 466,
+            next_9: 1372,
+            last_1: 3694,
+        };
+        let w = bucket_weights(&b);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Extending the library: plug a custom row-selection scheme into the
+//! general two-level model of the paper's Figure 1, and a completely
+//! custom predictor into the simulation engine.
+//!
+//! The custom selector here is a *global-history-with-hysteresis*
+//! variant: it records only outcomes that disagree with each branch's
+//! last outcome, a toy illustration of how the `RowSelector` trait
+//! hosts new first-level designs without touching the engine.
+//!
+//! ```text
+//! cargo run --release --example custom_predictor
+//! ```
+
+use std::collections::HashMap;
+
+use bpred::core::{
+    BranchPredictor, Gshare, RowSelection, RowSelector, TableGeometry, TwoLevel,
+};
+use bpred::sim::report::percent;
+use bpred::sim::Simulator;
+use bpred::trace::Outcome;
+use bpred::workloads::suite;
+
+/// Global history that only shifts in "surprising" outcomes (those
+/// that differ from the same branch's previous outcome). Boring
+/// repeats of biased branches no longer dilute the history.
+#[derive(Debug, Default)]
+struct SurpriseHistory {
+    bits: u64,
+    width: u32,
+    last_outcome: HashMap<u64, Outcome>,
+}
+
+impl SurpriseHistory {
+    fn new(width: u32) -> Self {
+        SurpriseHistory {
+            width,
+            ..SurpriseHistory::default()
+        }
+    }
+}
+
+impl RowSelector for SurpriseHistory {
+    fn select(&mut self, _pc: u64, _geometry: TableGeometry) -> RowSelection {
+        RowSelection::plain(self.bits)
+    }
+
+    fn train(&mut self, pc: u64, _target: u64, outcome: Outcome, _geometry: TableGeometry) {
+        let surprising = self.last_outcome.insert(pc, outcome) != Some(outcome);
+        if surprising && self.width > 0 {
+            self.bits = ((self.bits << 1) | outcome.as_bit()) & ((1 << self.width) - 1);
+        }
+    }
+
+    fn state_bits(&self) -> u64 {
+        u64::from(self.width) + self.last_outcome.len() as u64
+    }
+
+    fn describe(&self, geometry: TableGeometry) -> String {
+        format!("surprise-history({geometry})")
+    }
+}
+
+fn main() {
+    let trace = suite::espresso().scaled(300_000).trace(3);
+    let sim = Simulator::new();
+
+    let mut custom = TwoLevel::with_selector(SurpriseHistory::new(8), TableGeometry::new(8, 2));
+    let custom_result = sim.run(&mut custom, &trace);
+
+    let mut baseline = Gshare::new(8, 2);
+    let baseline_result = sim.run(&mut baseline, &trace);
+
+    println!(
+        "{:<28} {}",
+        custom.name(),
+        percent(custom_result.misprediction_rate())
+    );
+    println!(
+        "{:<28} {}",
+        baseline.name(),
+        percent(baseline_result.misprediction_rate())
+    );
+    println!(
+        "\n(Both predictors hold {} counters; the custom scheme shows how\n\
+         RowSelector composes with the instrumented table — it inherits\n\
+         aliasing accounting for free: {} aliased accesses.)",
+        custom.geometry().counters(),
+        custom_result.alias.map_or(0, |a| a.conflicts),
+    );
+}

@@ -1,0 +1,58 @@
+//! Building a custom workload: sweep the *workload* axis instead of
+//! the predictor axis. The paper's central variable is the number of
+//! distinct branches competing for predictor state; here we hold the
+//! predictor fixed (gshare and YAGS at 8K counters) and scale the
+//! branch working set from espresso-sized to gcc-sized, watching
+//! aliasing take over — and the dealiased successor shrug it off.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use bpred::core::{Gshare, PredictorConfig};
+use bpred::sim::report::percent;
+use bpred::sim::{run_config, Simulator, TextTable};
+use bpred::workloads::WorkloadBuilder;
+
+fn main() {
+    let sim = Simulator::new();
+    let mut table = TextTable::new(
+        ["static branches", "gshare 2^13", "gshare aliasing", "yags 2^13"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+
+    for statics in [500usize, 2_000, 8_000, 32_000] {
+        let model = WorkloadBuilder::new(&format!("scale-{statics}"))
+            .static_branches(statics)
+            .dynamic_branches(250_000)
+            .build();
+        let trace = model.trace(7);
+
+        let gshare = {
+            let mut p = Gshare::new(13, 0);
+            sim.run(&mut p, &trace)
+        };
+        let yags = run_config(
+            PredictorConfig::Yags {
+                choice_bits: 12,
+                cache_bits: 11,
+                tag_bits: 6,
+            },
+            &trace,
+            sim,
+        );
+        table.push_row(vec![
+            statics.to_string(),
+            percent(gshare.misprediction_rate()),
+            percent(gshare.alias_rate()),
+            percent(yags.misprediction_rate()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n(The paper's thesis in one sweep: gshare's accuracy tracks its\n\
+         aliasing rate as the branch working set grows; a dealiased\n\
+         design keeps most of its accuracy.)"
+    );
+}

@@ -1,0 +1,63 @@
+//! Design-space exploration: sweep one scheme's entire row/column
+//! trade-off on one benchmark model and render the surface — a
+//! single-benchmark version of the paper's Figures 4/6/9.
+//!
+//! ```text
+//! cargo run --release --example design_space -- [benchmark] [scheme]
+//! # e.g.
+//! cargo run --release --example design_space -- real_gcc gshare
+//! ```
+//!
+//! `scheme` is one of `gas`, `gshare`, `path`, `pas`.
+
+use bpred::core::PredictorConfig;
+use bpred::sim::report::{render_surface, surface_csv};
+use bpred::sim::{Simulator, Surface};
+use bpred::workloads::suite;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let benchmark = args.next().unwrap_or_else(|| "mpeg_play".to_owned());
+    let scheme = args.next().unwrap_or_else(|| "gas".to_owned());
+
+    let Some(model) = suite::by_name(&benchmark) else {
+        eprintln!(
+            "unknown benchmark {benchmark:?}; choose one of: {}",
+            suite::all_specs()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    };
+    let trace = model.scaled(300_000).trace(7);
+
+    let make: Box<dyn Fn(u32, u32) -> PredictorConfig> = match scheme.as_str() {
+        "gas" => Box::new(|r, c| PredictorConfig::Gas {
+            history_bits: r,
+            col_bits: c,
+        }),
+        "gshare" => Box::new(|r, c| PredictorConfig::Gshare {
+            history_bits: r,
+            col_bits: c,
+        }),
+        "path" => Box::new(|r, c| PredictorConfig::Path {
+            row_bits: r,
+            col_bits: c,
+            bits_per_target: 2,
+        }),
+        "pas" => Box::new(|r, c| PredictorConfig::PasInfinite {
+            history_bits: r,
+            col_bits: c,
+        }),
+        other => {
+            eprintln!("unknown scheme {other:?}; choose gas, gshare, path, or pas");
+            std::process::exit(1);
+        }
+    };
+
+    let surface = Surface::sweep(&scheme, &benchmark, 4..=13, &trace, Simulator::new(), make);
+    println!("{}", render_surface(&surface));
+    println!("-- CSV --\n{}", surface_csv(&surface));
+}

@@ -1,0 +1,81 @@
+//! Quickstart: simulate a handful of classic predictors on one of the
+//! paper's workload models and print a small comparison table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bpred::core::{
+    AddressIndexed, BranchPredictor, Btfn, Combining, Gas, Gshare, Pas, PathBased,
+};
+use bpred::sim::report::percent;
+use bpred::sim::{Simulator, TextTable};
+use bpred::workloads::suite;
+
+fn main() {
+    // A 200k-branch trace of the mpeg_play model. Everything is
+    // seeded: run it twice and you get the same numbers.
+    let model = suite::mpeg_play().scaled(200_000);
+    let trace = model.trace(42);
+    println!(
+        "workload: {} ({} static branches, {} dynamic conditionals)\n",
+        model.name(),
+        model.static_branches(),
+        trace.conditional_len()
+    );
+
+    let sim = Simulator::new();
+    let mut table = TextTable::new(
+        ["predictor", "counters", "mispredict", "aliasing"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+
+    // Every scheme here holds roughly 4096 counters of second-level
+    // state, the paper's middle budget.
+    let mut rows: Vec<(String, bpred::sim::SimResult)> = Vec::new();
+    rows.push(("btfn".into(), sim.run(&mut Btfn, &trace)));
+    rows.push({
+        let mut p = AddressIndexed::new(12);
+        let r = sim.run(&mut p, &trace);
+        (p.name(), r)
+    });
+    rows.push({
+        let mut p = Gas::new(8, 4);
+        let r = sim.run(&mut p, &trace);
+        (p.name(), r)
+    });
+    rows.push({
+        let mut p = Gshare::new(8, 4);
+        let r = sim.run(&mut p, &trace);
+        (p.name(), r)
+    });
+    rows.push({
+        let mut p = PathBased::new(8, 4, 2);
+        let r = sim.run(&mut p, &trace);
+        (p.name(), r)
+    });
+    rows.push({
+        let mut p = Pas::with_bht(8, 4, 1024, 4);
+        let r = sim.run(&mut p, &trace);
+        (p.name(), r)
+    });
+    rows.push({
+        let mut p = Combining::new(AddressIndexed::new(11), Gshare::new(11, 0), 11);
+        let r = sim.run(&mut p, &trace);
+        (p.name(), r)
+    });
+
+    for (name, result) in rows {
+        table.push_row(vec![
+            name,
+            result.state_bits.to_string(),
+            percent(result.misprediction_rate()),
+            result
+                .alias
+                .map(|a| percent(a.conflict_rate()))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print!("{}", table.render());
+}

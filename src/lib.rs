@@ -1,0 +1,39 @@
+//! # bpred — correlation and aliasing in dynamic branch predictors
+//!
+//! A trace-driven branch-prediction simulation library reproducing
+//! *Sechrest, Lee & Mudge, "Correlation and Aliasing in Dynamic Branch
+//! Predictors" (ISCA 1996)*.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`trace`] — branch records, traces, formats, and statistics;
+//! * [`workloads`] — synthetic benchmark models calibrated to the paper's
+//!   SPECint92 and IBS-Ultrix characterizations;
+//! * [`core`] — the predictor library (address-indexed, GAg, GAs, gshare,
+//!   path-based, PAg/PAs, combining) with aliasing instrumentation;
+//! * [`sim`] — the simulation engine, configuration sweeps, and the
+//!   drivers that regenerate each table and figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bpred::core::{BranchPredictor, Gshare};
+//! use bpred::sim::Simulator;
+//! use bpred::workloads::suite;
+//!
+//! // Build the espresso-like workload model and a 1024-counter gshare
+//! // predictor (8 history bits XORed into the row index, 2 column bits).
+//! let trace = suite::espresso().scaled(20_000).trace(42);
+//! let mut predictor = Gshare::new(8, 2);
+//! let result = Simulator::new().run(&mut predictor, &trace);
+//! println!("misprediction rate: {:.2}%", 100.0 * result.misprediction_rate());
+//! assert!(result.misprediction_rate() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bpred_core as core;
+pub use bpred_sim as sim;
+pub use bpred_trace as trace;
+pub use bpred_workloads as workloads;

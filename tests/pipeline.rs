@@ -1,0 +1,124 @@
+//! Cross-crate integration: workload generation → serialization →
+//! simulation → reporting as one pipeline.
+
+use bpred::core::{BranchPredictor, Gshare, PredictorConfig};
+use bpred::sim::{run_configs, Simulator, Surface};
+use bpred::trace::stats::TraceStats;
+use bpred::trace::{binfmt, textfmt};
+use bpred::workloads::{suite, CfgConfig, CfgProgram};
+
+/// A trace survives both serialization formats and simulates
+/// identically afterwards.
+#[test]
+fn serialization_round_trip_preserves_simulation() {
+    let trace = suite::sdet().scaled(20_000).trace(3);
+
+    let binary = binfmt::decode(&binfmt::encode(&trace)).expect("binary round trip");
+    assert_eq!(binary, trace);
+    let text = textfmt::parse(&textfmt::emit(&trace)).expect("text round trip");
+    assert_eq!(text, trace);
+
+    let sim = Simulator::new();
+    let direct = sim.run(&mut Gshare::new(8, 2), &trace);
+    let via_binary = sim.run(&mut Gshare::new(8, 2), &binary);
+    assert_eq!(direct, via_binary);
+}
+
+/// The experiment drivers run end to end at reduced scale.
+#[test]
+fn experiment_drivers_run_end_to_end() {
+    use bpred::sim::experiments::{self, ExperimentOptions};
+    let opts = ExperimentOptions {
+        branches: Some(3_000),
+        seed: 5,
+        min_bits: 4,
+        max_bits: 6,
+    };
+    assert_eq!(experiments::table2(&opts).len(), 3);
+    let surfaces = experiments::fig6(&opts);
+    assert_eq!(surfaces.len(), 3);
+    for s in &surfaces {
+        assert_eq!(s.tiers.len(), 3);
+    }
+    let diff = experiments::fig7(&opts);
+    assert!(!diff.is_empty());
+}
+
+/// The CFG workload drives the same engine and predictors as the
+/// statistical models — and its loop structure makes global history
+/// pay off over a 16-counter bimodal table.
+#[test]
+fn cfg_workload_is_predictable() {
+    let program = CfgProgram::generate(CfgConfig::default(), 11);
+    let trace = program.trace(2, 40_000);
+    let configs = vec![
+        PredictorConfig::AlwaysTaken,
+        PredictorConfig::AddressIndexed { addr_bits: 12 },
+        PredictorConfig::Gshare {
+            history_bits: 10,
+            col_bits: 2,
+        },
+    ];
+    let results = run_configs(&configs, &trace, Simulator::new());
+    // Real dynamic predictors beat always-taken on structured code.
+    assert!(results[1].misprediction_rate() < results[0].misprediction_rate());
+    assert!(results[2].misprediction_rate() < results[0].misprediction_rate());
+}
+
+/// Surfaces computed through the full pipeline are internally
+/// consistent: every tier has the right shapes and alias accounting
+/// invariants hold at every point.
+#[test]
+fn surfaces_are_internally_consistent() {
+    let trace = suite::groff().scaled(15_000).trace(9);
+    let surface = Surface::sweep(
+        "GAs",
+        "groff",
+        4..=7,
+        &trace,
+        Simulator::new(),
+        |r, c| PredictorConfig::Gas {
+            history_bits: r,
+            col_bits: c,
+        },
+    );
+    for tier in &surface.tiers {
+        for point in &tier.points {
+            assert_eq!(point.row_bits + point.col_bits, tier.total_bits);
+            let alias = point.result.alias.expect("GAs tracks aliasing");
+            assert_eq!(alias.accesses, 15_000);
+            assert!(alias.conflicts <= alias.accesses);
+            assert!(alias.harmless_conflicts <= alias.conflicts);
+            assert!(point.result.conditionals == 15_000);
+        }
+    }
+}
+
+/// Workload statistics survive the whole pipeline: what the generator
+/// promises, the trace-stats module measures.
+#[test]
+fn generated_statistics_match_model_metadata() {
+    let model = suite::verilog().scaled(60_000);
+    let trace = model.trace(4);
+    let stats = TraceStats::measure(&trace);
+    assert_eq!(stats.dynamic_conditionals, 60_000);
+    // Only materialised branches appear.
+    assert!(stats.static_conditionals <= model.static_branches());
+    // Most of the model's hot set should actually execute.
+    assert!(stats.static_conditionals > model.static_branches() / 4);
+}
+
+/// Boxed predictors built from parsed configuration strings behave
+/// like directly constructed ones.
+#[test]
+fn config_strings_build_equivalent_predictors() {
+    let trace = suite::xlisp().scaled(10_000).trace(6);
+    let sim = Simulator::new();
+    let parsed: PredictorConfig = "gshare:h=8,c=2".parse().expect("valid config");
+    let mut boxed = parsed.build();
+    let from_box = sim.run(&mut boxed, &trace);
+    let mut direct = Gshare::new(8, 2);
+    let from_direct = sim.run(&mut direct, &trace);
+    assert_eq!(from_box, from_direct);
+    assert_eq!(boxed.name(), direct.name());
+}

@@ -1,0 +1,135 @@
+//! Validation of all fourteen benchmark models against their
+//! calibration targets and the paper's qualitative characterization
+//! (§2): taken rates in the realistic integer-code band, the dominance
+//! of highly biased branches, the SPEC-vs-IBS footprint split, and
+//! determinism of every model.
+
+use bpred::trace::stats::TraceStats;
+use bpred::workloads::{suite, SuiteKind};
+
+const BRANCHES: usize = 60_000;
+const SEED: u64 = 2026;
+
+#[test]
+fn every_model_generates_and_measures_consistently() {
+    for spec in suite::all_specs() {
+        let model = suite::by_name(&spec.name).expect("model exists");
+        let trace = model.scaled(BRANCHES).trace(SEED);
+        let stats = TraceStats::measure(&trace);
+        assert_eq!(
+            stats.dynamic_conditionals as usize, BRANCHES,
+            "{}: wrong trace length",
+            spec.name
+        );
+        // Taken rates of real integer code: roughly 50-80%.
+        assert!(
+            (0.45..0.9).contains(&stats.taken_rate),
+            "{}: taken rate {:.3} unrealistic",
+            spec.name,
+            stats.taken_rate
+        );
+        // §2: "A large proportion of the branches ... are very highly
+        // biased" — most strongly for gcc and the IBS programs, which
+        // "execute, proportionally, even more instances of these
+        // highly biased branches". The small SPEC models are
+        // deliberately less biased ("the relatively low bias of the
+        // active branches", §4), so they get a laxer floor.
+        let floor = if spec.suite == SuiteKind::SpecInt92 && spec.name != "gcc" {
+            // Their 50%-heads are a dozen-odd branches dominated by
+            // loop/pattern/correlated behaviour, so the ≥0.9-bias mass
+            // is structurally small.
+            0.15
+        } else {
+            0.5
+        };
+        assert!(
+            stats.highly_biased_fraction > floor,
+            "{}: only {:.2} of instances from biased branches",
+            spec.name,
+            stats.highly_biased_fraction
+        );
+        // No model may exercise more statics than it declares.
+        assert!(
+            stats.static_conditionals <= spec.static_branches(),
+            "{}: {} statics measured vs {} declared",
+            spec.name,
+            stats.static_conditionals,
+            spec.static_branches()
+        );
+    }
+}
+
+#[test]
+fn ibs_models_have_larger_working_sets_than_small_spec() {
+    // §2's core contrast: the five small-footprint SPECint92 programs
+    // vs the IBS suite. Compare the branches needed for 90% coverage
+    // at a fixed trace length.
+    let mut small_spec_max = 0usize;
+    let mut ibs_min = usize::MAX;
+    for spec in suite::all_specs() {
+        if spec.name == "gcc" {
+            continue; // the paper's noted exception within SPECint92
+        }
+        let model = suite::by_name(&spec.name).expect("model exists");
+        let stats = TraceStats::measure(&model.scaled(BRANCHES).trace(SEED));
+        let n90 = stats.static_for_fraction(0.9);
+        match spec.suite {
+            SuiteKind::SpecInt92 => small_spec_max = small_spec_max.max(n90),
+            SuiteKind::IbsUltrix => ibs_min = ibs_min.min(n90),
+        }
+    }
+    assert!(
+        ibs_min > small_spec_max,
+        "every IBS model (min n90 {ibs_min}) should out-footprint every small \
+         SPEC model (max n90 {small_spec_max})"
+    );
+}
+
+#[test]
+fn gcc_is_the_spec_outlier() {
+    // "Only gcc exercises a substantial number of branches."
+    let gcc = TraceStats::measure(&suite::gcc().scaled(BRANCHES).trace(SEED));
+    for name in ["compress", "eqntott", "espresso", "xlisp", "sc"] {
+        let other = TraceStats::measure(
+            &suite::by_name(name).expect("model").scaled(BRANCHES).trace(SEED),
+        );
+        assert!(
+            gcc.static_for_90 > 3 * other.static_for_90,
+            "gcc n90 {} should dwarf {name} n90 {}",
+            gcc.static_for_90,
+            other.static_for_90
+        );
+    }
+}
+
+#[test]
+fn focus_models_match_their_published_coverage_heads() {
+    // The head of the coverage distribution (branches for 50%) drives
+    // every aliasing result; it must match Table 2 within 2x at
+    // moderate trace lengths.
+    for (name, published_n50) in [("espresso", 12usize), ("mpeg_play", 64), ("real_gcc", 327)] {
+        let model = suite::by_name(name).expect("model");
+        let stats = TraceStats::measure(&model.scaled(200_000).trace(SEED));
+        let n50 = stats.static_for_fraction(0.5);
+        assert!(
+            n50 >= published_n50 / 2 && n50 <= published_n50 * 2,
+            "{name}: measured n50 {n50} vs published {published_n50}"
+        );
+    }
+}
+
+#[test]
+fn models_are_stable_across_seeds_but_not_identical() {
+    let model = suite::groff().scaled(20_000);
+    let a = TraceStats::measure(&model.trace(1));
+    let b = TraceStats::measure(&model.trace(2));
+    // Different instance streams...
+    assert_ne!(model.trace(1), model.trace(2));
+    // ...but the same program: static sets overlap heavily and rates
+    // agree closely.
+    assert!((a.taken_rate - b.taken_rate).abs() < 0.03);
+    // At 20k branches the cold tail is heavily subsampled, so allow
+    // a wider band on the executed-static count.
+    let ratio = a.static_conditionals as f64 / b.static_conditionals as f64;
+    assert!((0.75..1.35).contains(&ratio), "{ratio}");
+}
