@@ -19,7 +19,10 @@ fn predictor_throughput(c: &mut Criterion) {
     let configs: Vec<(&str, PredictorConfig)> = vec![
         ("always-taken", PredictorConfig::AlwaysTaken),
         ("btfn", PredictorConfig::Btfn),
-        ("bimodal-4k", PredictorConfig::AddressIndexed { addr_bits: 12 }),
+        (
+            "bimodal-4k",
+            PredictorConfig::AddressIndexed { addr_bits: 12 },
+        ),
         (
             "gag-4k",
             PredictorConfig::Gas {

@@ -1,10 +1,13 @@
 //! Criterion macrobenchmarks: whole-tier parallel sweeps — the unit of
-//! work behind every surface figure.
+//! work behind every surface figure — plus the head-to-head between
+//! the batched single-pass engine (`run_configs`) and the
+//! one-replay-per-configuration baseline (`run_configs_per_config`)
+//! on the acceptance-sized sweep (32 configurations, 120k branches).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bpred_core::PredictorConfig;
-use bpred_sim::{Simulator, Surface};
+use bpred_sim::{run_configs, run_configs_per_config, Simulator, Surface};
 use bpred_workloads::suite;
 
 fn tier_sweep(c: &mut Criterion) {
@@ -36,5 +39,45 @@ fn tier_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, tier_sweep);
+/// The acceptance sweep: 32 configurations over a 120k-branch trace,
+/// batched engine vs the per-configuration baseline. The batched
+/// engine walks the trace once per 8-predictor shard (4 passes total)
+/// instead of once per configuration (32 passes).
+fn engine_comparison(c: &mut Criterion) {
+    let trace = suite::espresso().scaled(120_000).trace(2);
+    let configs: Vec<PredictorConfig> = (2..10u32)
+        .flat_map(|history_bits| {
+            [
+                PredictorConfig::Gas {
+                    history_bits,
+                    col_bits: 3,
+                },
+                PredictorConfig::Gshare {
+                    history_bits,
+                    col_bits: 3,
+                },
+                PredictorConfig::PasInfinite {
+                    history_bits,
+                    col_bits: 2,
+                },
+                PredictorConfig::AddressIndexed {
+                    addr_bits: history_bits + 3,
+                },
+            ]
+        })
+        .collect();
+    assert_eq!(configs.len(), 32);
+
+    let mut group = c.benchmark_group("engine-32x120k");
+    group.sample_size(10);
+    group.bench_function("batched", |b| {
+        b.iter(|| run_configs(&configs, &trace, Simulator::new()));
+    });
+    group.bench_function("per-config", |b| {
+        b.iter(|| run_configs_per_config(&configs, &trace, Simulator::new()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tier_sweep, engine_comparison);
 criterion_main!(benches);

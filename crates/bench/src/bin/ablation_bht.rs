@@ -39,7 +39,14 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     println!("\n(reference: PAs with a perfect first level)");
     let mut ideal = Pas::perfect(10, 0);
     let result = sim.run(&mut ideal, &trace);

@@ -49,6 +49,13 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

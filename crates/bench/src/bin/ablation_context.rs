@@ -18,9 +18,7 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
     let branches = args.options.branches.unwrap_or(300_000);
-    println!(
-        "Extension: context-switch interference (mpeg_play + sdet, {branches} branches)\n"
-    );
+    println!("Extension: context-switch interference (mpeg_play + sdet, {branches} branches)\n");
 
     let configs = vec![
         PredictorConfig::AddressIndexed { addr_bits: 12 },
@@ -67,7 +65,14 @@ fn main() -> ExitCode {
         row.extend(results.iter().map(|r| percent(r.misprediction_rate())));
         table.push_row(row);
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     println!(
         "\n(Shorter quanta mean more cross-context pollution of history\n\
          registers, counters, and the PAs first level — the cost the\n\

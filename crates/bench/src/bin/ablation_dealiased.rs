@@ -48,9 +48,16 @@ fn main() -> ExitCode {
     ];
 
     let mut table = TextTable::new(
-        ["benchmark", "predictor", "counters", "mispredict", "aliasing", "harmless"]
-            .map(str::to_owned)
-            .to_vec(),
+        [
+            "benchmark",
+            "predictor",
+            "counters",
+            "mispredict",
+            "aliasing",
+            "harmless",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
     );
     for model in suite::focus() {
         let name = model.name().to_owned();
@@ -68,6 +75,13 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

@@ -42,6 +42,13 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

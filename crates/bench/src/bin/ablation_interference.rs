@@ -19,9 +19,7 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(code) => return code,
     };
-    println!(
-        "Extension: interference classification for 4096-counter GAs shapes\n"
-    );
+    println!("Extension: interference classification for 4096-counter GAs shapes\n");
 
     let mut table = TextTable::new(
         [
@@ -49,7 +47,14 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     println!(
         "\n(Reading: as rows replace columns, more predictions resolve under\n\
          conflict and those predictions miss more often — the paper's\n\

@@ -9,8 +9,7 @@ use std::process::ExitCode;
 
 use bpred_bench::Args;
 use bpred_core::{
-    BhtStats, CounterState, HistoryTable, SelfSelector, SetAssocBht,
-    TableGeometry, TwoLevel,
+    BhtStats, CounterState, HistoryTable, SelfSelector, SetAssocBht, TableGeometry, TwoLevel,
 };
 use bpred_sim::report::percent;
 use bpred_sim::{Simulator, TextTable};
@@ -107,6 +106,13 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

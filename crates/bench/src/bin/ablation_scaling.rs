@@ -12,7 +12,7 @@ use bpred_bench::Args;
 use bpred_core::PredictorConfig;
 use bpred_sim::report::percent;
 use bpred_sim::{run_configs, Simulator, TextTable};
-use bpred_workloads::suite;
+use bpred_workloads::{suite, WorkloadSource};
 
 fn main() -> ExitCode {
     let args = match Args::parse() {
@@ -46,14 +46,23 @@ fn main() -> ExitCode {
     let mut table = TextTable::new(headers);
 
     for branches in [50_000usize, 100_000, 200_000, 400_000, 800_000, 1_600_000] {
-        let trace = model.trace_of_length(args.options.seed, branches);
-        let results = run_configs(&configs, &trace, Simulator::new());
+        // Streamed, not materialised: the 1.6M-branch point would
+        // otherwise allocate the longest trace in the repo.
+        let source = WorkloadSource::with_length(model.clone(), args.options.seed, branches);
+        let results = run_configs(&configs, &source, Simulator::new());
         let mut row = vec![branches.to_string()];
         row.extend(results.iter().map(|r| percent(r.misprediction_rate())));
         row.push(percent(results.last().expect("pas row").bht_miss_rate()));
         table.push_row(row);
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     println!(
         "\n(Small tables converge by a few hundred thousand branches; the\n\
          2^15-counter GAg column and the first-level miss rate keep\n\

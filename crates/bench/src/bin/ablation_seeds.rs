@@ -56,7 +56,14 @@ fn main() -> ExitCode {
         }
         table.push_row(row);
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     println!(
         "\n(Scheme-to-scheme gaps in Table 3 are tens of times these\n\
          confidence intervals: the orderings are not seed artefacts.)"

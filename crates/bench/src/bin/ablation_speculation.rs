@@ -21,9 +21,15 @@ fn main() -> ExitCode {
     println!("Extension: speculative vs stale history under resolution delay\n");
 
     let mut table = TextTable::new(
-        ["benchmark", "delay", "ideal (trace)", "stale history", "speculative+repair"]
-            .map(str::to_owned)
-            .to_vec(),
+        [
+            "benchmark",
+            "delay",
+            "ideal (trace)",
+            "stale history",
+            "speculative+repair",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
     );
     let sim = Simulator::new();
     const HIST: u32 = 12;
@@ -49,6 +55,13 @@ fn main() -> ExitCode {
             ]);
         }
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

@@ -96,7 +96,14 @@ fn main() -> ExitCode {
             percent(c.result.misprediction_rate()),
         ]);
     }
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
 
     let tau = kendall_tau(&model_ranking, &cfg_ranking);
     println!("\nKendall tau between the two rankings: {tau:.3}");

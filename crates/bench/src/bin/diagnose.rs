@@ -84,7 +84,7 @@ fn main() -> ExitCode {
         "class", "instances", "share", "missrate", "overall contrib"
     );
     let mut rows: Vec<_> = per_class.into_iter().collect();
-    rows.sort_by(|a, b| (b.1 .1).cmp(&a.1 .1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1 .1));
     for (class, (n, m)) in rows {
         println!(
             "{:<18} {:>10} {:>7.1}% {:>9.2}% {:>15.2}%",

@@ -84,8 +84,14 @@ fn main() -> ExitCode {
         }
         out
     };
-    ok &= write("fig7_gshare_minus_gas.csv", diff_csv(&experiments::fig7(opts)));
-    ok &= write("fig8_path_minus_gas.csv", diff_csv(&experiments::fig8(opts)));
+    ok &= write(
+        "fig7_gshare_minus_gas.csv",
+        diff_csv(&experiments::fig7(opts)),
+    );
+    ok &= write(
+        "fig8_path_minus_gas.csv",
+        diff_csv(&experiments::fig8(opts)),
+    );
 
     if ok {
         ExitCode::SUCCESS

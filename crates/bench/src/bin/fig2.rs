@@ -15,6 +15,13 @@ fn main() -> ExitCode {
     let series = experiments::fig2(&args.options);
     let table = render_size_series(&series);
     println!("Figure 2: misprediction rates, address-indexed predictors\n");
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

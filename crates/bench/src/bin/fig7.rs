@@ -17,6 +17,13 @@ fn main() -> ExitCode {
     println!(
         "Figure 7: gshare vs GAs on mpeg_play (percentage points; positive = gshare better)\n"
     );
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

@@ -14,9 +14,14 @@ fn main() -> ExitCode {
     };
     let diff = experiments::fig8(&args.options);
     let table = render_difference(&diff);
-    println!(
-        "Figure 8: path vs GAs on mpeg_play (percentage points; positive = path better)\n"
+    println!("Figure 8: path vs GAs on mpeg_play (percentage points; positive = path better)\n");
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
     );
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
     ExitCode::SUCCESS
 }

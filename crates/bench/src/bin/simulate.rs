@@ -65,9 +65,16 @@ fn main() -> ExitCode {
 
     let model = CpiModel::mips_r2000_like();
     let mut table = TextTable::new(
-        ["predictor", "state bits", "mispredict", "aliasing", "L1 miss", "CPI (R2000-like)"]
-            .map(str::to_owned)
-            .to_vec(),
+        [
+            "predictor",
+            "state bits",
+            "mispredict",
+            "aliasing",
+            "L1 miss",
+            "CPI (R2000-like)",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
     );
     let sim = Simulator::new();
     for config in &configs {

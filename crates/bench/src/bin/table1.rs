@@ -13,6 +13,13 @@ fn main() -> ExitCode {
     };
     let table = experiments::table1(&args.options);
     println!("Table 1: characterization of the SPECint92 and IBS-Ultrix models\n");
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

@@ -13,6 +13,13 @@ fn main() -> ExitCode {
     };
     let table = experiments::table2(&args.options);
     println!("Table 2: static branches supplying each slice of dynamic instances\n");
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

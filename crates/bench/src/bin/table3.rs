@@ -21,6 +21,13 @@ fn main() -> ExitCode {
         .collect();
     let table = experiments::table3(&args.options, &budgets, &Table3Scheme::all());
     println!("Table 3: best configurations for various predictor table sizes\n");
-    print!("{}", if args.csv { table.to_csv() } else { table.render() });
+    print!(
+        "{}",
+        if args.csv {
+            table.to_csv()
+        } else {
+            table.render()
+        }
+    );
     ExitCode::SUCCESS
 }

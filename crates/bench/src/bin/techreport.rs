@@ -14,6 +14,8 @@ use bpred_sim::report::{render_surface, surface_csv};
 use bpred_sim::{Simulator, Surface};
 use bpred_workloads::suite;
 
+type MakeConfig = Box<dyn Fn(u32, u32) -> PredictorConfig>;
+
 fn main() -> ExitCode {
     let args = match Args::parse() {
         Ok(args) => args,
@@ -24,8 +26,8 @@ fn main() -> ExitCode {
 
     for model in suite::all() {
         let name = model.name().to_owned();
-        let trace = opts.trace(&model);
-        let schemes: [(&str, Box<dyn Fn(u32, u32) -> PredictorConfig>); 3] = [
+        let source = opts.source(&model);
+        let schemes: [(&str, MakeConfig); 3] = [
             (
                 "GAs",
                 Box::new(|r, c| PredictorConfig::Gas {
@@ -53,7 +55,7 @@ fn main() -> ExitCode {
                 scheme,
                 &name,
                 opts.min_bits..=opts.max_bits,
-                &trace,
+                &source,
                 Simulator::new(),
                 make,
             );

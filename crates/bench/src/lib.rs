@@ -97,7 +97,15 @@ mod tests {
     #[test]
     fn flags_are_applied() {
         let args = parse(&[
-            "--branches", "1000", "--seed", "7", "--min-bits", "5", "--max-bits", "9", "--csv",
+            "--branches",
+            "1000",
+            "--seed",
+            "7",
+            "--min-bits",
+            "5",
+            "--max-bits",
+            "9",
+            "--csv",
         ])
         .unwrap();
         assert_eq!(args.options.branches, Some(1000));

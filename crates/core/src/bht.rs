@@ -215,8 +215,14 @@ impl SetAssocBht {
     /// power of two, or `width > 64`.
     pub fn new(entries: usize, ways: usize, width: u32) -> Self {
         assert!(width <= 64, "history width {width} exceeds 64 bits");
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         SetAssocBht {
@@ -430,7 +436,11 @@ mod tests {
     fn record_without_lookup_allocates_silently() {
         let mut bht = SetAssocBht::new(4, 2, 4);
         bht.record(0x40, Outcome::Taken);
-        assert_eq!(bht.stats().accesses, 0, "internal allocation is not an access");
+        assert_eq!(
+            bht.stats().accesses,
+            0,
+            "internal allocation is not an access"
+        );
         let h = bht.lookup(0x40);
         assert_eq!(h & 1, 1);
     }

@@ -91,8 +91,14 @@ impl BranchTargetBuffer {
     /// Panics if `entries` is not a power of two, `ways` does not
     /// divide it, or the set count is not a power of two.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(entries.is_power_of_two(), "entry count must be a power of two");
-        assert!(ways > 0 && entries % ways == 0, "ways must divide entries");
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        assert!(
+            ways > 0 && entries.is_multiple_of(ways),
+            "ways must divide entries"
+        );
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         BranchTargetBuffer {

@@ -39,14 +39,14 @@ impl<P1: BranchPredictor, P2: BranchPredictor> Combining<P1, P2> {
     /// Creates a combining predictor with a `2^chooser_bits`-entry
     /// chooser table.
     pub fn new(first: P1, second: P2, chooser_bits: u32) -> Self {
-        assert!(chooser_bits <= 30, "chooser of 2^{chooser_bits} entries is too large");
+        assert!(
+            chooser_bits <= 30,
+            "chooser of 2^{chooser_bits} entries is too large"
+        );
         Combining {
             first,
             second,
-            chooser: vec![
-                TwoBitCounter::new(CounterState::WeakNotTaken);
-                1usize << chooser_bits
-            ],
+            chooser: vec![TwoBitCounter::new(CounterState::WeakNotTaken); 1usize << chooser_bits],
             chooser_bits,
             pending: None,
         }
@@ -69,7 +69,10 @@ impl<P1: BranchPredictor, P2: BranchPredictor> Combining<P1, P2> {
     fn components(&mut self, pc: u64, target: u64) -> (Outcome, Outcome) {
         match self.pending {
             Some((cached_pc, a, b)) if cached_pc == pc => (a, b),
-            _ => (self.first.predict(pc, target), self.second.predict(pc, target)),
+            _ => (
+                self.first.predict(pc, target),
+                self.second.predict(pc, target),
+            ),
         }
     }
 }
@@ -192,7 +195,10 @@ mod tests {
         }
         // Force a disagreement check: chooser still at its initial
         // weak-not-taken = prefer first.
-        assert_eq!(p.chooser[p.chooser_index(0x40)].state(), CounterState::WeakNotTaken);
+        assert_eq!(
+            p.chooser[p.chooser_index(0x40)].state(),
+            CounterState::WeakNotTaken
+        );
     }
 
     #[test]

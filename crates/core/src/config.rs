@@ -325,7 +325,10 @@ impl fmt::Display for PredictorConfig {
                 history_bits,
                 direction_bits,
                 choice_bits,
-            } => write!(f, "bimode:h={history_bits},d={direction_bits},k={choice_bits}"),
+            } => write!(
+                f,
+                "bimode:h={history_bits},d={direction_bits},k={choice_bits}"
+            ),
             PredictorConfig::Gskew {
                 history_bits,
                 bank_bits,
@@ -374,14 +377,15 @@ impl Params {
             return Ok(Params { pairs });
         }
         for part in text.split(',') {
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| ParseConfigError::new(format!("expected key=value, got {part:?}")))?;
-            let key = single_char(key)
-                .ok_or_else(|| ParseConfigError::new(format!("parameter key {key:?} must be one letter")))?;
-            let value: u32 = value
-                .parse()
-                .map_err(|_| ParseConfigError::new(format!("parameter {key}={value:?} is not a number")))?;
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                ParseConfigError::new(format!("expected key=value, got {part:?}"))
+            })?;
+            let key = single_char(key).ok_or_else(|| {
+                ParseConfigError::new(format!("parameter key {key:?} must be one letter"))
+            })?;
+            let value: u32 = value.parse().map_err(|_| {
+                ParseConfigError::new(format!("parameter {key}={value:?} is not a number"))
+            })?;
             pairs.push((key, value));
         }
         Ok(Params { pairs })

@@ -156,7 +156,10 @@ impl SaturatingCounter {
     /// Panics if `bits` is 0 or greater than 16, or if `value` does not
     /// fit in `bits` bits.
     pub fn new(bits: u32, value: u32) -> Self {
-        assert!((1..=16).contains(&bits), "counter width {bits} out of range 1..=16");
+        assert!(
+            (1..=16).contains(&bits),
+            "counter width {bits} out of range 1..=16"
+        );
         let max = (1u32 << bits) - 1;
         assert!(value <= max, "initial value {value} exceeds {max}");
         SaturatingCounter { value, max }

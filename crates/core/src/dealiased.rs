@@ -263,7 +263,10 @@ impl Gskew {
     /// Creates a gskew predictor: `history_bits` of global history and
     /// three `2^bank_bits`-counter banks.
     pub fn new(history_bits: u32, bank_bits: u32) -> Self {
-        assert!(bank_bits <= 24, "bank of 2^{bank_bits} counters is too large");
+        assert!(
+            bank_bits <= 24,
+            "bank of 2^{bank_bits} counters is too large"
+        );
         let geometry = TableGeometry::new(bank_bits, 0);
         Gskew {
             history: HistoryRegister::new(history_bits),
@@ -342,8 +345,10 @@ mod tests {
         let mut wrong = 0;
         for i in 0..600u32 {
             // Identical low address bits & shared history pattern.
-            for (pc, out) in [(0x1000u64, Outcome::Taken), (0x1000 + (1 << 14), Outcome::NotTaken)]
-            {
+            for (pc, out) in [
+                (0x1000u64, Outcome::Taken),
+                (0x1000 + (1 << 14), Outcome::NotTaken),
+            ] {
                 if i >= 50 && step(p, pc, out) != out {
                     wrong += 1;
                 }
@@ -396,7 +401,10 @@ mod tests {
         let skew_wrong = opposed_pair_misses(&mut gskew);
         let share_wrong = opposed_pair_misses(&mut gshare);
         // The vote should not do worse than the aliased single table.
-        assert!(skew_wrong <= share_wrong + 10, "{skew_wrong} vs {share_wrong}");
+        assert!(
+            skew_wrong <= share_wrong + 10,
+            "{skew_wrong} vs {share_wrong}"
+        );
     }
 
     #[test]
@@ -452,7 +460,10 @@ mod tests {
     #[test]
     fn names_describe_configuration() {
         assert_eq!(Agree::new(8, 10).name(), "agree(h=8, 2^10)");
-        assert_eq!(BiMode::new(9, 10, 11).name(), "bimode(h=9, 2x2^10 + choice 2^11)");
+        assert_eq!(
+            BiMode::new(9, 10, 11).name(),
+            "bimode(h=9, 2x2^10 + choice 2^11)"
+        );
         assert_eq!(Gskew::new(7, 9).name(), "gskew(h=7, 3x2^9)");
     }
 }

@@ -93,7 +93,10 @@ impl FsmSpec {
     ///
     /// Returns [`InvalidFsmError`] naming the offending entry.
     pub fn validate(&self) -> Result<(), InvalidFsmError> {
-        for (name, table) in [("on_taken", &self.on_taken), ("on_not_taken", &self.on_not_taken)] {
+        for (name, table) in [
+            ("on_taken", &self.on_taken),
+            ("on_not_taken", &self.on_not_taken),
+        ] {
             for (state, &next) in table.iter().enumerate() {
                 if next > 3 {
                     return Err(InvalidFsmError {
@@ -157,8 +160,14 @@ impl FsmPredictor {
     /// exceeds 30, or `initial_state` is not a state.
     pub fn new(spec: FsmSpec, addr_bits: u32, initial_state: u8) -> Self {
         spec.validate().expect("FSM spec must be well-formed");
-        assert!(addr_bits <= 30, "table of 2^{addr_bits} machines is too large");
-        assert!(initial_state <= 3, "initial state {initial_state} is not a state");
+        assert!(
+            addr_bits <= 30,
+            "table of 2^{addr_bits} machines is too large"
+        );
+        assert!(
+            initial_state <= 3,
+            "initial state {initial_state} is not a state"
+        );
         FsmPredictor {
             spec,
             states: vec![initial_state; 1usize << addr_bits],
@@ -240,7 +249,11 @@ mod tests {
         for i in 0..600u64 {
             let pc = 0x400 + 4 * (i % 23);
             let out = Outcome::from((i * 5) % 7 < 4);
-            assert_eq!(step(&mut fsm, pc, out), step(&mut reference, pc, out), "step {i}");
+            assert_eq!(
+                step(&mut fsm, pc, out),
+                step(&mut reference, pc, out),
+                "step {i}"
+            );
         }
     }
 

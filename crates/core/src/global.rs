@@ -10,9 +10,7 @@
 use bpred_trace::{BranchKind, BranchRecord, Outcome};
 
 use crate::history::low_mask;
-use crate::{
-    HistoryRegister, PathRegister, RowSelection, RowSelector, TableGeometry, TwoLevel,
-};
+use crate::{HistoryRegister, PathRegister, RowSelection, RowSelector, TableGeometry, TwoLevel};
 
 /// Row selector that always chooses row 0: with a single-row geometry
 /// this is the classic address-indexed table of two-bit counters
@@ -334,7 +332,7 @@ mod tests {
     #[test]
     fn address_indexed_aliases_when_columns_collide() {
         let mut p = AddressIndexed::new(1); // 2 counters
-        // Word addresses 0x10 and 0x12 share column 0.
+                                            // Word addresses 0x10 and 0x12 share column 0.
         for _ in 0..10 {
             step(&mut p, 0x40, 0, Outcome::Taken);
             step(&mut p, 0x48, 0, Outcome::NotTaken);
@@ -354,7 +352,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong < 10, "GAg(2) failed to learn alternation: {wrong} misses");
+        assert!(
+            wrong < 10,
+            "GAg(2) failed to learn alternation: {wrong} misses"
+        );
     }
 
     #[test]
@@ -490,11 +491,7 @@ mod tests {
         assert_ne!(before, after);
         // Conditional records are not folded in through this path.
         let mut s2 = PathSelector::new(4, 2);
-        s2.note_control_transfer(&BranchRecord::conditional(
-            0x40,
-            0x84,
-            Outcome::Taken,
-        ));
+        s2.note_control_transfer(&BranchRecord::conditional(0x40, 0x84, Outcome::Taken));
         assert_eq!(s2.select(0, g).row, 0);
     }
 

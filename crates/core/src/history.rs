@@ -110,7 +110,11 @@ impl fmt::Display for HistoryRegister {
     /// `TTN` for a 3-bit register whose newest outcome was not taken.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for age in (0..self.width).rev() {
-            let c = if (self.bits >> age) & 1 == 1 { 'T' } else { 'N' };
+            let c = if (self.bits >> age) & 1 == 1 {
+                'T'
+            } else {
+                'N'
+            };
             write!(f, "{c}")?;
         }
         Ok(())
@@ -209,11 +213,7 @@ impl PathRegister {
     /// per-target precision).
     #[inline]
     pub fn depth(self) -> u32 {
-        if self.bits_per_target == 0 {
-            0
-        } else {
-            self.width / self.bits_per_target
-        }
+        self.width.checked_div(self.bits_per_target).unwrap_or(0)
     }
 
     /// Folds the destination address of an executed control transfer
@@ -277,7 +277,12 @@ mod tests {
     #[test]
     fn outcome_at_reads_back_pushes() {
         let mut h = HistoryRegister::new(4);
-        let seq = [Outcome::Taken, Outcome::NotTaken, Outcome::Taken, Outcome::Taken];
+        let seq = [
+            Outcome::Taken,
+            Outcome::NotTaken,
+            Outcome::Taken,
+            Outcome::Taken,
+        ];
         for o in seq {
             h.push(o);
         }

@@ -66,16 +66,14 @@ mod twolevel;
 mod yags;
 
 pub use aliasing::AliasStats;
-pub use dealiased::{Agree, BiMode, Gskew};
-pub use delayed::DelayedUpdate;
-pub use fsm::{FsmPredictor, FsmSpec, InvalidFsmError};
-pub use setsel::{Sas, SetSelector};
-pub use speculative::SpeculativeGshare;
 pub use bht::{BhtStats, HistoryTable, PerfectBht, SetAssocBht};
 pub use btb::{BranchTargetBuffer, BtbStats};
 pub use combining::Combining;
 pub use config::{ParseConfigError, PredictorConfig};
 pub use counter::{CounterState, SaturatingCounter, TwoBitCounter};
+pub use dealiased::{Agree, BiMode, Gskew};
+pub use delayed::DelayedUpdate;
+pub use fsm::{FsmPredictor, FsmSpec, InvalidFsmError};
 pub use geometry::TableGeometry;
 pub use global::{
     AddressIndexed, Gas, GlobalSelector, Gshare, GshareSelector, NullSelector, PathBased,
@@ -84,6 +82,8 @@ pub use global::{
 pub use history::{reset_pattern, HistoryRegister, PathRegister};
 pub use peraddr::{Pas, SelfSelector};
 pub use predictor::BranchPredictor;
+pub use setsel::{Sas, SetSelector};
+pub use speculative::SpeculativeGshare;
 pub use static_pred::{AlwaysNotTaken, AlwaysTaken, Btfn, LastTime, ProfileStatic};
 pub use table::CounterTable;
 pub use twolevel::{RowSelection, RowSelector, TwoLevel};

@@ -239,10 +239,7 @@ mod tests {
     #[test]
     fn names_and_state_bits() {
         assert_eq!(Pas::perfect_pag(10).name(), "PAg[inf](2^10)");
-        assert_eq!(
-            Pas::pag_with_bht(6, 512, 4).name(),
-            "PAg[512x4](2^6)"
-        );
+        assert_eq!(Pas::pag_with_bht(6, 512, 4).name(), "PAg[512x4](2^6)");
         // Finite PAs state: counters + entries*width
         let p = Pas::with_bht(10, 0, 1024, 4);
         assert_eq!(p.state_bits(), 2 * 1024 + 1024 * 10);

@@ -71,9 +71,9 @@ pub trait BranchPredictor {
     /// `"GAs(2^8 x 2^4)"`. Used in reports.
     fn name(&self) -> String;
 
-    /// Total predictor state in bits (counter table + history registers
-    /// + first-level tables, excluding tags unless the scheme requires
-    /// them). Used for cost-normalised comparisons.
+    /// Total predictor state in bits (counter table plus history
+    /// registers and first-level tables, excluding tags unless the
+    /// scheme requires them). Used for cost-normalised comparisons.
     fn state_bits(&self) -> u64;
 
     /// Second-level-table aliasing statistics, if this predictor tracks

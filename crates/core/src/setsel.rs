@@ -67,10 +67,7 @@ impl RowSelector for SetSelector {
     }
 
     fn state_bits(&self) -> u64 {
-        self.histories
-            .iter()
-            .map(|h| u64::from(h.width()))
-            .sum()
+        self.histories.iter().map(|h| u64::from(h.width())).sum()
     }
 
     fn describe(&self, geometry: TableGeometry) -> String {
@@ -142,8 +139,8 @@ mod tests {
         // each register sees only its own branch.
         let mut sas = Sas::new(2, 1, 1);
         let mut pas = Pas::perfect(2, 1);
-        let mut sas_wrong = 0;
-        let mut pas_wrong = 0;
+        let mut sas_wrong = 0i32;
+        let mut pas_wrong = 0i32;
         for i in 0..400u32 {
             let a = Outcome::from(i % 2 == 0);
             let b = Outcome::from(i % 2 == 1);
@@ -164,7 +161,7 @@ mod tests {
         assert!(sas_wrong < 20, "{sas_wrong}");
         // Histories differ only in the cold-start value, so accuracy
         // is PAs-like.
-        assert!((sas_wrong as i32 - pas_wrong as i32).abs() < 20);
+        assert!((sas_wrong - pas_wrong).abs() < 20);
     }
 
     #[test]
@@ -178,7 +175,9 @@ mod tests {
         let mut shared = Sas::new(4, 0, 0);
         let mut iso_wrong = 0u32;
         let mut shr_wrong = 0u32;
-        let noise = [true, true, false, true, false, false, true, true, true, false, true, false];
+        let noise = [
+            true, true, false, true, false, false, true, true, true, false, true, false,
+        ];
         for i in 0..600usize {
             let a = Outcome::from(i % 4 != 3); // loop-like
             let b = Outcome::from(noise[i % noise.len()]); // long pattern

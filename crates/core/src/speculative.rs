@@ -71,7 +71,10 @@ impl SpeculativeGshare {
             "history ({history_bits}) must fit in the index ({index_bits})"
         );
         assert!(history_bits < 64, "history must fit in 63 bits");
-        assert!(delay < 64, "delay of {delay} branches is unrealistically long");
+        assert!(
+            delay < 64,
+            "delay of {delay} branches is unrealistically long"
+        );
         SpeculativeGshare {
             history_bits,
             history: 0,
@@ -221,7 +224,7 @@ mod tests {
     fn delayed_update_import_is_exercised() {
         // Smoke-check the DelayedUpdate wrapper composes with gshare in
         // this module's terms (full comparison in integration tests).
-        let pattern = |i: u32| (0x80u64, Outcome::from(i % 2 == 0));
+        let pattern = |i: u32| (0x80u64, Outcome::from(i.is_multiple_of(2)));
         let wrapped = drive(&mut DelayedUpdate::new(Gshare::new(4, 0), 2), 400, pattern);
         assert!(wrapped < 400);
     }
@@ -241,7 +244,12 @@ mod tests {
 
     #[test]
     fn deep_delay_degrades_but_does_not_destroy() {
-        let pattern = |i: u32| (0x40u64 + 4 * u64::from(i % 7), Outcome::from(i % 3 != 0));
+        let pattern = |i: u32| {
+            (
+                0x40u64 + 4 * u64::from(i % 7),
+                Outcome::from(!i.is_multiple_of(3)),
+            )
+        };
         let fresh = drive(&mut SpeculativeGshare::new(8, 10, 0), 3_000, pattern);
         let deep = drive(&mut SpeculativeGshare::new(8, 10, 16), 3_000, pattern);
         assert!(deep >= fresh.saturating_sub(10), "{deep} vs {fresh}");

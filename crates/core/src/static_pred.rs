@@ -225,10 +225,8 @@ mod tests {
 
     #[test]
     fn profile_static_uses_profile_then_fallback() {
-        let mut p = ProfileStatic::from_directions([
-            (0x40, Outcome::NotTaken),
-            (0x44, Outcome::Taken),
-        ]);
+        let mut p =
+            ProfileStatic::from_directions([(0x40, Outcome::NotTaken), (0x44, Outcome::Taken)]);
         assert_eq!(p.profiled_branches(), 2);
         assert_eq!(p.predict(0x40, 0x10), Outcome::NotTaken); // profile wins over BTFN
         assert_eq!(p.predict(0x44, 0x100), Outcome::Taken);

@@ -13,7 +13,9 @@
 use bpred_trace::Outcome;
 
 use crate::history::low_mask;
-use crate::{AliasStats, BranchPredictor, CounterState, CounterTable, TableGeometry, TwoBitCounter};
+use crate::{
+    AliasStats, BranchPredictor, CounterState, CounterTable, TableGeometry, TwoBitCounter,
+};
 
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
@@ -143,8 +145,8 @@ impl Yags {
 
 impl BranchPredictor for Yags {
     fn predict(&mut self, pc: u64, _target: u64) -> Outcome {
-        let all_taken = self.history_bits > 0
-            && self.masked_history() == low_mask(self.history_bits);
+        let all_taken =
+            self.history_bits > 0 && self.masked_history() == low_mask(self.history_bits);
         // The choice access is the instrumented one (it is the table
         // every branch touches).
         let bias = self.choice.access(0, pc >> 2, pc, all_taken);
@@ -224,11 +226,7 @@ mod tests {
         assert_eq!(wrong, 0);
         // No exception was ever allocated for an always-taken branch
         // whose bias says taken.
-        assert!(p
-            .not_taken_cache
-            .entries
-            .iter()
-            .all(|e| e.tag == u16::MAX));
+        assert!(p.not_taken_cache.entries.iter().all(|e| e.tag == u16::MAX));
     }
 
     #[test]
@@ -259,8 +257,10 @@ mod tests {
         let mut p = Yags::new(4, 4, 6);
         let mut wrong = 0;
         for i in 0..500u32 {
-            for (pc, out) in [(0x1000u64, Outcome::Taken), (0x1000 + (4 << 4), Outcome::NotTaken)]
-            {
+            for (pc, out) in [
+                (0x1000u64, Outcome::Taken),
+                (0x1000 + (4 << 4), Outcome::NotTaken),
+            ] {
                 if step(&mut p, pc, out) != out && i > 20 {
                     wrong += 1;
                 }

@@ -1,0 +1,309 @@
+//! Single-pass batched replay.
+//!
+//! The per-configuration sweep ([`run_config`](crate::run_config) in a
+//! loop, or the pre-batching [`run_configs`](crate::run_configs))
+//! replays the whole trace once *per predictor*: a 32-point sweep over
+//! a 120k-branch trace walks 3.8M records. The batched engine instead
+//! drives a *shard* of predictors through one streaming pass — each
+//! record is fed to every predictor in the shard before the stream
+//! advances — so the trace is walked once per shard, the record stays
+//! hot in cache while every predictor consumes it, and a streaming
+//! [`TraceSource`] (e.g. a workload generator) never needs to be
+//! materialised at all.
+//!
+//! Because predictors are independent, feeding them record-by-record
+//! in a batch is *bit-identical* to running them one at a time: the
+//! per-lane statistics replicate [`Simulator::run`] exactly, which
+//! `tests/determinism.rs` at the workspace root enforces for every
+//! configuration variant.
+//!
+//! # Shard size
+//!
+//! A shard trades stream-replay cost against cache footprint: too
+//! small and the source is replayed many times; too large and the
+//! shard's combined predictor state thrashes the cache that batching
+//! was meant to exploit. [`DEFAULT_SHARD_SIZE`] (8) is a good default
+//! for the paper's predictor sizes (≤ 64 KiB of counters each); use
+//! smaller shards for very large predictors, larger ones for cheap
+//! static schemes where stream generation dominates.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bpred_core::{AliasStats, BhtStats, BranchPredictor, PredictorConfig};
+use bpred_trace::TraceSource;
+
+use crate::{SimResult, Simulator};
+
+/// Predictors replayed together per shard by [`run_batched_default`]
+/// and the sweep layers built on it.
+pub const DEFAULT_SHARD_SIZE: usize = 8;
+
+/// One predictor being driven through a shared record stream, with the
+/// same bookkeeping [`Simulator::run`] keeps.
+struct Lane {
+    predictor: Box<dyn BranchPredictor>,
+    warmup: usize,
+    seen: usize,
+    scored: u64,
+    mispredictions: u64,
+    alias_before: AliasStats,
+    bht_before: BhtStats,
+}
+
+impl Lane {
+    fn new(config: &PredictorConfig, simulator: Simulator) -> Self {
+        let predictor = config.build();
+        Lane {
+            warmup: simulator.warmup(),
+            seen: 0,
+            scored: 0,
+            mispredictions: 0,
+            alias_before: predictor.alias_stats().unwrap_or_default(),
+            bht_before: predictor.bht_stats().unwrap_or_default(),
+            predictor,
+        }
+    }
+
+    fn feed(&mut self, record: &bpred_trace::BranchRecord) {
+        if record.is_conditional() {
+            let predicted = self.predictor.predict(record.pc, record.target);
+            if self.seen >= self.warmup {
+                self.scored += 1;
+                if predicted != record.outcome {
+                    self.mispredictions += 1;
+                }
+            }
+            self.seen += 1;
+            self.predictor
+                .update(record.pc, record.target, record.outcome);
+        } else {
+            self.predictor.note_control_transfer(record);
+        }
+    }
+
+    fn finish(self) -> SimResult {
+        let alias = self.predictor.alias_stats().map(|after| AliasStats {
+            accesses: after.accesses - self.alias_before.accesses,
+            conflicts: after.conflicts - self.alias_before.conflicts,
+            harmless_conflicts: after.harmless_conflicts - self.alias_before.harmless_conflicts,
+        });
+        let bht = self.predictor.bht_stats().map(|after| BhtStats {
+            accesses: after.accesses - self.bht_before.accesses,
+            misses: after.misses - self.bht_before.misses,
+        });
+        SimResult {
+            predictor: self.predictor.name(),
+            state_bits: self.predictor.state_bits(),
+            conditionals: self.scored,
+            mispredictions: self.mispredictions,
+            alias,
+            bht,
+        }
+    }
+}
+
+/// Number of worker threads: the available parallelism, capped by the
+/// number of shards.
+fn worker_count(shards: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(shards).max(1)
+}
+
+/// Simulates every configuration against `source` in shards of
+/// `shard_size` predictors, each shard advancing through one streaming
+/// pass over the records. Results come back in `configs` order and are
+/// bit-identical to running [`Simulator::run`] per configuration.
+///
+/// Shards are distributed over worker threads; every shard opens its
+/// own stream, so the source must replay the same sequence on every
+/// [`TraceSource::stream`] call (all sources in this workspace do).
+///
+/// # Shard size
+///
+/// `shard_size` trades stream-replay cost against cache footprint:
+/// too small and the source is replayed (or regenerated) many times;
+/// too large and the shard's combined predictor state falls out of
+/// cache, defeating the point of sharing each record. The paper's
+/// predictor sizes fit comfortably at [`DEFAULT_SHARD_SIZE`] (8);
+/// shrink it for very large predictors, grow it for cheap static
+/// schemes over an expensive generated source.
+///
+/// # Panics
+///
+/// Panics if `shard_size` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::PredictorConfig;
+/// use bpred_sim::{run_batched, Simulator};
+/// use bpred_trace::{BranchRecord, Outcome, Trace};
+///
+/// let trace: Trace = (0..300)
+///     .map(|i| BranchRecord::conditional(0x40 + 4 * (i % 8), 0x20, Outcome::from(i % 3 == 0)))
+///     .collect();
+/// let configs: Vec<PredictorConfig> = (2..10)
+///     .map(|n| PredictorConfig::Gshare { history_bits: n, col_bits: 2 })
+///     .collect();
+/// let results = run_batched(&configs, &trace, Simulator::new(), 4);
+/// assert_eq!(results.len(), 8);
+/// assert_eq!(results[0].conditionals, 300);
+/// ```
+pub fn run_batched<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+    shard_size: usize,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    assert!(shard_size > 0, "shard size must be positive");
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let shard_count = configs.len().div_ceil(shard_size);
+    let next_shard = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; configs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count(shard_count) {
+            scope.spawn(|| loop {
+                let shard = next_shard.fetch_add(1, Ordering::Relaxed);
+                if shard >= shard_count {
+                    return;
+                }
+                let base = shard * shard_size;
+                let shard_configs = &configs[base..(base + shard_size).min(configs.len())];
+                let mut lanes: Vec<Lane> = shard_configs
+                    .iter()
+                    .map(|config| Lane::new(config, simulator))
+                    .collect();
+                for record in source.stream() {
+                    for lane in &mut lanes {
+                        lane.feed(&record);
+                    }
+                }
+                let mut results = results.lock().expect("batch worker panicked");
+                for (offset, lane) in lanes.into_iter().enumerate() {
+                    results[base + offset] = Some(lane.finish());
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("batch worker panicked")
+        .into_iter()
+        .map(|r| r.expect("every configuration simulated"))
+        .collect()
+}
+
+/// [`run_batched`] with [`DEFAULT_SHARD_SIZE`].
+pub fn run_batched_default<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    run_batched(configs, source, simulator, DEFAULT_SHARD_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_config;
+    use bpred_trace::{BranchRecord, Outcome, Trace};
+
+    fn trace(n: usize) -> Trace {
+        (0..n)
+            .map(|i| {
+                BranchRecord::conditional(
+                    0x400 + 4 * (i as u64 % 32),
+                    0x100,
+                    Outcome::from(i % 7 < 4),
+                )
+            })
+            .collect()
+    }
+
+    fn mixed_configs() -> Vec<PredictorConfig> {
+        vec![
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::AddressIndexed { addr_bits: 4 },
+            PredictorConfig::Gshare {
+                history_bits: 6,
+                col_bits: 2,
+            },
+            PredictorConfig::Gas {
+                history_bits: 4,
+                col_bits: 4,
+            },
+            PredictorConfig::PasInfinite {
+                history_bits: 5,
+                col_bits: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn batched_matches_serial_exactly() {
+        let t = trace(3_000);
+        let configs = mixed_configs();
+        for shard_size in [1, 2, 3, 64] {
+            let batched = run_batched(&configs, &t, Simulator::new(), shard_size);
+            for (cfg, got) in configs.iter().zip(&batched) {
+                let want = run_config(*cfg, &t, Simulator::new());
+                assert_eq!(&want, got, "{cfg} at shard size {shard_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_preserve_config_order() {
+        let configs: Vec<PredictorConfig> = (0..13)
+            .map(|n| PredictorConfig::AddressIndexed { addr_bits: n })
+            .collect();
+        let results = run_batched(&configs, &trace(400), Simulator::new(), 4);
+        assert_eq!(results.len(), 13);
+        for (cfg, r) in configs.iter().zip(&results) {
+            assert_eq!(r.predictor, cfg.build().name());
+        }
+    }
+
+    #[test]
+    fn warmup_is_honoured_per_lane() {
+        let configs = vec![PredictorConfig::AlwaysTaken, PredictorConfig::Btfn];
+        let results = run_batched(&configs, &trace(100), Simulator::with_warmup(40), 2);
+        assert!(results.iter().all(|r| r.conditionals == 60));
+    }
+
+    #[test]
+    fn empty_config_list_is_empty_result() {
+        let results = run_batched(&[], &trace(10), Simulator::new(), 8);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard size must be positive")]
+    fn zero_shard_size_panics() {
+        let _ = run_batched(&mixed_configs(), &trace(10), Simulator::new(), 0);
+    }
+
+    #[test]
+    fn streaming_source_needs_no_materialised_trace() {
+        use bpred_workloads::{suite, WorkloadSource};
+        let model = suite::espresso().scaled(2_000);
+        let source = WorkloadSource::new(model.clone(), 11);
+        let configs = mixed_configs();
+        let streamed = run_batched_default(&configs, &source, Simulator::new());
+        let materialised = run_batched_default(&configs, &model.trace(11), Simulator::new());
+        assert_eq!(streamed, materialised);
+    }
+}

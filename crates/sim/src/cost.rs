@@ -94,7 +94,8 @@ impl CpiModel {
     /// Fraction of all cycles spent on misprediction recovery at the
     /// given rate.
     pub fn misprediction_cycle_share(&self, misprediction_rate: f64) -> f64 {
-        let waste = self.branch_frequency * misprediction_rate.clamp(0.0, 1.0) * self.penalty_cycles;
+        let waste =
+            self.branch_frequency * misprediction_rate.clamp(0.0, 1.0) * self.penalty_cycles;
         waste / self.cpi(misprediction_rate)
     }
 }
@@ -140,7 +141,10 @@ mod tests {
         let m = CpiModel::deep_pipeline();
         let share = m.misprediction_cycle_share(0.08);
         assert!((0.0..1.0).contains(&share));
-        assert!(share > 0.2, "deep pipeline at 8% misprediction wastes a lot: {share}");
+        assert!(
+            share > 0.2,
+            "deep pipeline at 8% misprediction wastes a lot: {share}"
+        );
         assert_eq!(m.misprediction_cycle_share(0.0), 0.0);
     }
 

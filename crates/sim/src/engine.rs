@@ -270,6 +270,9 @@ mod tests {
     #[test]
     fn display_summarises() {
         let r = Simulator::new().run(&mut AlwaysTaken, &all_taken(4));
-        assert_eq!(r.to_string(), "always-taken: 0.00% mispredicted over 4 branches");
+        assert_eq!(
+            r.to_string(),
+            "always-taken: 0.00% mispredicted over 4 branches"
+        );
     }
 }

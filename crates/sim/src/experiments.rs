@@ -7,8 +7,8 @@
 
 use bpred_core::PredictorConfig;
 use bpred_trace::stats::TraceStats;
-use bpred_trace::Trace;
-use bpred_workloads::{suite, WorkloadModel};
+use bpred_trace::{Trace, TraceSource};
+use bpred_workloads::{suite, WorkloadModel, WorkloadSource};
 
 use crate::report::{percent, TextTable};
 use crate::{run_configs, SimResult, Simulator, Surface};
@@ -55,6 +55,17 @@ impl ExperimentOptions {
         match self.branches {
             Some(n) => model.trace_of_length(self.seed, n),
             None => model.trace(self.seed),
+        }
+    }
+
+    /// A streaming [`TraceSource`] over the same records
+    /// [`trace`](Self::trace) would materialise. Sweep drivers hand
+    /// this to the batched engine so long traces are generated on the
+    /// fly instead of held in memory.
+    pub fn source(&self, model: &WorkloadModel) -> WorkloadSource {
+        match self.branches {
+            Some(n) => WorkloadSource::with_length(model.clone(), self.seed, n),
+            None => WorkloadSource::new(model.clone(), self.seed),
         }
     }
 }
@@ -156,8 +167,8 @@ fn size_sweep(
     models
         .iter()
         .map(|model| {
-            let trace = opts.trace(model);
-            let results = run_configs(&configs, &trace, Simulator::new());
+            let source = opts.source(model);
+            let results = run_configs(&configs, &source, Simulator::new());
             SizeSeries {
                 benchmark: model.name().to_owned(),
                 points: sizes.iter().copied().zip(results).collect(),
@@ -239,12 +250,12 @@ pub fn scheme_surfaces(
     suite::focus()
         .iter()
         .map(|model| {
-            let trace = opts.trace(model);
+            let source = opts.source(model);
             Surface::sweep(
                 scheme,
                 model.name(),
                 opts.min_bits..=opts.max_bits,
-                &trace,
+                &source,
                 Simulator::new(),
                 make,
             )
@@ -259,14 +270,14 @@ pub fn scheme_surface_on(
     benchmark: &str,
     make: impl Fn(u32, u32) -> PredictorConfig,
 ) -> Surface {
-    let model = suite::by_name(benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark {benchmark:?}"));
-    let trace = opts.trace(&model);
+    let model =
+        suite::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark:?}"));
+    let source = opts.source(&model);
     Surface::sweep(
         scheme,
         benchmark,
         opts.min_bits..=opts.max_bits,
-        &trace,
+        &source,
         Simulator::new(),
         make,
     )
@@ -424,19 +435,18 @@ pub struct BestConfig {
 }
 
 /// Finds the best split of `scheme` at `2^total_bits` counters on a
-/// trace.
-pub fn best_config(
+/// trace source.
+pub fn best_config<S: TraceSource + Sync + ?Sized>(
     scheme: Table3Scheme,
     total_bits: u32,
-    trace: &Trace,
+    source: &S,
 ) -> BestConfig {
     let shapes: Vec<(u32, u32)> = (0..=total_bits)
         .rev()
         .map(|c| (total_bits - c, c))
         .collect();
-    let configs: Vec<PredictorConfig> =
-        shapes.iter().map(|&(r, c)| scheme.config(r, c)).collect();
-    let results = run_configs(&configs, trace, Simulator::new());
+    let configs: Vec<PredictorConfig> = shapes.iter().map(|&(r, c)| scheme.config(r, c)).collect();
+    let results = run_configs(&configs, source, Simulator::new());
     let (shape, result) = shapes
         .into_iter()
         .zip(results)
@@ -458,17 +468,21 @@ pub fn best_config(
 /// 9, 12, 15), for the three focus benchmarks. PAs rows include the
 /// first-level miss rate.
 pub fn table3(opts: &ExperimentOptions, budgets: &[u32], schemes: &[Table3Scheme]) -> TextTable {
-    let mut headers = vec!["benchmark".to_owned(), "predictor".to_owned(), "L1 miss".to_owned()];
+    let mut headers = vec![
+        "benchmark".to_owned(),
+        "predictor".to_owned(),
+        "L1 miss".to_owned(),
+    ];
     headers.extend(budgets.iter().map(|b| format!("{} counters", 1u64 << b)));
     let mut table = TextTable::new(headers);
 
     for model in suite::focus() {
-        let trace = opts.trace(&model);
+        let source = opts.source(&model);
         for &scheme in schemes {
             let mut row = vec![model.name().to_owned(), scheme.label(), String::new()];
             let mut miss_rate: Option<f64> = None;
             for &bits in budgets {
-                let best = best_config(scheme, bits, &trace);
+                let best = best_config(scheme, bits, &source);
                 if best.result.bht.is_some() && matches!(scheme, Table3Scheme::PasFinite(_)) {
                     miss_rate = Some(best.result.bht_miss_rate());
                 }

@@ -3,6 +3,31 @@
 //! the experiment drivers that regenerate every table and figure of
 //! Sechrest, Lee & Mudge (ISCA 1996).
 //!
+//! # Batched replay
+//!
+//! Sweeps route through the batched single-pass engine
+//! ([`run_batched`]): shards of [`DEFAULT_SHARD_SIZE`] predictors
+//! advance together through one streaming pass over any
+//! [`TraceSource`](bpred_trace::TraceSource) — a materialised
+//! [`Trace`](bpred_trace::Trace) or a workload generator — so a sweep
+//! walks the records once per shard instead of once per
+//! configuration, and generated traces never need materialising.
+//! Results are bit-identical to [`Simulator::run`] per configuration
+//! (enforced by `tests/determinism.rs` at the workspace root). Shard
+//! sizing: [`DEFAULT_SHARD_SIZE`] (8) fits the paper's predictor
+//! sizes; shrink it when a shard's combined predictor state would
+//! fall out of cache, grow it when stream generation dominates (see
+//! [`run_batched`] for the trade-off).
+//!
+//! # Running the test suite
+//!
+//! `cargo test -q` at the workspace root runs the tier-1 integration
+//! tests (paper claims, determinism, golden workload statistics);
+//! `cargo test -q --workspace` adds per-crate unit and property
+//! tests; `cargo bench -p bpred-bench --bench sweeps` measures the
+//! batched engine against the retained per-configuration baseline
+//! ([`run_configs_per_config`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -22,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod cost;
 mod engine;
 pub mod experiments;
@@ -33,6 +59,7 @@ pub mod report;
 mod surface;
 mod sweep;
 
+pub use batch::{run_batched, run_batched_default, DEFAULT_SHARD_SIZE};
 pub use cost::CpiModel;
 pub use engine::{SimResult, Simulator};
 pub use interference::InterferenceStats;
@@ -40,4 +67,4 @@ pub use profiled::{BranchOutcomeCounts, ProfiledRun};
 pub use replicate::{replicate, Replication};
 pub use report::TextTable;
 pub use surface::{Surface, SurfacePoint, Tier};
-pub use sweep::{run_config, run_configs};
+pub use sweep::{run_config, run_configs, run_configs_per_config};

@@ -159,9 +159,15 @@ impl ProfiledRun {
     /// Renders the top offenders as a table.
     pub fn offenders_table(&self, n: usize) -> TextTable {
         let mut table = TextTable::new(
-            ["branch", "executions", "mispredicts", "own rate", "share of all misses"]
-                .map(str::to_owned)
-                .to_vec(),
+            [
+                "branch",
+                "executions",
+                "mispredicts",
+                "own rate",
+                "share of all misses",
+            ]
+            .map(str::to_owned)
+            .to_vec(),
         );
         let total = self.result.mispredictions.max(1);
         for (pc, counts) in self.worst_offenders(n) {

@@ -125,7 +125,7 @@ mod tests {
                 BranchRecord::conditional(
                     0x400 + 4 * k,
                     0x100,
-                    Outcome::from((i + seed) % (k + 2) != 0),
+                    Outcome::from(!(i + seed).is_multiple_of(k + 2)),
                 )
             })
             .collect()
@@ -135,9 +135,7 @@ mod tests {
     fn ranking_is_sorted_by_rate() {
         let ranked = rank_schemes(&configs(), &trace(0));
         for w in ranked.windows(2) {
-            assert!(
-                w[0].result.misprediction_rate() <= w[1].result.misprediction_rate()
-            );
+            assert!(w[0].result.misprediction_rate() <= w[1].result.misprediction_rate());
         }
         assert_eq!(ranked.len(), 4);
     }

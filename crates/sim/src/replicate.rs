@@ -35,11 +35,7 @@ impl Replication {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .rates
-            .iter()
-            .map(|r| (r - mean).powi(2))
-            .sum::<f64>()
+        let var = self.rates.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
             / (self.rates.len() - 1) as f64;
         var.sqrt()
     }

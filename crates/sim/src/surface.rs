@@ -11,7 +11,7 @@
 use std::ops::RangeInclusive;
 
 use bpred_core::PredictorConfig;
-use bpred_trace::Trace;
+use bpred_trace::TraceSource;
 
 use crate::{run_configs, SimResult, Simulator};
 
@@ -81,7 +81,10 @@ pub struct Surface {
 
 impl Surface {
     /// Sweeps `make(row_bits, col_bits)` over every split of every
-    /// tier in `total_bits`, simulating all points in parallel.
+    /// tier in `total_bits`, simulating all points in parallel through
+    /// the batched single-pass engine. `source` can be a materialised
+    /// [`Trace`](bpred_trace::Trace) or any streaming
+    /// [`TraceSource`] (e.g. a workload generator).
     ///
     /// # Examples
     ///
@@ -104,11 +107,11 @@ impl Surface {
     /// assert_eq!(surface.tiers.len(), 3);
     /// assert_eq!(surface.tiers[0].points.len(), 5); // splits of 2^4
     /// ```
-    pub fn sweep(
+    pub fn sweep<S: TraceSource + Sync + ?Sized>(
         scheme: &str,
         workload: &str,
         total_bits: RangeInclusive<u32>,
-        trace: &Trace,
+        source: &S,
         simulator: Simulator,
         make: impl Fn(u32, u32) -> PredictorConfig,
     ) -> Surface {
@@ -119,9 +122,8 @@ impl Surface {
                 shapes.push((total - col_bits, col_bits));
             }
         }
-        let configs: Vec<PredictorConfig> =
-            shapes.iter().map(|&(r, c)| make(r, c)).collect();
-        let results = run_configs(&configs, trace, simulator);
+        let configs: Vec<PredictorConfig> = shapes.iter().map(|&(r, c)| make(r, c)).collect();
+        let results = run_configs(&configs, source, simulator);
 
         let mut tiers: Vec<Tier> = Vec::new();
         for ((row_bits, col_bits), result) in shapes.into_iter().zip(results) {
@@ -176,7 +178,7 @@ impl Surface {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bpred_trace::{BranchRecord, Outcome};
+    use bpred_trace::{BranchRecord, Outcome, Trace};
 
     fn trace() -> Trace {
         (0..2_000)
@@ -252,7 +254,10 @@ mod tests {
     #[test]
     fn point_results_carry_scheme_names() {
         let s = gas_surface(4..=4);
-        assert_eq!(s.tiers[0].points[0].result.predictor, "address-indexed(2^4)");
+        assert_eq!(
+            s.tiers[0].points[0].result.predictor,
+            "address-indexed(2^4)"
+        );
         assert_eq!(s.tiers[0].points[4].result.predictor, "GAg(2^4)");
     }
 }

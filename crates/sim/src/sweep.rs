@@ -2,20 +2,23 @@
 //!
 //! The paper's figures each come from tens of simulations of the same
 //! trace under different predictor configurations. [`run_configs`]
-//! executes a batch in parallel over a shared immutable trace; results
-//! come back in input order.
+//! executes a batch in parallel; results come back in input order.
+//! Since the batched-replay rework it accepts any [`TraceSource`] and
+//! routes through [`run_batched`](crate::run_batched), so a sweep makes
+//! one streaming pass per predictor shard instead of one full replay
+//! per configuration.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use bpred_core::PredictorConfig;
-use bpred_trace::Trace;
+use bpred_trace::{Trace, TraceSource};
 
+use crate::batch::{run_batched, DEFAULT_SHARD_SIZE};
 use crate::{SimResult, Simulator};
 
-/// Number of worker threads used by [`run_configs`]: the available
-/// parallelism, capped by the number of jobs.
+/// Number of worker threads used by [`run_configs_per_config`]: the
+/// available parallelism, capped by the number of jobs.
 fn worker_count(jobs: usize) -> usize {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -23,8 +26,13 @@ fn worker_count(jobs: usize) -> usize {
     cores.min(jobs).max(1)
 }
 
-/// Simulates every configuration against `trace` in parallel,
+/// Simulates every configuration against `source` in parallel,
 /// returning results in the same order as `configs`.
+///
+/// This is the batched single-pass engine: shards of
+/// [`DEFAULT_SHARD_SIZE`] predictors advance together through one
+/// stream of the source. Results are bit-identical to running each
+/// configuration alone (see `tests/determinism.rs`).
 ///
 /// # Examples
 ///
@@ -45,7 +53,21 @@ fn worker_count(jobs: usize) -> usize {
 /// assert_eq!(results.len(), 2);
 /// assert!(results[0].predictor.starts_with("address-indexed"));
 /// ```
-pub fn run_configs(
+pub fn run_configs<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    run_batched(configs, source, simulator, DEFAULT_SHARD_SIZE)
+}
+
+/// The pre-batching sweep implementation: one full trace replay per
+/// configuration, work-stolen across threads. Retained as the baseline
+/// the `sweeps` criterion bench compares [`run_configs`] against.
+pub fn run_configs_per_config(
     configs: &[PredictorConfig],
     trace: &Trace,
     simulator: Simulator,
@@ -56,23 +78,23 @@ pub fn run_configs(
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; configs.len()]);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..worker_count(configs.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 if index >= configs.len() {
                     return;
                 }
                 let mut predictor = configs[index].build();
                 let result = simulator.run(&mut predictor, trace);
-                results.lock()[index] = Some(result);
+                results.lock().expect("sweep worker panicked")[index] = Some(result);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("every configuration simulated"))
         .collect()
@@ -139,8 +161,24 @@ mod tests {
     }
 
     #[test]
+    fn per_config_baseline_matches_batched() {
+        let configs: Vec<PredictorConfig> = (2..8)
+            .map(|n| PredictorConfig::Gshare {
+                history_bits: n,
+                col_bits: 2,
+            })
+            .collect();
+        let t = trace(1_500);
+        assert_eq!(
+            run_configs_per_config(&configs, &t, Simulator::new()),
+            run_configs(&configs, &t, Simulator::new())
+        );
+    }
+
+    #[test]
     fn empty_config_list_is_empty_result() {
         assert!(run_configs(&[], &trace(10), Simulator::new()).is_empty());
+        assert!(run_configs_per_config(&[], &trace(10), Simulator::new()).is_empty());
     }
 
     #[test]

@@ -31,8 +31,6 @@
 //! # Ok::<(), bpred_trace::DecodeTraceError>(())
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::{BranchKind, BranchRecord, DecodeTraceError, Outcome, Trace};
 
 const MAGIC: &[u8; 4] = b"BPRT";
@@ -67,26 +65,33 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+/// Pops the first byte off the front of `buf`, advancing it.
+fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&byte, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(byte)
+}
+
+fn get_varint(buf: &mut &[u8]) -> Option<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() || shift >= 64 {
+        if shift >= 64 {
             return None;
         }
-        let byte = buf.get_u8();
+        let byte = get_u8(buf)?;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
             return Some(v);
@@ -97,24 +102,24 @@ fn get_varint(buf: &mut impl Buf) -> Option<u64> {
 
 /// Encodes a trace into the binary format.
 ///
-/// The returned [`Bytes`] can be written to disk verbatim and later read
+/// The returned bytes can be written to disk verbatim and later read
 /// back with [`decode`].
-pub fn encode(trace: &Trace) -> Bytes {
+pub fn encode(trace: &Trace) -> Vec<u8> {
     // Typical record is ~4 bytes; reserve generously to avoid re-allocation.
-    let mut buf = BytesMut::with_capacity(16 + trace.len() * 6);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u16_le(0);
-    buf.put_u64_le(trace.len() as u64);
+    let mut buf = Vec::with_capacity(16 + trace.len() * 6);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&(trace.len() as u64).to_le_bytes());
     let mut prev_pc = 0i64;
     for r in trace.iter() {
         let tag = kind_code(r.kind) | (u8::from(r.outcome.is_taken()) << 3);
-        buf.put_u8(tag);
+        buf.push(tag);
         put_varint(&mut buf, zigzag(r.pc as i64 - prev_pc));
         put_varint(&mut buf, zigzag(r.target as i64 - r.pc as i64));
         prev_pc = r.pc as i64;
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a buffer produced by [`encode`].
@@ -124,20 +129,20 @@ pub fn encode(trace: &Trace) -> Bytes {
 /// Returns [`DecodeTraceError`] if the magic or version is wrong, the
 /// buffer is truncated, or a record carries an invalid tag byte.
 pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeTraceError> {
-    if buf.remaining() < 16 {
+    if buf.len() < 16 {
         return Err(DecodeTraceError::BadMagic);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let (header, rest) = buf.split_at(16);
+    buf = rest;
+    if &header[0..4] != MAGIC {
         return Err(DecodeTraceError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = u16::from_le_bytes([header[4], header[5]]);
     if version != VERSION {
         return Err(DecodeTraceError::UnsupportedVersion { found: version });
     }
-    let _reserved = buf.get_u16_le();
-    let count = buf.get_u64_le();
+    // header[6..8] is the reserved field.
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
     let mut trace = Trace::with_capacity(usize::try_from(count).unwrap_or(0));
     let mut prev_pc = 0i64;
     for index in 0..count {
@@ -145,10 +150,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Trace, DecodeTraceError> {
             decoded: index,
             expected: count,
         };
-        if !buf.has_remaining() {
-            return Err(truncated);
-        }
-        let tag = buf.get_u8();
+        let tag = get_u8(&mut buf).ok_or_else(|| truncated.clone())?;
         let kind = kind_from_code(tag & 0x07)
             .filter(|_| tag & !0x0f == 0)
             .ok_or(DecodeTraceError::BadTag { tag, index })?;
@@ -174,7 +176,12 @@ mod tests {
             BranchRecord::new(0x0041_0000, 0x0040_0108, BranchKind::Return, Outcome::Taken),
             BranchRecord::conditional(0x0040_0108, 0x0040_0200, Outcome::NotTaken),
             BranchRecord::new(0x0040_020c, 0x0100_0000, BranchKind::Call, Outcome::Taken),
-            BranchRecord::new(0x0100_0040, 0x0200_0000, BranchKind::Indirect, Outcome::Taken),
+            BranchRecord::new(
+                0x0100_0040,
+                0x0200_0000,
+                BranchKind::Indirect,
+                Outcome::Taken,
+            ),
         ]
         .into_iter()
         .collect()
@@ -266,7 +273,7 @@ mod tests {
     #[test]
     fn varint_round_trip() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
-            let mut buf = BytesMut::new();
+            let mut buf = Vec::new();
             put_varint(&mut buf, v);
             let mut slice: &[u8] = &buf;
             assert_eq!(get_varint(&mut slice), Some(v));

@@ -120,9 +120,7 @@ mod tests {
         assert_eq!(e.to_string(), "line 3: expected 4 fields, found 2");
         let e = ParseTraceError {
             line: 1,
-            kind: ParseTraceErrorKind::BadAddress {
-                field: "zz".into(),
-            },
+            kind: ParseTraceErrorKind::BadAddress { field: "zz".into() },
         };
         assert!(e.to_string().contains("\"zz\""));
     }
@@ -135,7 +133,10 @@ mod tests {
             expected: 9,
         };
         assert!(e.to_string().contains("5 of 9"));
-        let e = DecodeTraceError::BadTag { tag: 0xff, index: 2 };
+        let e = DecodeTraceError::BadTag {
+            tag: 0xff,
+            index: 2,
+        };
         assert!(e.to_string().contains("0xff"));
     }
 

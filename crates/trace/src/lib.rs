@@ -8,6 +8,9 @@
 //!   target, kind, outcome);
 //! * [`Trace`] — an in-memory sequence of branch records with iteration,
 //!   slicing, and collection support;
+//! * [`TraceSource`] — a restartable streaming view of a record
+//!   sequence, letting generators feed the simulation engine without
+//!   materialising a full trace;
 //! * [`binfmt`] / [`textfmt`] — a compact binary format and a line-oriented
 //!   text format for storing traces on disk;
 //! * [`stats`] — workload characterization (static/dynamic branch counts,
@@ -36,12 +39,14 @@ mod error;
 pub mod io;
 mod outcome;
 mod record;
+mod source;
 pub mod stats;
 mod stream;
 pub mod streamfmt;
 pub mod textfmt;
 
-pub use error::{DecodeTraceError, ParseTraceError};
+pub use error::{DecodeTraceError, ParseTraceError, ParseTraceErrorKind};
 pub use outcome::Outcome;
 pub use record::{BranchKind, BranchRecord};
+pub use source::TraceSource;
 pub use stream::{Iter, Trace};

@@ -150,8 +150,8 @@ mod tests {
 
     #[test]
     fn bool_round_trip() {
-        assert_eq!(bool::from(Outcome::from(true)), true);
-        assert_eq!(bool::from(Outcome::from(false)), false);
+        assert!(bool::from(Outcome::from(true)));
+        assert!(!bool::from(Outcome::from(false)));
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Streaming trace sources.
+//!
+//! A [`TraceSource`] yields branch records one at a time, so consumers
+//! (notably the batched replay engine in `bpred-sim`) can process a
+//! workload in a single pass without materialising it in memory first.
+//! Every source is restartable: [`TraceSource::stream`] takes `&self`
+//! and returns a fresh iterator over the same record sequence, which is
+//! what lets several worker threads replay the same workload
+//! concurrently, and lets a deterministic generator serve as a source
+//! directly (each call re-seeds and replays).
+//!
+//! [`Trace`] implements the trait by iterating its records, so any API
+//! accepting `&impl TraceSource` still accepts an in-memory trace.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_trace::{BranchRecord, Outcome, Trace, TraceSource};
+//!
+//! let trace: Trace = (0..4)
+//!     .map(|i| BranchRecord::conditional(0x40 + 4 * i, 0x20, Outcome::Taken))
+//!     .collect();
+//! let source: &dyn TraceSource = &trace;
+//! assert_eq!(source.stream().count(), 4);
+//! assert_eq!(source.len_hint(), Some(4));
+//! // Streams restart from the beginning on every call.
+//! assert_eq!(source.stream().next(), source.stream().next());
+//! ```
+
+use crate::{BranchRecord, Trace};
+
+/// A restartable stream of branch records.
+///
+/// Implementors promise that every call to [`stream`](Self::stream)
+/// yields the *same* record sequence: sources are replayable, which the
+/// simulation layers rely on both for sharded parallel replay and for
+/// bit-identical batched-vs-serial comparisons.
+pub trait TraceSource {
+    /// Opens a fresh iterator over the full record sequence.
+    fn stream(&self) -> Box<dyn Iterator<Item = BranchRecord> + '_>;
+
+    /// Total number of records the stream will yield, when cheaply
+    /// known. Used only for capacity hints.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Materialises the source into an in-memory [`Trace`].
+    fn collect_trace(&self) -> Trace {
+        let mut trace = Trace::with_capacity(self.len_hint().unwrap_or(0));
+        trace.extend(self.stream());
+        trace
+    }
+}
+
+impl TraceSource for Trace {
+    fn stream(&self) -> Box<dyn Iterator<Item = BranchRecord> + '_> {
+        Box::new(self.iter().copied())
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.len())
+    }
+
+    fn collect_trace(&self) -> Trace {
+        self.clone()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &T {
+    fn stream(&self) -> Box<dyn Iterator<Item = BranchRecord> + '_> {
+        (**self).stream()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        (**self).len_hint()
+    }
+
+    fn collect_trace(&self) -> Trace {
+        (**self).collect_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Outcome;
+
+    fn sample() -> Trace {
+        (0..10u64)
+            .map(|i| BranchRecord::conditional(0x100 + 4 * i, 0x80, Outcome::from(i % 2 == 0)))
+            .collect()
+    }
+
+    #[test]
+    fn trace_streams_its_records_in_order() {
+        let t = sample();
+        let streamed: Vec<BranchRecord> = t.stream().collect();
+        assert_eq!(streamed, t.records());
+    }
+
+    #[test]
+    fn streams_restart() {
+        let t = sample();
+        let a: Vec<BranchRecord> = t.stream().collect();
+        let b: Vec<BranchRecord> = t.stream().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn len_hint_matches() {
+        let t = sample();
+        assert_eq!(t.len_hint(), Some(10));
+        assert_eq!(t.len_hint(), Some(10));
+    }
+
+    #[test]
+    fn collect_trace_round_trips() {
+        let t = sample();
+        assert_eq!(t.collect_trace(), t);
+        assert_eq!((&&t).collect_trace(), t);
+    }
+
+    #[test]
+    fn works_as_a_trait_object() {
+        let t = sample();
+        let dynamic: &dyn TraceSource = &t;
+        assert_eq!(dynamic.stream().count(), 10);
+        assert_eq!(dynamic.collect_trace(), t);
+    }
+}

@@ -255,7 +255,11 @@ mod tests {
             t.push(BranchRecord::conditional(0x100, 0x80, Outcome::Taken));
         }
         for i in 0..10u64 {
-            t.push(BranchRecord::conditional(0x200 + 4 * i, 0x80, Outcome::NotTaken));
+            t.push(BranchRecord::conditional(
+                0x200 + 4 * i,
+                0x80,
+                Outcome::NotTaken,
+            ));
         }
         t
     }
@@ -302,11 +306,7 @@ mod tests {
     fn bias_of_mixed_branch() {
         let mut t = Trace::new();
         for i in 0..10 {
-            t.push(BranchRecord::conditional(
-                0x40,
-                0x20,
-                Outcome::from(i < 3),
-            ));
+            t.push(BranchRecord::conditional(0x40, 0x20, Outcome::from(i < 3)));
         }
         let p = BranchProfile::measure(&t);
         let c = p.get(0x40).unwrap();

@@ -182,7 +182,9 @@ impl<R: Read> TraceReader<R> {
         }
         let version = u16::from_le_bytes([header[4], header[5]]);
         if version != VERSION {
-            return Err(invalid(format!("unsupported trace format version {version}")));
+            return Err(invalid(format!(
+                "unsupported trace format version {version}"
+            )));
         }
         let remaining = u64::from_le_bytes(header[8..16].try_into().expect("eight bytes"));
         Ok(TraceReader {
@@ -223,7 +225,12 @@ impl<R: Read> TraceReader<R> {
         self.prev_pc = pc;
         self.remaining -= 1;
         self.index += 1;
-        Ok(Some(BranchRecord::new(pc as u64, target as u64, kind, outcome)))
+        Ok(Some(BranchRecord::new(
+            pc as u64,
+            target as u64,
+            kind,
+            outcome,
+        )))
     }
 }
 
@@ -353,7 +360,7 @@ mod tests {
         let bytes = binfmt::encode(&trace);
         let mut reader = TraceReader::new(&bytes[..]).unwrap();
         let mut count = 0;
-        while let Some(result) = reader.next() {
+        for result in reader.by_ref() {
             result.unwrap();
             count += 1;
         }

@@ -4,7 +4,10 @@
 use proptest::prelude::*;
 
 use bpred_trace::stats::{BranchProfile, TraceStats};
-use bpred_trace::{binfmt, textfmt, BranchKind, BranchRecord, Outcome, Trace};
+use bpred_trace::{
+    binfmt, textfmt, BranchKind, BranchRecord, DecodeTraceError, Outcome, ParseTraceErrorKind,
+    Trace,
+};
 
 fn arb_kind() -> impl Strategy<Value = BranchKind> {
     prop_oneof![
@@ -55,6 +58,117 @@ proptest! {
         let bytes = binfmt::encode(&trace);
         let keep = bytes.len().saturating_sub(cut);
         let _ = binfmt::decode(&bytes[..keep]);
+    }
+
+    // --- corrupt inputs must surface the matching error variant ---
+
+    #[test]
+    fn truncated_record_bytes_report_truncated(
+        trace in prop::collection::vec(arb_record(), 1..100).prop_map(Trace::from_records),
+        cut in 1usize..32,
+    ) {
+        let bytes = binfmt::encode(&trace);
+        // Keep the 16-byte header intact; cut into the record bytes.
+        let keep = bytes.len().saturating_sub(cut).max(16);
+        match binfmt::decode(&bytes[..keep]) {
+            Err(DecodeTraceError::Truncated { decoded, expected }) => {
+                prop_assert!(decoded < expected);
+                prop_assert_eq!(expected, trace.len() as u64);
+            }
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_reports_bad_magic(trace in arb_trace(), pos in 0usize..4, flip in 1u8..=255) {
+        let mut bytes = binfmt::encode(&trace);
+        bytes[pos] ^= flip;
+        prop_assert_eq!(binfmt::decode(&bytes), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn short_input_reports_bad_magic(bytes in prop::collection::vec(any::<u8>(), 0..16)) {
+        prop_assert_eq!(binfmt::decode(&bytes), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_version_reports_unsupported(trace in arb_trace(), version in 2u16..1000) {
+        let mut bytes = binfmt::encode(&trace);
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        prop_assert_eq!(
+            binfmt::decode(&bytes),
+            Err(DecodeTraceError::UnsupportedVersion { found: version })
+        );
+    }
+
+    #[test]
+    fn reserved_tag_bits_report_bad_tag(
+        trace in prop::collection::vec(arb_record(), 1..100).prop_map(Trace::from_records),
+        garbage in 0x10u8..=0xF0,
+    ) {
+        let mut bytes = binfmt::encode(&trace);
+        // Byte 16 is the first record's tag; bits above taken<<3 are
+        // reserved and must be rejected, not decoded.
+        bytes[16] |= garbage & 0xF0;
+        prop_assume!(bytes[16] & 0xF0 != 0);
+        match binfmt::decode(&bytes) {
+            Err(DecodeTraceError::BadTag { tag, index }) => {
+                prop_assert_eq!(tag, bytes[16]);
+                prop_assert_eq!(index, 0);
+            }
+            other => prop_assert!(false, "expected BadTag, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_reports_line_and_count(
+        trace in arb_trace(),
+        extra in 1usize..8,
+    ) {
+        prop_assume!(extra != 4);
+        let mut text = textfmt::emit(&trace);
+        text.push_str(&"f ".repeat(extra));
+        let err = textfmt::parse(&text).expect_err("bad field count");
+        prop_assert_eq!(err.line, trace.len() + 1);
+        prop_assert_eq!(err.kind, ParseTraceErrorKind::FieldCount { found: extra });
+    }
+
+    #[test]
+    fn non_hex_address_reports_bad_address(trace in arb_trace(), which in 0usize..2) {
+        let mut text = textfmt::emit(&trace);
+        text.push_str(if which == 0 { "xyz 20 C T" } else { "10 xyz C T" });
+        let err = textfmt::parse(&text).expect_err("bad address");
+        prop_assert_eq!(err.line, trace.len() + 1);
+        prop_assert_eq!(
+            err.kind,
+            ParseTraceErrorKind::BadAddress { field: "xyz".to_owned() }
+        );
+    }
+
+    #[test]
+    fn unknown_kind_mnemonic_reports_bad_kind(
+        trace in arb_trace(),
+        // Anything outside the C/J/L/R/I mnemonic set.
+        c in prop::sample::select("ABDEFGHKMOPQSUVWXYZ".chars().collect::<Vec<char>>()),
+    ) {
+        let mut text = textfmt::emit(&trace);
+        text.push_str(&format!("10 20 {c} T"));
+        let err = textfmt::parse(&text).expect_err("bad kind");
+        prop_assert_eq!(err.line, trace.len() + 1);
+        prop_assert_eq!(err.kind, ParseTraceErrorKind::BadKind { field: c.to_string() });
+    }
+
+    #[test]
+    fn unknown_outcome_mnemonic_reports_bad_outcome(
+        trace in arb_trace(),
+        // Anything outside the T/N outcome set.
+        c in prop::sample::select("ABCDEFGHIJKLMOPQRSUVWXYZ".chars().collect::<Vec<char>>()),
+    ) {
+        let mut text = textfmt::emit(&trace);
+        text.push_str(&format!("10 20 C {c}"));
+        let err = textfmt::parse(&text).expect_err("bad outcome");
+        prop_assert_eq!(err.line, trace.len() + 1);
+        prop_assert_eq!(err.kind, ParseTraceErrorKind::BadOutcome { field: c.to_string() });
     }
 
     #[test]

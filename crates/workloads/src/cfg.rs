@@ -187,7 +187,8 @@ impl CfgProgram {
             let base = blocks.len();
             entries.push(base);
             for i in 0..n {
-                let effect = (rng.gen::<f64>() < 0.6).then(|| random_effect(&mut rng, config.variables));
+                let effect =
+                    (rng.gen::<f64>() < 0.6).then(|| random_effect(&mut rng, config.variables));
                 let last = i == n - 1;
                 let terminator = if last {
                     Terminator::Return
@@ -490,9 +491,7 @@ mod tests {
         );
         let t = p.trace(1, 20_000);
         // At least one backward conditional branch must exist.
-        assert!(t
-            .iter()
-            .any(|r| r.is_conditional() && r.is_backward()));
+        assert!(t.iter().any(|r| r.is_conditional() && r.is_backward()));
     }
 
     #[test]
@@ -520,11 +519,7 @@ mod tests {
                 seed,
             );
             for (f, &entry) in p.entries().iter().enumerate() {
-                let end = p
-                    .entries()
-                    .get(f + 1)
-                    .copied()
-                    .unwrap_or(p.blocks().len());
+                let end = p.entries().get(f + 1).copied().unwrap_or(p.blocks().len());
                 assert!(
                     p.blocks()[entry..end]
                         .iter()

@@ -50,7 +50,7 @@ pub use behavior::{BehaviorState, BranchBehavior};
 pub use builder::WorkloadBuilder;
 pub use cfg::{Block, BlockId, CfgConfig, CfgProgram, Condition, Effect, Terminator};
 pub use layout::{TextLayout, TEXT_BASE};
-pub use model::{StaticBranch, WorkloadModel};
+pub use model::{StaticBranch, TraceStream, WorkloadModel, WorkloadSource};
 pub use multiprog::Multiprogrammed;
 pub use sampling::AliasTable;
 pub use spec::{BehaviorMix, BehaviorTuning, BenchmarkSpec, BiasRange, PaperReference, SuiteKind};

@@ -25,7 +25,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use bpred_trace::{BranchKind, BranchRecord, Outcome, Trace};
+use bpred_trace::{BranchKind, BranchRecord, Outcome, Trace, TraceSource};
 
 use crate::behavior::{mix64, BehaviorState, BranchBehavior};
 use crate::layout::TextLayout;
@@ -198,55 +198,195 @@ impl WorkloadModel {
 
     /// Generates a trace with exactly `conditionals` conditional
     /// branches (non-conditional transfers are interleaved on top).
+    ///
+    /// Equivalent to collecting [`stream_of_length`]
+    /// (Self::stream_of_length) — the stream *is* the generator.
     pub fn trace_of_length(&self, seed: u64, conditionals: usize) -> Trace {
-        let mut rng = SmallRng::seed_from_u64(mix64(seed ^ structure_seed(&self.name)));
-        let mut states = vec![BehaviorState::new(); self.branches.len()];
         let mut trace = Trace::with_capacity(conditionals + conditionals / 8);
-        let mut global_history = 0u64;
-        let mut block_idx = self.block_sampler.sample(&mut rng);
-        let mut emitted = 0usize;
-
-        'outer: loop {
-            let block = &self.blocks[block_idx];
-            // Execute the block, repeating while its latch stays taken.
-            loop {
-                let mut latch_taken = false;
-                for (pos, &branch_idx) in block.members.iter().enumerate() {
-                    if emitted >= conditionals {
-                        break 'outer;
-                    }
-                    emitted += 1;
-                    let b = &self.branches[branch_idx];
-                    let outcome = states[branch_idx].resolve(b.behavior, global_history, &mut rng);
-                    global_history = (global_history << 1) | outcome.as_bit();
-                    trace.push(BranchRecord::conditional(b.pc, b.target, outcome));
-                    if block.latch && pos == block.members.len() - 1 {
-                        latch_taken = outcome.is_taken();
-                    }
-
-                    if self.jump_fraction > 0.0 && rng.gen::<f64>() < self.jump_fraction {
-                        let entry =
-                            self.jump_targets[rng.gen_range(0..self.jump_targets.len())];
-                        let kind = if rng.gen::<f64>() < 0.5 {
-                            BranchKind::Call
-                        } else {
-                            BranchKind::Unconditional
-                        };
-                        trace.push(BranchRecord::new(b.pc + 4, entry, kind, Outcome::Taken));
-                    }
-                }
-                if !latch_taken {
-                    break;
-                }
-            }
-            // Follow the preferred successor or re-sample by weight.
-            block_idx = if rng.gen::<f64>() < self.sequence_coherence {
-                self.blocks[block_idx].successor
-            } else {
-                self.block_sampler.sample(&mut rng)
-            };
-        }
+        trace.extend(self.stream_of_length(seed, conditionals));
         trace
+    }
+
+    /// Opens a lazy record stream of the default trace length; see
+    /// [`stream_of_length`](Self::stream_of_length).
+    pub fn stream(&self, seed: u64) -> TraceStream<'_> {
+        self.stream_of_length(seed, self.dynamic_branches)
+    }
+
+    /// Opens a lazy stream yielding exactly the records
+    /// [`trace_of_length`](Self::trace_of_length) would produce for the
+    /// same `(seed, conditionals)`, without materialising them.
+    ///
+    /// Sweeps over long traces replay the stream once per worker shard
+    /// instead of holding 100k+ records in memory; the stream and the
+    /// materialised trace are bit-identical record for record.
+    pub fn stream_of_length(&self, seed: u64, conditionals: usize) -> TraceStream<'_> {
+        let mut rng = SmallRng::seed_from_u64(mix64(seed ^ structure_seed(&self.name)));
+        let block_idx = self.block_sampler.sample(&mut rng);
+        TraceStream {
+            model: self,
+            rng,
+            states: vec![BehaviorState::new(); self.branches.len()],
+            global_history: 0,
+            block_idx,
+            pos: 0,
+            emitted: 0,
+            conditionals,
+            pending: None,
+        }
+    }
+}
+
+/// Lazy single-pass trace generator returned by
+/// [`WorkloadModel::stream_of_length`].
+///
+/// Yields the same record sequence the materialising generator
+/// produces: the iterator advances the same RNG through the same draws
+/// in the same order, so `model.stream_of_length(s, n).collect()` and
+/// `model.trace_of_length(s, n)` are bit-identical.
+#[derive(Debug, Clone)]
+pub struct TraceStream<'a> {
+    model: &'a WorkloadModel,
+    rng: SmallRng,
+    states: Vec<BehaviorState>,
+    global_history: u64,
+    block_idx: usize,
+    /// Position of the next member within the current block.
+    pos: usize,
+    emitted: usize,
+    conditionals: usize,
+    /// Jump record generated alongside the previous conditional,
+    /// awaiting emission.
+    pending: Option<BranchRecord>,
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = BranchRecord;
+
+    fn next(&mut self) -> Option<BranchRecord> {
+        if let Some(jump) = self.pending.take() {
+            return Some(jump);
+        }
+        if self.emitted >= self.conditionals {
+            return None;
+        }
+        let model = self.model;
+        let block = &model.blocks[self.block_idx];
+        let last = block.members.len() - 1;
+        let branch_idx = block.members[self.pos];
+
+        self.emitted += 1;
+        let b = &model.branches[branch_idx];
+        let outcome =
+            self.states[branch_idx].resolve(b.behavior, self.global_history, &mut self.rng);
+        self.global_history = (self.global_history << 1) | outcome.as_bit();
+        let record = BranchRecord::conditional(b.pc, b.target, outcome);
+        let latch_taken = block.latch && self.pos == last && outcome.is_taken();
+
+        if model.jump_fraction > 0.0 && self.rng.gen::<f64>() < model.jump_fraction {
+            let entry = model.jump_targets[self.rng.gen_range(0..model.jump_targets.len())];
+            let kind = if self.rng.gen::<f64>() < 0.5 {
+                BranchKind::Call
+            } else {
+                BranchKind::Unconditional
+            };
+            self.pending = Some(BranchRecord::new(b.pc + 4, entry, kind, Outcome::Taken));
+        }
+
+        // Advance: next member, repeat the block while its latch stays
+        // taken, or move to the next block. The draws here happen
+        // between records, exactly where the materialising loop made
+        // them.
+        if self.pos < last {
+            self.pos += 1;
+        } else {
+            self.pos = 0;
+            if !latch_taken {
+                // Follow the preferred successor or re-sample by weight.
+                self.block_idx = if self.rng.gen::<f64>() < model.sequence_coherence {
+                    model.blocks[self.block_idx].successor
+                } else {
+                    model.block_sampler.sample(&mut self.rng)
+                };
+            }
+        }
+        Some(record)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // At least the remaining conditionals; jumps are on top.
+        (
+            self.conditionals - self.emitted + usize::from(self.pending.is_some()),
+            None,
+        )
+    }
+}
+
+/// A [`TraceSource`] view of a workload model at a fixed seed and
+/// length: each [`stream`](TraceSource::stream) call replays the same
+/// deterministic record sequence from the start.
+///
+/// This is what lets sweep and experiment drivers hand a *generator* to
+/// the batched replay engine where an in-memory [`Trace`] was needed
+/// before.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_trace::TraceSource;
+/// use bpred_workloads::{suite, WorkloadSource};
+///
+/// let source = WorkloadSource::new(suite::espresso().scaled(1_000), 7);
+/// assert_eq!(source.collect_trace(), source.model().trace(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadSource {
+    model: WorkloadModel,
+    seed: u64,
+    conditionals: usize,
+}
+
+impl WorkloadSource {
+    /// A source replaying `model` at `seed` for the model's default
+    /// trace length.
+    pub fn new(model: WorkloadModel, seed: u64) -> Self {
+        let conditionals = model.dynamic_branches();
+        WorkloadSource {
+            model,
+            seed,
+            conditionals,
+        }
+    }
+
+    /// A source replaying `model` at `seed` with exactly
+    /// `conditionals` conditional branches.
+    pub fn with_length(model: WorkloadModel, seed: u64, conditionals: usize) -> Self {
+        WorkloadSource {
+            model,
+            seed,
+            conditionals,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &WorkloadModel {
+        &self.model
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Conditional branches per replay.
+    pub fn conditionals(&self) -> usize {
+        self.conditionals
+    }
+}
+
+impl TraceSource for WorkloadSource {
+    fn stream(&self) -> Box<dyn Iterator<Item = BranchRecord> + '_> {
+        Box::new(self.model.stream_of_length(self.seed, self.conditionals))
     }
 }
 
@@ -281,43 +421,63 @@ fn build_blocks(branches: &[StaticBranch], rng: &mut SmallRng) -> Vec<BasicBlock
         });
         i += size;
     }
-    // Chain blocks into successor cycles of 3-8 consecutive blocks
-    // (consecutive blocks hold similar-weight branches, keeping the
-    // coverage calibration intact).
+    // Chain blocks into successor cycles of 3-8 blocks of similar
+    // *sampler* weight (mean member weight over latch repeats). Chain
+    // mates inherit each other's visit rate through the coherence
+    // walk, so grouping by raw branch weight instead would let a
+    // high-trip-count loop block ride its neighbours' visit rate and
+    // emit trip_count times more instances than its coverage bucket
+    // allows, concentrating the measured coverage head well below the
+    // Table 2 calibration.
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    let sampler_weight: Vec<f64> = blocks
+        .iter()
+        .map(|b| block_sampler_weight(branches, b))
+        .collect();
+    order.sort_by(|&a, &b| {
+        sampler_weight[b]
+            .partial_cmp(&sampler_weight[a])
+            .expect("finite weights")
+            .then(a.cmp(&b))
+    });
     let mut start = 0usize;
-    while start < blocks.len() {
-        let len = rng.gen_range(3..=8usize).min(blocks.len() - start);
+    while start < order.len() {
+        let len = rng.gen_range(3..=8usize).min(order.len() - start);
         for offset in 0..len {
-            blocks[start + offset].successor = start + (offset + 1) % len;
+            blocks[order[start + offset]].successor = order[start + (offset + 1) % len];
         }
         start += len;
     }
     blocks
 }
 
-/// Per-block selection weights: mean member weight, divided by the
+/// Per-block selection weight: mean member weight, divided by the
 /// expected executions per visit (the latch trip count for loop
 /// blocks) so realised branch frequencies track their targets.
+fn block_sampler_weight(branches: &[StaticBranch], block: &BasicBlock) -> f64 {
+    let mean: f64 = block
+        .members
+        .iter()
+        .map(|&m| branches[m].weight)
+        .sum::<f64>()
+        / block.members.len() as f64;
+    let repeats = if block.latch {
+        match branches[*block.members.last().expect("non-empty")].behavior {
+            BranchBehavior::Loop { trip_count } => f64::from(trip_count.max(1)),
+            _ => 1.0,
+        }
+    } else {
+        1.0
+    };
+    mean / repeats
+}
+
+/// Per-block selection weights for the whole program; see
+/// [`block_sampler_weight`].
 fn block_weights(branches: &[StaticBranch], blocks: &[BasicBlock]) -> Vec<f64> {
     blocks
         .iter()
-        .map(|block| {
-            let mean: f64 = block
-                .members
-                .iter()
-                .map(|&m| branches[m].weight)
-                .sum::<f64>()
-                / block.members.len() as f64;
-            let repeats = if block.latch {
-                match branches[*block.members.last().expect("non-empty")].behavior {
-                    BranchBehavior::Loop { trip_count } => f64::from(trip_count.max(1)),
-                    _ => 1.0,
-                }
-            } else {
-                1.0
-            };
-            mean / repeats
-        })
+        .map(|block| block_sampler_weight(branches, block))
         .collect()
 }
 
@@ -463,8 +623,7 @@ mod tests {
     #[test]
     fn branch_addresses_match_materialised_program() {
         let model = suite::verilog().scaled(10_000);
-        let valid: std::collections::HashSet<u64> =
-            model.branches().iter().map(|b| b.pc).collect();
+        let valid: std::collections::HashSet<u64> = model.branches().iter().map(|b| b.pc).collect();
         for r in model.trace(5).iter().filter(|r| r.is_conditional()) {
             assert!(valid.contains(&r.pc));
         }

@@ -136,7 +136,10 @@ mod tests {
 
     fn mix(quantum: usize) -> Multiprogrammed {
         Multiprogrammed::new(
-            vec![suite::mpeg_play().scaled(50_000), suite::sdet().scaled(50_000)],
+            vec![
+                suite::mpeg_play().scaled(50_000),
+                suite::sdet().scaled(50_000),
+            ],
             quantum,
         )
     }

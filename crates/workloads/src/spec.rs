@@ -270,7 +270,11 @@ impl BenchmarkSpec {
             self.name,
             self.correlation_noise
         );
-        assert!(self.correlation_bits <= 16, "{}: correlation too deep", self.name);
+        assert!(
+            self.correlation_bits <= 16,
+            "{}: correlation too deep",
+            self.name
+        );
         assert!(self.dynamic_branches > 0, "{}: empty trace", self.name);
     }
 

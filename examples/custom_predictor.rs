@@ -13,9 +13,7 @@
 
 use std::collections::HashMap;
 
-use bpred::core::{
-    BranchPredictor, Gshare, RowSelection, RowSelector, TableGeometry, TwoLevel,
-};
+use bpred::core::{BranchPredictor, Gshare, RowSelection, RowSelector, TableGeometry, TwoLevel};
 use bpred::sim::report::percent;
 use bpred::sim::Simulator;
 use bpred::trace::Outcome;

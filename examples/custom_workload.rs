@@ -17,9 +17,14 @@ use bpred::workloads::WorkloadBuilder;
 fn main() {
     let sim = Simulator::new();
     let mut table = TextTable::new(
-        ["static branches", "gshare 2^13", "gshare aliasing", "yags 2^13"]
-            .map(str::to_owned)
-            .to_vec(),
+        [
+            "static branches",
+            "gshare 2^13",
+            "gshare aliasing",
+            "yags 2^13",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
     );
 
     for statics in [500usize, 2_000, 8_000, 32_000] {

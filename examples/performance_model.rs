@@ -7,7 +7,7 @@
 //! cargo run --release --example performance_model
 //! ```
 
-use bpred::core::{Agree, AddressIndexed, BiMode, BranchPredictor, Gshare, Gskew, Pas};
+use bpred::core::{AddressIndexed, Agree, BiMode, BranchPredictor, Gshare, Gskew, Pas};
 use bpred::sim::report::percent;
 use bpred::sim::{CpiModel, Simulator, TextTable};
 use bpred::workloads::suite;
@@ -66,7 +66,11 @@ fn main() {
          scheme above is a {:.1}% speedup; on the R2000-like pipeline only\n\
          {:.1}%. The paper's point that misprediction-rate deltas matter\n\
          more as pipelines deepen, in one table.",
-        100.0 * (deep.speedup(baseline, rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min)) - 1.0),
+        100.0
+            * (deep.speedup(
+                baseline,
+                rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min)
+            ) - 1.0),
         100.0
             * (shallow.speedup(
                 baseline,

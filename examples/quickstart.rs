@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bpred::core::{
-    AddressIndexed, BranchPredictor, Btfn, Combining, Gas, Gshare, Pas, PathBased,
-};
+use bpred::core::{AddressIndexed, BranchPredictor, Btfn, Combining, Gas, Gshare, Pas, PathBased};
 use bpred::sim::report::percent;
 use bpred::sim::{Simulator, TextTable};
 use bpred::workloads::suite;

@@ -1,0 +1,176 @@
+//! Determinism harness for the batched single-pass replay engine.
+//!
+//! The batched engine (`bpred::sim::run_batched`) promises results
+//! *bit-identical* to the serial reference (`Simulator::run` once per
+//! configuration). These tests enforce that promise for every
+//! [`PredictorConfig`] variant, for the acceptance-sized sweep
+//! (32 configurations over a 120k-branch trace), and across repeated
+//! same-seed runs.
+
+use bpred::core::PredictorConfig;
+use bpred::sim::{run_batched, run_configs, Simulator};
+use bpred::trace::Trace;
+use bpred::workloads::{suite, WorkloadSource};
+
+/// One configuration of every `PredictorConfig` variant, sized so each
+/// exercises warmup, aliasing, and (where present) first-level BHT
+/// statistics on a modest trace.
+fn every_variant() -> Vec<PredictorConfig> {
+    vec![
+        PredictorConfig::AlwaysTaken,
+        PredictorConfig::AlwaysNotTaken,
+        PredictorConfig::Btfn,
+        PredictorConfig::LastTime { addr_bits: 6 },
+        PredictorConfig::AddressIndexed { addr_bits: 6 },
+        PredictorConfig::Gas {
+            history_bits: 6,
+            col_bits: 2,
+        },
+        PredictorConfig::Gshare {
+            history_bits: 7,
+            col_bits: 2,
+        },
+        PredictorConfig::Path {
+            row_bits: 6,
+            col_bits: 2,
+            bits_per_target: 3,
+        },
+        PredictorConfig::PasInfinite {
+            history_bits: 5,
+            col_bits: 2,
+        },
+        PredictorConfig::PasFinite {
+            history_bits: 5,
+            col_bits: 2,
+            entries: 64,
+            ways: 2,
+        },
+        PredictorConfig::Tournament {
+            addr_bits: 6,
+            history_bits: 6,
+            chooser_bits: 6,
+        },
+        PredictorConfig::Sas {
+            history_bits: 5,
+            set_bits: 3,
+            col_bits: 2,
+        },
+        PredictorConfig::Agree {
+            history_bits: 6,
+            index_bits: 8,
+        },
+        PredictorConfig::BiMode {
+            history_bits: 6,
+            direction_bits: 7,
+            choice_bits: 7,
+        },
+        PredictorConfig::Gskew {
+            history_bits: 6,
+            bank_bits: 7,
+        },
+        PredictorConfig::Yags {
+            choice_bits: 7,
+            cache_bits: 6,
+            tag_bits: 6,
+        },
+    ]
+}
+
+/// The acceptance sweep: 32 configurations mixing four schemes over a
+/// range of sizes (mirrors the `engine-32x120k` criterion bench).
+fn acceptance_configs() -> Vec<PredictorConfig> {
+    (2..10u32)
+        .flat_map(|history_bits| {
+            [
+                PredictorConfig::Gas {
+                    history_bits,
+                    col_bits: 3,
+                },
+                PredictorConfig::Gshare {
+                    history_bits,
+                    col_bits: 3,
+                },
+                PredictorConfig::PasInfinite {
+                    history_bits,
+                    col_bits: 2,
+                },
+                PredictorConfig::AddressIndexed {
+                    addr_bits: history_bits + 3,
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Serial reference: `Simulator::run` per configuration, nothing
+/// shared between runs.
+fn serial_reference(
+    configs: &[PredictorConfig],
+    trace: &Trace,
+    simulator: Simulator,
+) -> Vec<bpred::sim::SimResult> {
+    configs
+        .iter()
+        .map(|config| simulator.run(&mut config.build(), trace))
+        .collect()
+}
+
+#[test]
+fn every_variant_matches_serial_exactly() {
+    let trace = suite::espresso().scaled(8_000).trace(1996);
+    let configs = every_variant();
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    for shard_size in [1, 3, 8, configs.len()] {
+        let batched = run_batched(&configs, &trace, Simulator::new(), shard_size);
+        assert_eq!(serial, batched, "shard size {shard_size}");
+    }
+}
+
+#[test]
+fn every_variant_matches_serial_with_warmup() {
+    let trace = suite::mpeg_play().scaled(6_000).trace(7);
+    let configs = every_variant();
+    let simulator = Simulator::with_warmup(1_000);
+    let serial = serial_reference(&configs, &trace, simulator);
+    let batched = run_batched(&configs, &trace, simulator, 5);
+    assert_eq!(serial, batched);
+}
+
+#[test]
+fn acceptance_sweep_32_configs_120k_branches_is_bit_identical() {
+    let model = suite::espresso().scaled(120_000);
+    let trace = model.trace(2);
+    assert!(trace.conditional_len() >= 120_000);
+    let configs = acceptance_configs();
+    assert_eq!(configs.len(), 32);
+
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    let batched = run_configs(&configs, &trace, Simulator::new());
+    assert_eq!(serial, batched);
+
+    // The streaming path (no materialised trace) agrees too.
+    let source = WorkloadSource::new(model, 2);
+    let streamed = run_configs(&configs, &source, Simulator::new());
+    assert_eq!(serial, streamed);
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let configs = every_variant();
+    let source = WorkloadSource::new(suite::real_gcc().scaled(10_000), 3);
+    let first = run_configs(&configs, &source, Simulator::new());
+    let second = run_configs(&configs, &source, Simulator::new());
+    assert_eq!(first, second);
+}
+
+#[test]
+fn streaming_source_equals_materialised_trace() {
+    let model = suite::sdet().scaled(9_000);
+    let source = WorkloadSource::new(model.clone(), 41);
+    let trace = model.trace(41);
+    let configs = every_variant();
+    assert_eq!(
+        run_configs(&configs, &source, Simulator::new()),
+        run_configs(&configs, &trace, Simulator::new()),
+    );
+}

@@ -52,8 +52,14 @@ fn bimode_and_gskew_do_not_lose_to_gshare() {
     let gskew = sim
         .run(&mut Gskew::new(12, 12), &trace)
         .misprediction_rate();
-    assert!(bimode < gshare + 0.01, "bimode {bimode:.4} vs gshare {gshare:.4}");
-    assert!(gskew < gshare + 0.01, "gskew {gskew:.4} vs gshare {gshare:.4}");
+    assert!(
+        bimode < gshare + 0.01,
+        "bimode {bimode:.4} vs gshare {gshare:.4}"
+    );
+    assert!(
+        gskew < gshare + 0.01,
+        "gskew {gskew:.4} vs gshare {gshare:.4}"
+    );
 }
 
 /// SAs interpolates the taxonomy: with enough sets it must approach
@@ -63,7 +69,9 @@ fn bimode_and_gskew_do_not_lose_to_gshare() {
 fn more_history_sets_help_on_self_history_workloads() {
     let trace = trace_of("mpeg_play", 120_000);
     let sim = Simulator::new();
-    let one_set = sim.run(&mut Sas::new(10, 0, 0), &trace).misprediction_rate();
+    let one_set = sim
+        .run(&mut Sas::new(10, 0, 0), &trace)
+        .misprediction_rate();
     let many_sets = sim
         .run(&mut Sas::new(10, 10, 0), &trace)
         .misprediction_rate();
@@ -122,10 +130,24 @@ fn cpi_model_is_monotone_in_rate() {
     let trace = trace_of("gs", 100_000);
     let sim = Simulator::new();
     let good = sim
-        .run(&mut PredictorConfig::PasInfinite { history_bits: 10, col_bits: 2 }.build(), &trace)
+        .run(
+            &mut PredictorConfig::PasInfinite {
+                history_bits: 10,
+                col_bits: 2,
+            }
+            .build(),
+            &trace,
+        )
         .misprediction_rate();
     let bad = sim
-        .run(&mut PredictorConfig::Gas { history_bits: 10, col_bits: 0 }.build(), &trace)
+        .run(
+            &mut PredictorConfig::Gas {
+                history_bits: 10,
+                col_bits: 0,
+            }
+            .build(),
+            &trace,
+        )
         .misprediction_rate();
     assert!(good < bad);
     let model = CpiModel::mips_r2000_like();
@@ -153,7 +175,10 @@ fn btb_hit_rate_scales_with_capacity() {
         rates.push(btb.stats().hit_rate());
     }
     assert!(rates[0] < rates[1] && rates[1] < rates[2], "{rates:?}");
-    assert!(rates[2] > 0.9, "a 4K-entry BTB should capture the working set");
+    assert!(
+        rates[2] > 0.9,
+        "a 4K-entry BTB should capture the working set"
+    );
 }
 
 /// Boxed dyn predictors from every extension config behave and report
@@ -175,7 +200,6 @@ fn extension_configs_run_through_the_engine() {
         assert!(result.alias.is_some(), "{text} should track aliasing");
     }
 }
-
 
 /// Multiprogrammed interleaving (the IBS traces' kernel/X-server
 /// time-slicing) pollutes shared predictor state: the mix mispredicts
@@ -201,13 +225,15 @@ fn context_switching_pollutes_predictor_state() {
     );
     // And a shorter quantum (more switching) should not help either.
     let churny = Multiprogrammed::new(
-        vec![suite::mpeg_play().scaled(30_000), suite::sdet().scaled(30_000)],
+        vec![
+            suite::mpeg_play().scaled(30_000),
+            suite::sdet().scaled(30_000),
+        ],
         50,
     );
     let churny_rate = run_config(config, &churny.trace(9, 60_000), sim).misprediction_rate();
     assert!(churny_rate > solo_avg - 0.005);
 }
-
 
 /// Real front ends shift *predicted* outcomes into the history and
 /// repair later, rather than waiting for resolution. On a workload
@@ -234,5 +260,8 @@ fn speculative_history_beats_stale_history_on_correlated_code() {
     );
     // And it should recover most of the gap to an (unrealistic)
     // zero-latency predictor.
-    assert!(speculative < fresh + (stale - fresh) * 0.8, "{fresh:.4} {speculative:.4} {stale:.4}");
+    assert!(
+        speculative < fresh + (stale - fresh) * 0.8,
+        "{fresh:.4} {speculative:.4} {stale:.4}"
+    );
 }

@@ -1,0 +1,106 @@
+//! Golden-value regression tests for the workload suite.
+//!
+//! Every benchmark model is generated at a fixed scale (50 000
+//! conditional branches) and seed (1996), and its summary statistics
+//! are pinned exactly: total records, dynamic conditionals, distinct
+//! static sites, and the overall taken rate. The models are calibrated
+//! against the paper's Tables 1–2, so any drift here means the
+//! generator (or the vendored RNG) changed behaviour — which would
+//! silently re-baseline every figure in EXPERIMENTS.md.
+//!
+//! If a deliberate generator change invalidates these numbers, rerun
+//! `cargo test --release golden_regenerate -- --ignored --nocapture`
+//! and paste the printed table.
+
+use bpred::trace::stats::TraceStats;
+use bpred::workloads::suite;
+
+const SCALE: usize = 50_000;
+const SEED: u64 = 1996;
+
+/// `(name, total_records, dynamic_conditionals, static_sites, taken_rate)`
+/// measured at `SCALE`/`SEED`.
+const GOLDEN: &[(&str, usize, u64, usize, f64)] = &[
+    ("compress", 53097, 50000, 110, 0.5949),
+    ("eqntott", 53082, 50000, 281, 0.7215),
+    ("espresso", 52951, 50000, 591, 0.7343),
+    ("gcc", 53609, 50000, 3916, 0.6851),
+    ("groff", 53912, 50000, 2109, 0.7126),
+    ("gs", 54005, 50000, 3757, 0.6632),
+    ("mpeg_play", 54162, 50000, 2069, 0.7029),
+    ("nroff", 54120, 50000, 1688, 0.6044),
+    ("real_gcc", 54099, 50000, 5452, 0.6787),
+    ("sc", 53064, 50000, 633, 0.7528),
+    ("sdet", 54090, 50000, 1816, 0.6225),
+    ("verilog", 54030, 50000, 1899, 0.7029),
+    ("video_play", 53978, 50000, 1985, 0.6821),
+    ("xlisp", 52993, 50000, 320, 0.7050),
+];
+
+fn measure(name: &str) -> TraceStats {
+    let model = suite::by_name(name)
+        .expect("benchmark exists")
+        .scaled(SCALE);
+    TraceStats::measure(&model.trace(SEED))
+}
+
+#[test]
+fn golden_values_cover_every_benchmark() {
+    let mut names: Vec<String> = suite::all().iter().map(|m| m.name().to_owned()).collect();
+    names.sort();
+    let mut golden: Vec<&str> = GOLDEN.iter().map(|g| g.0).collect();
+    golden.sort_unstable();
+    assert_eq!(names, golden, "GOLDEN table out of sync with suite::all()");
+}
+
+#[test]
+fn summary_statistics_match_golden_values() {
+    for &(name, records, conditionals, statics, taken) in GOLDEN {
+        let stats = measure(name);
+        assert_eq!(stats.total_records, records, "{name}: total records");
+        assert_eq!(
+            stats.dynamic_conditionals, conditionals,
+            "{name}: conditionals"
+        );
+        assert_eq!(stats.static_conditionals, statics, "{name}: static sites");
+        assert!(
+            (stats.taken_rate - taken).abs() < 5e-4,
+            "{name}: taken rate {:.4} vs golden {taken:.4}",
+            stats.taken_rate
+        );
+    }
+}
+
+#[test]
+fn taken_rates_stay_in_the_papers_band() {
+    // §2 of the paper (and the broader literature it cites) puts
+    // conditional branches at roughly 60–80% taken across SPECint92
+    // and IBS-Ultrix; the golden values must not drift outside it.
+    for &(name, _, _, _, taken) in GOLDEN {
+        assert!(
+            (0.55..=0.85).contains(&taken),
+            "{name}: golden taken rate {taken:.4} outside the published band"
+        );
+    }
+}
+
+/// Prints the `GOLDEN` table. Run with
+/// `cargo test --release golden_regenerate -- --ignored --nocapture`.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn golden_regenerate() {
+    let mut models = suite::all();
+    models.sort_by_key(|m| m.name().to_owned());
+    for model in models {
+        let name = model.name().to_owned();
+        let stats = TraceStats::measure(&model.scaled(SCALE).trace(SEED));
+        println!(
+            "    (\"{}\", {}, {}, {}, {:.4}),",
+            name,
+            stats.total_records,
+            stats.dynamic_conditionals,
+            stats.static_conditionals,
+            stats.taken_rate
+        );
+    }
+}

@@ -124,7 +124,10 @@ fn first_level_size_orders_pas_accuracy() {
     let tiny = rate_for(128);
     let mid = rate_for(1024);
     let big = rate_for(2048);
-    assert!(tiny > mid, "PAs(128) {tiny:.4} should be worse than PAs(1k) {mid:.4}");
+    assert!(
+        tiny > mid,
+        "PAs(128) {tiny:.4} should be worse than PAs(1k) {mid:.4}"
+    );
     assert!(mid >= big - 0.002, "PAs(1k) {mid:.4} vs PAs(2k) {big:.4}");
     let perfect = rate(
         PredictorConfig::PasInfinite {
@@ -230,7 +233,13 @@ fn dynamic_prediction_beats_static_baselines() {
         let bimodal = rate(PredictorConfig::AddressIndexed { addr_bits: 12 }, &trace);
         let taken = rate(PredictorConfig::AlwaysTaken, &trace);
         let btfn = rate(PredictorConfig::Btfn, &trace);
-        assert!(bimodal < taken, "{bench}: bimodal {bimodal:.4} vs always-taken {taken:.4}");
-        assert!(bimodal < btfn, "{bench}: bimodal {bimodal:.4} vs btfn {btfn:.4}");
+        assert!(
+            bimodal < taken,
+            "{bench}: bimodal {bimodal:.4} vs always-taken {taken:.4}"
+        );
+        assert!(
+            bimodal < btfn,
+            "{bench}: bimodal {bimodal:.4} vs btfn {btfn:.4}"
+        );
     }
 }

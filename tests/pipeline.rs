@@ -71,17 +71,12 @@ fn cfg_workload_is_predictable() {
 #[test]
 fn surfaces_are_internally_consistent() {
     let trace = suite::groff().scaled(15_000).trace(9);
-    let surface = Surface::sweep(
-        "GAs",
-        "groff",
-        4..=7,
-        &trace,
-        Simulator::new(),
-        |r, c| PredictorConfig::Gas {
+    let surface = Surface::sweep("GAs", "groff", 4..=7, &trace, Simulator::new(), |r, c| {
+        PredictorConfig::Gas {
             history_bits: r,
             col_bits: c,
-        },
-    );
+        }
+    });
     for tier in &surface.tiers {
         for point in &tier.points {
             assert_eq!(point.row_bits + point.col_bits, tier.total_bits);

@@ -34,7 +34,15 @@ fn every_model_generates_and_measures_consistently() {
         // highly biased branches". The small SPEC models are
         // deliberately less biased ("the relatively low bias of the
         // active branches", §4), so they get a laxer floor.
-        let floor = if spec.suite == SuiteKind::SpecInt92 && spec.name != "gcc" {
+        let floor = if ["compress", "eqntott"].contains(&spec.name.as_str()) {
+            // §4 singles these two out: "the relatively low bias of
+            // the active branches (particularly for eqntott and
+            // compress)". Their hot sets are calibrated to taken
+            // probabilities of 0.68–0.93, so almost no hot instance
+            // clears the ≥0.9-bias bar and the mass comes from the
+            // cold tail alone.
+            0.10
+        } else if spec.suite == SuiteKind::SpecInt92 && spec.name != "gcc" {
             // Their 50%-heads are a dozen-odd branches dominated by
             // loop/pattern/correlated behaviour, so the ≥0.9-bias mass
             // is structurally small.
@@ -91,7 +99,10 @@ fn gcc_is_the_spec_outlier() {
     let gcc = TraceStats::measure(&suite::gcc().scaled(BRANCHES).trace(SEED));
     for name in ["compress", "eqntott", "espresso", "xlisp", "sc"] {
         let other = TraceStats::measure(
-            &suite::by_name(name).expect("model").scaled(BRANCHES).trace(SEED),
+            &suite::by_name(name)
+                .expect("model")
+                .scaled(BRANCHES)
+                .trace(SEED),
         );
         assert!(
             gcc.static_for_90 > 3 * other.static_for_90,

@@ -1,0 +1,694 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small property-testing engine exposing the same surface
+//! syntax as the upstream crate: the [`Strategy`] trait with
+//! `prop_map`/`boxed`, range and tuple strategies, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::select`, and the
+//! `proptest!`/`prop_compose!`/`prop_oneof!`/`prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim instead of a minimal counterexample.
+//! * **Deterministic seeding.** Each test's input stream is seeded
+//!   from a hash of the test name, so failures reproduce exactly
+//!   across runs (upstream uses an entropy seed plus a regression
+//!   file).
+
+#![forbid(unsafe_code)]
+
+pub use rand;
+
+/// Strategy combinators and core types.
+pub mod strategy {
+    use super::test_runner::TestRunner;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Generates one value.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                f,
+                _output: PhantomData,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+            (**self).new_value(runner)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        source: S,
+        f: F,
+        _output: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.source.new_value(runner))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn dyn_new_value(&self, runner: &mut TestRunner) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, runner: &mut TestRunner) -> S::Value {
+            self.new_value(runner)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn new_value(&self, runner: &mut TestRunner) -> V {
+            self.0.dyn_new_value(runner)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (see `prop_oneof!`).
+    pub struct OneOf<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: fmt::Debug> OneOf<V> {
+        /// Builds a one-of strategy; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn new_value(&self, runner: &mut TestRunner) -> V {
+            let idx = runner.random_index(self.arms.len());
+            self.arms[idx].new_value(runner)
+        }
+    }
+
+    macro_rules! uniform_range_strategy {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl Strategy for std::ops::Range<$ty> {
+                    type Value = $ty;
+
+                    fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                        use rand::Rng;
+                        runner.rng().gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for std::ops::RangeInclusive<$ty> {
+                    type Value = $ty;
+
+                    fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                        use rand::Rng;
+                        runner.rng().gen_range(self.clone())
+                    }
+                }
+            )+
+        };
+    }
+
+    uniform_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(runner),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` — the full-range strategy for primitives.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use rand::distributions::{Distribution, Standard};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Strategy yielding uniformly distributed values of `T`.
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// Returns the full-range strategy for a primitive type.
+    pub fn any<T>() -> Any<T>
+    where
+        T: fmt::Debug,
+        Standard: Distribution<T>,
+    {
+        Any(PhantomData)
+    }
+
+    impl<T> Strategy for Any<T>
+    where
+        T: fmt::Debug,
+        Standard: Distribution<T>,
+    {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            Standard.sample(runner.rng())
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+
+    /// A range of collection sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + runner.random_index(span);
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample::select`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use std::fmt;
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T>(Vec<T>);
+
+    /// Uniformly selects one of `options` (must be non-empty).
+    pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0[runner.random_index(self.0.len())].clone()
+        }
+    }
+}
+
+/// The case runner and its configuration.
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::fmt;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case's inputs were rejected by `prop_assume!`.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a rendered message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// Builds a rejection from a rendered message.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required to pass.
+        pub cases: u32,
+        /// Maximum `prop_assume!` rejections tolerated globally.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration with a custom case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Drives one property test: generates inputs and applies the case
+    /// closure until enough cases pass or one fails.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner seeded deterministically from `name`.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                name,
+                rng: SmallRng::seed_from_u64(hash),
+            }
+        }
+
+        /// The runner's random source.
+        pub fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+
+        /// Uniform index below `bound` (which must be non-zero).
+        pub fn random_index(&mut self, bound: usize) -> usize {
+            self.rng.gen_range(0..bound)
+        }
+
+        /// Runs the property: panics (failing the surrounding `#[test]`)
+        /// on the first failing or panicking case, printing the inputs.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            case: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) where
+            S::Value: fmt::Debug,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                let value = strategy.new_value(self);
+                let rendered = format!("{value:?}");
+                let outcome = catch_unwind(AssertUnwindSafe(|| case(value)));
+                match outcome {
+                    Ok(Ok(())) => passed += 1,
+                    Ok(Err(TestCaseError::Reject(why))) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= self.config.max_global_rejects,
+                            "{}: too many prop_assume! rejections ({why})",
+                            self.name
+                        );
+                    }
+                    Ok(Err(TestCaseError::Fail(why))) => {
+                        panic!(
+                            "{} failed after {passed} passing case(s)\n  input: {rendered}\n  {why}",
+                            self.name
+                        );
+                    }
+                    Err(panic_payload) => {
+                        let why = panic_message(panic_payload.as_ref());
+                        panic!(
+                            "{} panicked after {passed} passing case(s)\n  input: {rendered}\n  {why}",
+                            self.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Defines property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            let strategy = ($($strategy,)+);
+            runner.run(&strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+}
+
+/// Defines a named strategy function from component strategies,
+/// mirroring upstream `prop_compose!` (the no-outer-parameter form).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident()($($arg:ident in $strategy:expr),+ $(,)?) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Strategy::prop_map(($($strategy,)+), |($($arg,)+)| $body)
+        }
+    };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 10u32..20) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, y in 1u8..=4, z in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_length_respects_size(v in prop::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn composed_strategies_apply(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 >= 10);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm_eventually(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn select_picks_from_options(w in prop::sample::select(vec![1u32, 2, 4, 8])) {
+            prop_assert!([1u32, 2, 4, 8].contains(&w));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_input() {
+        let result = std::panic::catch_unwind(|| {
+            let mut runner =
+                crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8), "doomed");
+            runner.run(&(0u32..4,), |(x,)| {
+                prop_assert!(x > 100, "x was {x}");
+                Ok(())
+            });
+        });
+        let message = match result {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => panic!("runner should have failed"),
+        };
+        assert!(message.contains("doomed"), "{message}");
+        assert!(message.contains("input:"), "{message}");
+    }
+
+    #[test]
+    fn same_name_reproduces_the_same_stream() {
+        let gen = |name: &'static str| {
+            let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::default(), name);
+            use crate::strategy::Strategy;
+            (0..16)
+                .map(|_| (0u64..1_000_000).new_value(&mut runner))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen("alpha"), gen("alpha"));
+        assert_ne!(gen("alpha"), gen("beta"));
+    }
+}

