@@ -15,11 +15,16 @@
 //! `pas:h=N,c=N[,e=N,w=N]`, `sas:h=N,s=N,c=N`, `tournament:a=N,h=N,k=N`,
 //! `agree:h=N[,i=N]`, `bimode:h=N[,d=N,k=N]`, `gskew:h=N[,b=N]`.
 
+//! When `BPRED_CACHE_DIR` is set, results are read and written
+//! through the on-disk result store, keyed by the trace file's
+//! content fingerprint — re-running the same configurations over the
+//! same trace answers from the cache.
+
 use std::process::ExitCode;
 
 use bpred_core::PredictorConfig;
 use bpred_sim::report::percent;
-use bpred_sim::{CpiModel, ProfiledRun, Simulator, TextTable};
+use bpred_sim::{run_configs_keyed, CpiModel, ProfiledRun, Simulator, TextTable};
 use bpred_trace::io;
 
 fn main() -> ExitCode {
@@ -66,6 +71,7 @@ fn main() -> ExitCode {
     let model = CpiModel::mips_r2000_like();
     let mut table = TextTable::new(
         [
+            "config",
             "predictor",
             "state bits",
             "mispredict",
@@ -76,11 +82,14 @@ fn main() -> ExitCode {
         .map(str::to_owned)
         .to_vec(),
     );
-    let sim = Simulator::new();
-    for config in &configs {
-        let mut predictor = config.build();
-        let result = sim.run(&mut predictor, &trace);
+    // Install the result store when BPRED_CACHE_DIR is set; the
+    // trace's content fingerprint keys the cells.
+    bpred_serve::install_from_env();
+    let source_id = format!("tracefile:{:016x}", trace.fingerprint());
+    let results = run_configs_keyed(&configs, &trace, Simulator::new(), Some(&source_id));
+    for (config, result) in configs.iter().zip(results) {
         table.push_row(vec![
+            config.config_id(),
             result.predictor.clone(),
             result.state_bits.to_string(),
             percent(result.misprediction_rate()),

@@ -10,6 +10,12 @@
 //! --csv            emit CSV instead of aligned text
 //! --quick          shorthand for --branches 50000 --max-bits 10
 //! ```
+//!
+//! When `BPRED_CACHE_DIR` is set, [`Args::parse`] additionally opens
+//! the result store rooted there and installs it as the process-wide
+//! sweep cache (see [`bpred_serve::store`]): previously computed
+//! sweep cells load from disk instead of re-simulating, and fresh
+//! cells persist for the next run. Unset, nothing changes.
 
 use std::process::ExitCode;
 
@@ -26,8 +32,14 @@ pub struct Args {
 
 impl Args {
     /// Parses `std::env::args`, printing usage and exiting on error.
+    ///
+    /// Also installs the on-disk result cache when `BPRED_CACHE_DIR`
+    /// is set (see the crate docs); [`parse_from`](Self::parse_from)
+    /// stays pure for tests.
     pub fn parse() -> Result<Args, ExitCode> {
-        Self::parse_from(std::env::args().skip(1))
+        let args = Self::parse_from(std::env::args().skip(1))?;
+        bpred_serve::install_from_env();
+        Ok(args)
     }
 
     /// Parses an explicit argument list (testable).

@@ -217,6 +217,35 @@ impl PredictorConfig {
         }
     }
 
+    /// The configuration's stable canonical identifier.
+    ///
+    /// This is the compact `scheme:k=v,...` syntax (the same text
+    /// [`Display`](fmt::Display) renders and [`FromStr`] parses), with
+    /// every structural parameter spelled out. It is injective — two
+    /// distinct configurations never share an id — and stable across
+    /// releases, which makes it the canonical label for report rows
+    /// and the configuration component of persistent cache keys
+    /// (`bpred-serve` hashes it into its content addresses, so
+    /// changing the format requires an engine-version bump there).
+    ///
+    /// Prefer this over the built predictor's `name()` when the label
+    /// must round-trip: `name()` is a human-readable description
+    /// (`"gshare(2^8 x 2^4)"`), while `config_id()` parses back into
+    /// the configuration (`"gshare:h=8,c=4"`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bpred_core::PredictorConfig;
+    ///
+    /// let cfg = PredictorConfig::Gshare { history_bits: 8, col_bits: 4 };
+    /// assert_eq!(cfg.config_id(), "gshare:h=8,c=4");
+    /// assert_eq!(cfg.config_id().parse::<PredictorConfig>().unwrap(), cfg);
+    /// ```
+    pub fn config_id(&self) -> String {
+        self.to_string()
+    }
+
     /// Number of second-level two-bit counters (0 for static schemes;
     /// for the tournament, the sum over components and chooser). The
     /// tier key of the paper's constant-cost comparisons.
@@ -680,6 +709,58 @@ mod tests {
         let cfg: PredictorConfig = "sag:h=6,s=3".parse().unwrap();
         assert!(matches!(cfg, PredictorConfig::Sas { col_bits: 0, .. }));
         assert_eq!(cfg.build().name(), "SAg[2^3 sets](2^6)");
+    }
+
+    #[test]
+    fn config_ids_are_injective_and_round_trip() {
+        // A broad grid of configurations: every id must be unique and
+        // parse back to the configuration that produced it.
+        let mut configs: Vec<PredictorConfig> = vec![
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::AlwaysNotTaken,
+            PredictorConfig::Btfn,
+        ];
+        for n in 0..6u32 {
+            configs.push(PredictorConfig::LastTime { addr_bits: n });
+            configs.push(PredictorConfig::AddressIndexed { addr_bits: n });
+            for c in 0..4u32 {
+                configs.push(PredictorConfig::Gas {
+                    history_bits: n,
+                    col_bits: c,
+                });
+                configs.push(PredictorConfig::Gshare {
+                    history_bits: n,
+                    col_bits: c,
+                });
+                configs.push(PredictorConfig::PasInfinite {
+                    history_bits: n,
+                    col_bits: c,
+                });
+                configs.push(PredictorConfig::Sas {
+                    history_bits: n,
+                    set_bits: 2,
+                    col_bits: c,
+                });
+            }
+            configs.push(PredictorConfig::PasFinite {
+                history_bits: n,
+                col_bits: 1,
+                entries: 256,
+                ways: 2,
+            });
+            configs.push(PredictorConfig::Yags {
+                choice_bits: n + 1,
+                cache_bits: n,
+                tag_bits: 4,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for cfg in configs {
+            let id = cfg.config_id();
+            assert!(seen.insert(id.clone()), "duplicate config id {id}");
+            let parsed: PredictorConfig = id.parse().unwrap_or_else(|e| panic!("{id}: {e}"));
+            assert_eq!(parsed, cfg, "{id}");
+        }
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! `bpred-serve` binary: the sweep service over HTTP.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--max-branches N]
+//! ```
+//!
+//! `--cache-dir` defaults to `BPRED_CACHE_DIR` when set; with neither,
+//! the server runs uncached (every cell simulates). The bound address
+//! is printed on startup — use port 0 to let the OS pick.
+
+use std::process::ExitCode;
+
+use bpred_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--max-branches N]\n\
+         \n\
+         endpoints:\n\
+         \x20 GET /healthz\n\
+         \x20 GET /metrics\n\
+         \x20 GET /sweep?workload=<name>&configs=<cfg>;<cfg>[&seed=N][&branches=N][&warmup=N]\n\
+         \n\
+         defaults: --addr 127.0.0.1:8199, --workers 4, --max-branches 2000000,\n\
+         --cache-dir $BPRED_CACHE_DIR (unset: uncached)"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8199".to_owned(),
+        ..ServerConfig::default()
+    };
+    if let Ok(dir) = std::env::var("BPRED_CACHE_DIR") {
+        if !dir.is_empty() {
+            config.cache_dir = Some(dir.into());
+        }
+    }
+
+    fn value(args: &[String], i: &mut usize, name: &str) -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("error: {name} needs a value");
+            usage();
+        })
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = value(&args, &mut i, "--addr"),
+            "--cache-dir" => config.cache_dir = Some(value(&args, &mut i, "--cache-dir").into()),
+            "--workers" => {
+                config.workers = match value(&args, &mut i, "--workers").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --workers needs a positive count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--max-branches" => {
+                config.max_branches = match value(&args, &mut i, "--max-branches").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --max-branches needs a positive count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let cache_note = config
+        .cache_dir
+        .as_ref()
+        .map(|d| format!("result store at {}", d.display()))
+        .unwrap_or_else(|| "uncached (set BPRED_CACHE_DIR or --cache-dir)".to_owned());
+    match Server::start(config) {
+        Ok(handle) => {
+            println!("bpred-serve listening on http://{}", handle.addr());
+            println!("{cache_note}");
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal HTTP/1.1 plumbing over blocking streams.
+//!
+//! Implements exactly what the service needs: parse one request
+//! (request line, headers, optional `Content-Length` body) from a
+//! stream, send one response, close. `Connection: close` on every
+//! response keeps the state machine trivial — clients that want
+//! throughput open parallel connections, which the worker pool
+//! serves concurrently. Header and body sizes are capped so a
+//! misbehaving client cannot balloon memory.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Maximum accepted size of the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request-body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, percent-decoded *not* applied.
+    pub path: String,
+    /// Raw query string (no leading `?`), empty when absent.
+    pub query: String,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The request violates the subset of HTTP this server speaks.
+    Malformed(&'static str),
+    /// Headers or body exceed the configured caps.
+    TooLarge,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "i/o error reading request: {e}"),
+            RequestError::Malformed(what) => write!(f, "malformed request: {what}"),
+            RequestError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    head_bytes += line.len();
+    let request_line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(RequestError::Malformed("request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("request line"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("headers ended early"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(RequestError::Malformed("header without colon"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed("content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(RequestError::TooLarge);
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// Writes one response with the mandatory framing headers and
+/// `Connection: close`, plus any `extra_headers` (each a full
+/// `Name: value` line without CRLF).
+pub fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[String],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for header in extra_headers {
+        head.push_str(header);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Splits a query string into decoded `(key, value)` pairs, in
+/// order. Pairs without `=` decode to an empty value.
+pub fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-decodes a URL component; `+` decodes to a space. Invalid
+/// escapes pass through literally.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, RequestError> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let r = parse(b"GET /sweep?workload=espresso&n=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/sweep");
+        assert_eq!(r.query, "workload=espresso&n=5");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = parse(b"POST /sweep HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(b"NOT HTTP\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/2\r\n\r\n").is_err());
+        assert!(parse(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(RequestError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn respond_frames_correctly() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "OK", "text/plain", &[], b"hi").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn query_decoding() {
+        let pairs = parse_query("a=1&b=x%20y&flag&c=1%2B2+3");
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("b".to_owned(), "x y".to_owned()),
+                ("flag".to_owned(), String::new()),
+                ("c".to_owned(), "1+2 3".to_owned()),
+            ]
+        );
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

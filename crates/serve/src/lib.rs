@@ -1,0 +1,56 @@
+//! Result store and sweep service.
+//!
+//! The paper's evaluation is a grid of independent, deterministic
+//! simulations — the same cells recur across figures, tables, and
+//! reruns. This crate makes that structure operational with two
+//! layers:
+//!
+//! * **[`store`]** — a content-addressed on-disk cache of
+//!   [`SimResult`](bpred_sim::SimResult)s, keyed by the stable digest
+//!   of a sweep cell's [`CellKey`](bpred_sim::CellKey) (workload
+//!   stream identity × predictor configuration × warmup × engine
+//!   version). Writes are atomic, loads verify checksums and embedded
+//!   keys, and an index file makes startup O(entries) without a full
+//!   object scan. [`ResultStore`] implements
+//!   [`ResultCache`](bpred_sim::ResultCache), so installing one via
+//!   [`install_from_env`] transparently memoises every keyed sweep in
+//!   the process (the `bpred-bench` binaries do this when
+//!   `BPRED_CACHE_DIR` is set).
+//!
+//! * **[`server`]** — a dependency-free HTTP/1.1 service over
+//!   `std::net::TcpListener` that answers sweep requests as JSON.
+//!   Requests decompose into cells; cells are deduplicated against
+//!   the store and against in-flight work ([`flight`], single-flight
+//!   coalescing), and the residual misses run as one batch through
+//!   the single-pass engine. `/healthz` reports liveness and
+//!   `/metrics` exposes Prometheus counters for requests, cache
+//!   hits/misses, in-flight batches, and batch latency.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use bpred_serve::server::{Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! // GET /sweep?workload=espresso&branches=100000&configs=gshare:h=8,c=2;gas:h=8,c=2
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod flight;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod service;
+pub mod store;
+
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{SweepRequest, SweepService};
+pub use store::{install_from_env, GcReport, ResultStore};

@@ -1,0 +1,200 @@
+//! Service metrics with Prometheus text exposition.
+//!
+//! Plain atomics — no instrumentation framework. Counters are
+//! monotonic `u64`s; the one gauge tracks batches currently inside
+//! the simulation engine; batch latency lands in a fixed-bound
+//! histogram. [`Metrics::render_prometheus`] emits the standard text
+//! format for `GET /metrics`.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the batch-latency histogram buckets; a
+/// `+Inf` bucket is implicit.
+pub const LATENCY_BOUNDS: [f64; 5] = [0.001, 0.01, 0.1, 1.0, 10.0];
+
+/// A histogram of batch latencies with fixed bounds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, latency: Duration) {
+        let secs = latency.as_secs_f64();
+        let idx = LATENCY_BOUNDS
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(LATENCY_BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// All counters the service exports.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests accepted (any route).
+    pub http_requests: AtomicU64,
+    /// Sweep requests parsed successfully.
+    pub sweep_requests: AtomicU64,
+    /// Requests rejected with a 4xx.
+    pub bad_requests: AtomicU64,
+    /// Sweep cells requested (one per config per request).
+    pub cells: AtomicU64,
+    /// Cells answered from the result store.
+    pub cache_hits: AtomicU64,
+    /// Cells that had to be simulated.
+    pub cache_misses: AtomicU64,
+    /// Cells answered by waiting on another request's in-flight batch.
+    pub coalesced_waits: AtomicU64,
+    /// Batches submitted to the simulation engine.
+    pub batches: AtomicU64,
+    /// Batches currently inside the engine (gauge).
+    pub inflight_batches: AtomicU64,
+    /// Batch wall-clock latency.
+    pub batch_latency: Histogram,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds one to a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let counters: [(&str, &str, &AtomicU64); 8] = [
+            (
+                "bpred_http_requests_total",
+                "HTTP requests accepted",
+                &self.http_requests,
+            ),
+            (
+                "bpred_sweep_requests_total",
+                "Sweep requests parsed successfully",
+                &self.sweep_requests,
+            ),
+            (
+                "bpred_bad_requests_total",
+                "Requests rejected with a client error",
+                &self.bad_requests,
+            ),
+            ("bpred_cells_total", "Sweep cells requested", &self.cells),
+            (
+                "bpred_cache_hits_total",
+                "Cells answered from the result store",
+                &self.cache_hits,
+            ),
+            (
+                "bpred_cache_misses_total",
+                "Cells that had to be simulated",
+                &self.cache_misses,
+            ),
+            (
+                "bpred_coalesced_waits_total",
+                "Cells answered by waiting on another request's batch",
+                &self.coalesced_waits,
+            ),
+            (
+                "bpred_batches_total",
+                "Batches submitted to the simulation engine",
+                &self.batches,
+            ),
+        ];
+        for (name, help, counter) in counters {
+            let value = counter.load(Ordering::Relaxed);
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        let inflight = self.inflight_batches.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "# HELP bpred_inflight_batches Batches currently inside the engine"
+        );
+        let _ = writeln!(out, "# TYPE bpred_inflight_batches gauge");
+        let _ = writeln!(out, "bpred_inflight_batches {inflight}");
+
+        let _ = writeln!(
+            out,
+            "# HELP bpred_batch_seconds Wall-clock latency of engine batches"
+        );
+        let _ = writeln!(out, "# TYPE bpred_batch_seconds histogram");
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BOUNDS.iter().enumerate() {
+            cumulative += self.batch_latency.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "bpred_batch_seconds_bucket{{le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.batch_latency.buckets[LATENCY_BOUNDS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "bpred_batch_seconds_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let sum = self.batch_latency.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "bpred_batch_seconds_sum {sum}");
+        let _ = writeln!(
+            out,
+            "bpred_batch_seconds_count {}",
+            self.batch_latency.count()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_every_series() {
+        let m = Metrics::new();
+        Metrics::inc(&m.http_requests);
+        Metrics::add(&m.cache_hits, 5);
+        m.batch_latency.observe(Duration::from_millis(3));
+        m.batch_latency.observe(Duration::from_millis(300));
+        let text = m.render_prometheus();
+        assert!(text.contains("bpred_http_requests_total 1"));
+        assert!(text.contains("bpred_cache_hits_total 5"));
+        assert!(text.contains("bpred_cache_misses_total 0"));
+        assert!(text.contains("bpred_inflight_batches 0"));
+        assert!(text.contains("bpred_batch_seconds_count 2"));
+        // 3ms falls in le=0.01; 300ms in le=1; cumulative buckets.
+        assert!(text.contains("bpred_batch_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("bpred_batch_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("bpred_batch_seconds_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn histogram_counts_oversize_observations() {
+        let h = Histogram::default();
+        h.observe(Duration::from_secs(60));
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! The HTTP server: listener, worker pool, routing.
+//!
+//! A plain `std::net::TcpListener` with a fixed pool of worker
+//! threads — no async runtime, no framework. The accept thread hands
+//! connections to workers over a channel; each worker parses one
+//! request, routes it, responds, and closes (the HTTP layer sends
+//! `Connection: close`). Shutdown is cooperative: a flag flips, the
+//! channel closes, and a self-connection unblocks `accept`.
+//!
+//! Routes:
+//!
+//! | method & path    | response                                   |
+//! |------------------|--------------------------------------------|
+//! | `GET /healthz`   | `200 ok`                                   |
+//! | `GET /metrics`   | Prometheus text exposition                 |
+//! | `GET /sweep?…`   | sweep JSON (parameters in the query)       |
+//! | `POST /sweep`    | sweep JSON (parameters form-encoded body)  |
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, respond, Request, RequestError};
+use crate::metrics::Metrics;
+use crate::service::{SweepRequest, SweepService};
+use crate::store::ResultStore;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Result-store directory; `None` serves uncached.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Per-request cap on replay length (conditional branches).
+    pub max_branches: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            cache_dir: None,
+            max_branches: 2_000_000,
+        }
+    }
+}
+
+/// The server entry point.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and accept thread, and returns a
+    /// handle. Fails if the address cannot be bound or the store
+    /// cannot be opened.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let store = match &config.cache_dir {
+            Some(dir) => Some(Arc::new(ResultStore::open(dir)?)),
+            None => None,
+        };
+        let metrics = Arc::new(Metrics::new());
+        let service = Arc::new(SweepService::new(
+            store.clone(),
+            metrics.clone(),
+            config.max_branches,
+        ));
+
+        let stopping = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let service = service.clone();
+            let metrics = metrics.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("bpred-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the take.
+                        let stream = {
+                            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            rx.recv()
+                        };
+                        match stream {
+                            Ok(stream) => serve_connection(stream, &service, &metrics),
+                            Err(_) => return, // channel closed: shutdown
+                        }
+                    })?,
+            );
+        }
+
+        let accept = {
+            let stopping = stopping.clone();
+            std::thread::Builder::new()
+                .name("bpred-serve-accept".to_owned())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stopping.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => {
+                                // Bound how long a worker can sit in a
+                                // half-read request or a stalled write.
+                                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                                let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+                                if tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    // Dropping `tx` here closes the channel and
+                    // retires the workers.
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            metrics,
+            store,
+            stopping,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// A running server; dropping it without [`shutdown`](Self::shutdown)
+/// detaches the threads (the process exit reaps them).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    store: Option<Arc<ResultStore>>,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The result store, when the server persists.
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// In-flight requests finish first.
+    pub fn shutdown(mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, service: &SweepService, metrics: &Metrics) {
+    Metrics::inc(&metrics.http_requests);
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(RequestError::Io(_)) => return, // client went away
+        Err(e) => {
+            Metrics::inc(&metrics.bad_requests);
+            let _ = respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain; charset=utf-8",
+                &[],
+                format!("{e}\n").as_bytes(),
+            );
+            return;
+        }
+    };
+    route(&mut stream, &request, service, metrics);
+}
+
+fn route(stream: &mut TcpStream, request: &Request, service: &SweepService, metrics: &Metrics) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = respond(stream, 200, "OK", "text/plain; charset=utf-8", &[], b"ok\n");
+        }
+        ("GET", "/metrics") => {
+            let body = metrics.render_prometheus();
+            let _ = respond(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &[],
+                body.as_bytes(),
+            );
+        }
+        ("GET", "/sweep") | ("POST", "/sweep") => {
+            let params = if request.method == "POST" {
+                String::from_utf8_lossy(&request.body).into_owned()
+            } else {
+                request.query.clone()
+            };
+            match SweepRequest::parse(&params)
+                .and_then(|r| service.execute(&r).map(|answer| (r, answer)))
+            {
+                Ok((_, (body, provenance))) => {
+                    let headers =
+                        vec![format!("X-Bpred-Provenance: {}", provenance.header_value())];
+                    let _ = respond(
+                        stream,
+                        200,
+                        "OK",
+                        "application/json",
+                        &headers,
+                        body.as_bytes(),
+                    );
+                }
+                Err(bad) => {
+                    Metrics::inc(&metrics.bad_requests);
+                    let _ = respond(
+                        stream,
+                        bad.status,
+                        "Bad Request",
+                        "text/plain; charset=utf-8",
+                        &[],
+                        format!("{}\n", bad.message).as_bytes(),
+                    );
+                }
+            }
+        }
+        _ => {
+            Metrics::inc(&metrics.bad_requests);
+            let _ = respond(
+                stream,
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                &[],
+                b"not found\n",
+            );
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Content-addressed on-disk result store.
+//!
+//! Every sweep cell — one `(workload stream, predictor config,
+//! warmup, engine version)` tuple — is pure and deterministic, so its
+//! [`SimResult`] can be stored under the stable digest of its
+//! [`CellKey`] and reused forever (until [`ENGINE_VERSION`] changes,
+//! which changes every key). The store is a directory:
+//!
+//! ```text
+//! <root>/objects/<aa>/<digest>.bin   one encoded result per cell
+//! <root>/index.log                   append-only journal of the set
+//! <root>/tmp/                        staging for atomic writes
+//! ```
+//!
+//! where `<aa>` is the first two hex digits of the 32-digit digest
+//! (fan-out keeps directories small) and each object is the
+//! [`codec`](crate::codec) encoding — embedded canonical key plus
+//! checksum, so loads verify both integrity and identity.
+//!
+//! *Durability model.* Writes go to `tmp/` under a unique name and
+//! `rename(2)` into place, so readers never observe half-written
+//! objects. The index is an append-only log (`+\t<digest>\t<bytes>`
+//! on insert, `-\t<digest>` on removal); a malformed or missing log
+//! is rebuilt by scanning `objects/`, so the log is an optimisation,
+//! never the source of truth. A corrupt object detected at `get` is
+//! deleted and reported as a miss — the cell simply recomputes.
+//!
+//! *Eviction.* [`ResultStore::gc`] trims the store to a byte budget,
+//! oldest-modified objects first, and compacts the log.
+//!
+//! The store implements [`ResultCache`], so
+//! [`bpred_sim::cache::install`]ing one memoises every keyed sweep in
+//! the process; [`install_from_env`] does that from `BPRED_CACHE_DIR`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::process;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+use bpred_sim::cache::{CellKey, ResultCache};
+use bpred_sim::{SimResult, ENGINE_VERSION};
+
+use crate::codec;
+use crate::flight::{Flight, Join};
+
+const INDEX_FILE: &str = "index.log";
+const OBJECTS_DIR: &str = "objects";
+const TMP_DIR: &str = "tmp";
+
+/// What a [`ResultStore::gc`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Objects removed.
+    pub evicted: usize,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Objects remaining.
+    pub kept: usize,
+    /// Bytes remaining.
+    pub kept_bytes: u64,
+}
+
+/// A content-addressed on-disk cache of simulation results.
+///
+/// Cheaply cloneable via [`Arc`]; all methods take `&self` and are
+/// safe to call from many threads.
+#[derive(Debug)]
+pub struct ResultStore {
+    root: PathBuf,
+    /// digest → object size in bytes.
+    index: Mutex<HashMap<String, u64>>,
+    flight: Flight<SimResult>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// Reads the index journal; if it is missing or malformed the
+    /// store rebuilds it from the objects on disk.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let root = root.into();
+        fs::create_dir_all(root.join(OBJECTS_DIR))?;
+        fs::create_dir_all(root.join(TMP_DIR))?;
+        let store = ResultStore {
+            index: Mutex::new(HashMap::new()),
+            flight: Flight::new(),
+            root,
+        };
+        let loaded = store.load_index().unwrap_or(None);
+        match loaded {
+            Some(map) => *store.lock_index() = map,
+            None => store.rebuild_index()?,
+        }
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.lock_index().len()
+    }
+
+    /// Returns `true` when no cells are cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock_index().is_empty()
+    }
+
+    /// Total bytes of cached objects (per the index).
+    pub fn total_bytes(&self) -> u64 {
+        self.lock_index().values().sum()
+    }
+
+    fn lock_index(&self) -> std::sync::MutexGuard<'_, HashMap<String, u64>> {
+        // A poisoned index only means a writer panicked mid-update of
+        // the in-memory map; the map itself is still consistent
+        // (single-statement updates), so recover it.
+        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn object_path(&self, digest: &str) -> PathBuf {
+        let fan = &digest[..2.min(digest.len())];
+        self.root
+            .join(OBJECTS_DIR)
+            .join(fan)
+            .join(format!("{digest}.bin"))
+    }
+
+    /// Parses the index journal; `Ok(None)` means absent-or-malformed
+    /// (rebuild), `Err` means the file could not be read at all.
+    fn load_index(&self) -> io::Result<Option<HashMap<String, u64>>> {
+        let text = match fs::read_to_string(self.root.join(INDEX_FILE)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut map = HashMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split('\t');
+            let valid = match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some("+"), Some(digest), Some(len), None) => {
+                    if let (true, Ok(len)) = (digest_ok(digest), len.parse::<u64>()) {
+                        map.insert(digest.to_owned(), len);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                (Some("-"), Some(digest), None, None) => {
+                    map.remove(digest);
+                    digest_ok(digest)
+                }
+                _ => false,
+            };
+            if !valid {
+                // Torn append or hand-edited log: distrust the whole
+                // journal and rescan the objects instead.
+                return Ok(None);
+            }
+        }
+        Ok(Some(map))
+    }
+
+    /// Rescans `objects/` and rewrites the journal to match.
+    fn rebuild_index(&self) -> io::Result<()> {
+        let mut map = HashMap::new();
+        let objects = self.root.join(OBJECTS_DIR);
+        for fan in fs::read_dir(&objects)? {
+            let fan = fan?;
+            if !fan.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(fan.path())? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(digest) = name.to_str().and_then(|n| n.strip_suffix(".bin")) else {
+                    continue;
+                };
+                if digest_ok(digest) {
+                    map.insert(digest.to_owned(), entry.metadata()?.len());
+                }
+            }
+        }
+        self.write_compacted_index(&map)?;
+        *self.lock_index() = map;
+        Ok(())
+    }
+
+    fn write_compacted_index(&self, map: &HashMap<String, u64>) -> io::Result<()> {
+        let mut lines: Vec<String> = map.iter().map(|(d, l)| format!("+\t{d}\t{l}\n")).collect();
+        lines.sort(); // deterministic journal for same content
+        let text: String = lines.concat();
+        let tmp = self.tmp_path("index");
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.root.join(INDEX_FILE))
+    }
+
+    fn append_index_line(&self, line: &str) -> io::Result<()> {
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join(INDEX_FILE))?;
+        file.write_all(line.as_bytes())
+    }
+
+    fn tmp_path(&self, tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        self.root
+            .join(TMP_DIR)
+            .join(format!("{tag}.{}.{n}", process::id()))
+    }
+
+    /// Looks up the result for `key`; `None` on miss *or* on a
+    /// corrupt/mismatched object (which is deleted so the cell heals
+    /// by recomputation).
+    pub fn get(&self, key: &CellKey) -> Option<SimResult> {
+        let digest = key.digest();
+        if !self.lock_index().contains_key(&digest) {
+            return None;
+        }
+        let path = self.object_path(&digest);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.forget(&digest);
+                return None;
+            }
+        };
+        match codec::decode(&bytes, &key.canonical()) {
+            Ok(result) => Some(result),
+            Err(_) => {
+                let _ = fs::remove_file(&path);
+                self.forget(&digest);
+                None
+            }
+        }
+    }
+
+    fn forget(&self, digest: &str) {
+        self.lock_index().remove(digest);
+        let _ = self.append_index_line(&format!("-\t{digest}\n"));
+    }
+
+    /// Stores the result for `key` atomically (write-to-temp, rename).
+    pub fn put(&self, key: &CellKey, result: &SimResult) -> io::Result<()> {
+        let digest = key.digest();
+        let bytes = codec::encode(&key.canonical(), result);
+        let path = self.object_path(&digest);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = self.tmp_path(&digest);
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        let fresh = self
+            .lock_index()
+            .insert(digest.clone(), bytes.len() as u64)
+            .is_none();
+        if fresh {
+            self.append_index_line(&format!("+\t{digest}\t{}\n", bytes.len()))?;
+        }
+        Ok(())
+    }
+
+    /// Returns the cached result for `key`, or computes, stores, and
+    /// returns it. Concurrent callers for the same cell are
+    /// single-flighted: one computes, the rest wait for its result.
+    /// If the computing caller panics, waiters recompute themselves.
+    pub fn get_or_compute(&self, key: &CellKey, compute: impl FnOnce() -> SimResult) -> SimResult {
+        if let Some(result) = self.get(key) {
+            return result;
+        }
+        match self.flight.join(&key.digest()) {
+            Join::Leader(guard) => {
+                // Double-check under leadership: another leader may
+                // have stored the cell between our miss and our join.
+                let result = self.get(key).unwrap_or_else(compute);
+                let _ = self.put(key, &result);
+                guard.complete(result.clone());
+                result
+            }
+            Join::Follower(waiter) => match waiter.wait() {
+                Some(result) => result,
+                None => {
+                    // Leader aborted; compute independently.
+                    let result = compute();
+                    let _ = self.put(key, &result);
+                    result
+                }
+            },
+        }
+    }
+
+    /// Evicts oldest-modified objects until the store holds at most
+    /// `max_bytes`, then compacts the index journal.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let snapshot: Vec<(String, u64)> = self
+            .lock_index()
+            .iter()
+            .map(|(d, &l)| (d.clone(), l))
+            .collect();
+        let mut aged: Vec<(SystemTime, String, u64)> = Vec::with_capacity(snapshot.len());
+        let mut total: u64 = 0;
+        for (digest, len) in snapshot {
+            let mtime = fs::metadata(self.object_path(&digest))
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            total += len;
+            aged.push((mtime, digest, len));
+        }
+        aged.sort(); // oldest first; digest tiebreak keeps it total
+
+        let mut report = GcReport::default();
+        for (_, digest, len) in &aged {
+            if total <= max_bytes {
+                break;
+            }
+            let _ = fs::remove_file(self.object_path(digest));
+            self.lock_index().remove(digest);
+            total -= len;
+            report.evicted += 1;
+            report.freed_bytes += len;
+        }
+        let map = self.lock_index().clone();
+        report.kept = map.len();
+        report.kept_bytes = map.values().sum();
+        self.write_compacted_index(&map)?;
+        Ok(report)
+    }
+}
+
+fn digest_ok(digest: &str) -> bool {
+    digest.len() == 32 && digest.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+impl ResultCache for ResultStore {
+    fn get(&self, key: &CellKey) -> Option<SimResult> {
+        ResultStore::get(self, key)
+    }
+
+    fn put(&self, key: &CellKey, result: &SimResult) {
+        // Best effort: a full disk must not fail the sweep.
+        let _ = ResultStore::put(self, key, result);
+    }
+}
+
+/// When `BPRED_CACHE_DIR` is set and non-empty, opens the store
+/// rooted there and installs it as the process-wide result cache for
+/// keyed sweeps (see [`bpred_sim::cache`]). Returns the installed
+/// store, or `None` when the variable is unset/empty or the store
+/// cannot be opened (a warning is printed; simulation proceeds
+/// uncached).
+pub fn install_from_env() -> Option<Arc<ResultStore>> {
+    let dir = std::env::var("BPRED_CACHE_DIR").ok()?;
+    if dir.is_empty() {
+        return None;
+    }
+    match ResultStore::open(&dir) {
+        Ok(store) => {
+            let store = Arc::new(store);
+            bpred_sim::cache::install(store.clone());
+            Some(store)
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: BPRED_CACHE_DIR={dir}: cannot open result store ({e}); running uncached"
+            );
+            None
+        }
+    }
+}
+
+/// The store format the current binary writes, surfaced for
+/// diagnostics: engine version the cache keys are bound to.
+pub const fn engine_version() -> u32 {
+    ENGINE_VERSION
+}

@@ -1,0 +1,315 @@
+//! Result-store integration tests: codec properties, on-disk
+//! round-trips, corruption recovery, concurrent single-flight, and
+//! eviction.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+
+use bpred_core::{AliasStats, BhtStats, PredictorConfig};
+use bpred_serve::codec;
+use bpred_serve::store::ResultStore;
+use bpred_sim::cache::CellKey;
+use bpred_sim::{SimResult, Simulator};
+
+/// A fresh scratch directory unique to `tag` (and this process),
+/// cleaned before use so reruns start empty.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("bpred-serve-tests")
+        .join(format!("{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(tag: &str) -> CellKey {
+    CellKey::new(
+        &format!("workload:test@{tag}/s1/n1000/j0.05"),
+        &PredictorConfig::Gshare {
+            history_bits: 8,
+            col_bits: 2,
+        },
+        &Simulator::new(),
+    )
+}
+
+fn result(mispredictions: u64) -> SimResult {
+    SimResult {
+        predictor: "gshare(2^10)".to_owned(),
+        state_bits: 2048,
+        conditionals: 1000,
+        mispredictions,
+        alias: Some(AliasStats {
+            accesses: 1000,
+            conflicts: 17,
+            harmless_conflicts: 5,
+        }),
+        bht: None,
+    }
+}
+
+// ------------------------------------------------------------ codec
+
+/// Printable ASCII strings up to `max` characters.
+fn arb_string(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(32u8..127u8, 0..max)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn arb_result() -> impl Strategy<Value = SimResult> {
+    (
+        arb_string(40),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                predictor,
+                (state_bits, conditionals, mispredictions),
+                (has_alias, accesses, conflicts, harmless_conflicts),
+                (has_bht, bht_accesses, bht_misses),
+            )| SimResult {
+                predictor,
+                state_bits,
+                conditionals,
+                mispredictions,
+                alias: has_alias.then_some(AliasStats {
+                    accesses,
+                    conflicts,
+                    harmless_conflicts,
+                }),
+                bht: has_bht.then_some(BhtStats {
+                    accesses: bht_accesses,
+                    misses: bht_misses,
+                }),
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_arbitrary_results(
+        result in arb_result(),
+        tail in arb_string(60),
+    ) {
+        let key = format!("cell-v2|{tail}");
+        let bytes = codec::encode(&key, &result);
+        prop_assert_eq!(codec::decode(&bytes, &key).unwrap(), result);
+    }
+
+    #[test]
+    fn codec_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&bytes, "cell-v2|x|gshare:h=1,c=0|w0");
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(result in arb_result(), cut in 1usize..64) {
+        let bytes = codec::encode("cell-v2|k|gshare:h=1,c=0|w0", &result);
+        let keep = bytes.len().saturating_sub(cut);
+        prop_assert!(codec::decode(&bytes[..keep], "cell-v2|k|gshare:h=1,c=0|w0").is_err());
+    }
+}
+
+// ------------------------------------------------------------ store
+
+#[test]
+fn put_get_round_trips_across_reopen() {
+    let dir = scratch("roundtrip");
+    let k = key("rt");
+    {
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.get(&k), None);
+        store.put(&k, &result(123)).unwrap();
+        assert_eq!(store.get(&k), Some(result(123)));
+        assert_eq!(store.len(), 1);
+    }
+    // A new process would see the same state via the index.
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.get(&k), Some(result(123)));
+    assert!(store.total_bytes() > 0);
+}
+
+#[test]
+fn distinct_keys_store_distinct_results() {
+    let dir = scratch("distinct");
+    let store = ResultStore::open(&dir).unwrap();
+    for i in 0..20u64 {
+        store.put(&key(&format!("k{i}")), &result(i)).unwrap();
+    }
+    assert_eq!(store.len(), 20);
+    for i in 0..20u64 {
+        assert_eq!(store.get(&key(&format!("k{i}"))), Some(result(i)));
+    }
+}
+
+#[test]
+fn overwriting_a_key_keeps_one_entry() {
+    let dir = scratch("overwrite");
+    let store = ResultStore::open(&dir).unwrap();
+    let k = key("ow");
+    store.put(&k, &result(1)).unwrap();
+    store.put(&k, &result(2)).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.get(&k), Some(result(2)));
+}
+
+#[test]
+fn corrupt_index_log_recovers_by_rescan() {
+    let dir = scratch("badindex");
+    let k = key("bi");
+    {
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&k, &result(7)).unwrap();
+    }
+    // Torn final append: garbage tail line.
+    let index = dir.join("index.log");
+    let mut text = fs::read_to_string(&index).unwrap();
+    text.push_str("+\tnot-a-digest");
+    fs::write(&index, text).unwrap();
+
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 1, "rescan found the object");
+    assert_eq!(store.get(&k), Some(result(7)));
+}
+
+#[test]
+fn missing_index_log_recovers_by_rescan() {
+    let dir = scratch("noindex");
+    let k = key("ni");
+    {
+        let store = ResultStore::open(&dir).unwrap();
+        store.put(&k, &result(9)).unwrap();
+    }
+    fs::remove_file(dir.join("index.log")).unwrap();
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.get(&k), Some(result(9)));
+}
+
+#[test]
+fn truncated_object_is_a_miss_and_heals() {
+    let dir = scratch("truncobj");
+    let store = ResultStore::open(&dir).unwrap();
+    let k = key("to");
+    store.put(&k, &result(11)).unwrap();
+
+    // Truncate the object file behind the store's back.
+    let digest = k.digest();
+    let path = dir
+        .join("objects")
+        .join(&digest[..2])
+        .join(format!("{digest}.bin"));
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    assert_eq!(store.get(&k), None, "corrupt object reads as a miss");
+    assert!(!path.exists(), "corrupt object was deleted");
+    assert_eq!(store.len(), 0);
+
+    // The cell heals by re-putting.
+    store.put(&k, &result(11)).unwrap();
+    assert_eq!(store.get(&k), Some(result(11)));
+}
+
+#[test]
+fn wrong_key_object_is_rejected() {
+    let dir = scratch("wrongkey");
+    let store = ResultStore::open(&dir).unwrap();
+    let a = key("a");
+    let b = key("b");
+    store.put(&a, &result(1)).unwrap();
+
+    // Plant a's object under b's digest (a digest-collision stand-in).
+    let digest_a = a.digest();
+    let digest_b = b.digest();
+    let path_a = dir
+        .join("objects")
+        .join(&digest_a[..2])
+        .join(format!("{digest_a}.bin"));
+    let path_b = dir
+        .join("objects")
+        .join(&digest_b[..2])
+        .join(format!("{digest_b}.bin"));
+    fs::create_dir_all(path_b.parent().unwrap()).unwrap();
+    fs::copy(&path_a, &path_b).unwrap();
+    fs::write(
+        dir.join("index.log"),
+        format!(
+            "+\t{digest_a}\t{len}\n+\t{digest_b}\t{len}\n",
+            len = fs::metadata(&path_a).unwrap().len()
+        ),
+    )
+    .unwrap();
+
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.get(&a), Some(result(1)));
+    assert_eq!(store.get(&b), None, "embedded key mismatch is a miss");
+    drop(store);
+}
+
+#[test]
+fn concurrent_writers_compute_once() {
+    let dir = scratch("flight");
+    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    let computes = Arc::new(AtomicUsize::new(0));
+    let k = key("cw");
+
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let store = store.clone();
+        let computes = computes.clone();
+        let k = k.clone();
+        handles.push(thread::spawn(move || {
+            store.get_or_compute(&k, || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                // Give the other thread time to join as a follower.
+                thread::sleep(std::time::Duration::from_millis(30));
+                result(42)
+            })
+        }));
+    }
+    for h in handles {
+        assert_eq!(h.join().unwrap(), result(42));
+    }
+    assert_eq!(
+        computes.load(Ordering::SeqCst),
+        1,
+        "exactly one thread computed; the other waited or read the store"
+    );
+    assert_eq!(store.get(&k), Some(result(42)));
+}
+
+#[test]
+fn gc_trims_to_budget_and_survives_reopen() {
+    let dir = scratch("gc");
+    let store = ResultStore::open(&dir).unwrap();
+    for i in 0..10u64 {
+        store.put(&key(&format!("gc{i}")), &result(i)).unwrap();
+    }
+    let before = store.total_bytes();
+    assert_eq!(store.len(), 10);
+
+    let budget = before / 2;
+    let report = store.gc(budget).unwrap();
+    assert!(report.evicted > 0);
+    assert!(report.kept_bytes <= budget);
+    assert_eq!(report.kept, store.len());
+    assert_eq!(report.kept + report.evicted, 10);
+
+    // Reopen agrees with the compacted index.
+    drop(store);
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), report.kept);
+    assert!(store.total_bytes() <= budget);
+
+    // gc with room to spare is a no-op.
+    let report2 = store.gc(u64::MAX).unwrap();
+    assert_eq!(report2.evicted, 0);
+    assert_eq!(report2.kept, report.kept);
+}

@@ -10,8 +10,9 @@ use bpred_trace::stats::TraceStats;
 use bpred_trace::{Trace, TraceSource};
 use bpred_workloads::{suite, WorkloadModel, WorkloadSource};
 
+use crate::cache::run_configs_keyed;
 use crate::report::{percent, TextTable};
-use crate::{run_configs, SimResult, Simulator, Surface};
+use crate::{SimResult, Simulator, Surface};
 
 /// Common knobs shared by all experiment drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +169,12 @@ fn size_sweep(
         .iter()
         .map(|model| {
             let source = opts.source(model);
-            let results = run_configs(&configs, &source, Simulator::new());
+            let results = run_configs_keyed(
+                &configs,
+                &source,
+                Simulator::new(),
+                Some(&source.cache_id()),
+            );
             SizeSeries {
                 benchmark: model.name().to_owned(),
                 points: sizes.iter().copied().zip(results).collect(),
@@ -251,12 +257,13 @@ pub fn scheme_surfaces(
         .iter()
         .map(|model| {
             let source = opts.source(model);
-            Surface::sweep(
+            Surface::sweep_keyed(
                 scheme,
                 model.name(),
                 opts.min_bits..=opts.max_bits,
                 &source,
                 Simulator::new(),
+                Some(&source.cache_id()),
                 make,
             )
         })
@@ -273,12 +280,13 @@ pub fn scheme_surface_on(
     let model =
         suite::by_name(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark:?}"));
     let source = opts.source(&model);
-    Surface::sweep(
+    Surface::sweep_keyed(
         scheme,
         benchmark,
         opts.min_bits..=opts.max_bits,
         &source,
         Simulator::new(),
+        Some(&source.cache_id()),
         make,
     )
 }
@@ -441,12 +449,24 @@ pub fn best_config<S: TraceSource + Sync + ?Sized>(
     total_bits: u32,
     source: &S,
 ) -> BestConfig {
+    best_config_keyed(scheme, total_bits, source, None)
+}
+
+/// [`best_config`] with cache keying: when `source_id` names the
+/// stream (see [`crate::cache`]) and a process-wide result cache is
+/// installed, cached splits are loaded instead of re-simulated.
+pub fn best_config_keyed<S: TraceSource + Sync + ?Sized>(
+    scheme: Table3Scheme,
+    total_bits: u32,
+    source: &S,
+    source_id: Option<&str>,
+) -> BestConfig {
     let shapes: Vec<(u32, u32)> = (0..=total_bits)
         .rev()
         .map(|c| (total_bits - c, c))
         .collect();
     let configs: Vec<PredictorConfig> = shapes.iter().map(|&(r, c)| scheme.config(r, c)).collect();
-    let results = run_configs(&configs, source, Simulator::new());
+    let results = run_configs_keyed(&configs, source, Simulator::new(), source_id);
     let (shape, result) = shapes
         .into_iter()
         .zip(results)
@@ -478,11 +498,12 @@ pub fn table3(opts: &ExperimentOptions, budgets: &[u32], schemes: &[Table3Scheme
 
     for model in suite::focus() {
         let source = opts.source(&model);
+        let source_id = source.cache_id();
         for &scheme in schemes {
             let mut row = vec![model.name().to_owned(), scheme.label(), String::new()];
             let mut miss_rate: Option<f64> = None;
             for &bits in budgets {
-                let best = best_config(scheme, bits, &source);
+                let best = best_config_keyed(scheme, bits, &source, Some(&source_id));
                 if best.result.bht.is_some() && matches!(scheme, Table3Scheme::PasFinite(_)) {
                     miss_rate = Some(best.result.bht_miss_rate());
                 }
@@ -503,6 +524,7 @@ pub fn table3(opts: &ExperimentOptions, budgets: &[u32], schemes: &[Table3Scheme
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run_configs;
 
     fn tiny() -> ExperimentOptions {
         ExperimentOptions {

@@ -48,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 mod batch;
+pub mod cache;
 mod cost;
 mod engine;
 pub mod experiments;
@@ -60,6 +61,7 @@ mod surface;
 mod sweep;
 
 pub use batch::{run_batched, run_batched_default, DEFAULT_SHARD_SIZE};
+pub use cache::{run_configs_keyed, CellKey, ResultCache, ENGINE_VERSION};
 pub use cost::CpiModel;
 pub use engine::{SimResult, Simulator};
 pub use interference::InterferenceStats;

@@ -13,7 +13,8 @@ use std::ops::RangeInclusive;
 use bpred_core::PredictorConfig;
 use bpred_trace::TraceSource;
 
-use crate::{run_configs, SimResult, Simulator};
+use crate::cache::run_configs_keyed;
+use crate::{SimResult, Simulator};
 
 /// One simulated point of a surface.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +116,23 @@ impl Surface {
         simulator: Simulator,
         make: impl Fn(u32, u32) -> PredictorConfig,
     ) -> Surface {
+        Surface::sweep_keyed(scheme, workload, total_bits, source, simulator, None, make)
+    }
+
+    /// [`sweep`](Surface::sweep) with cache keying: when `source_id`
+    /// names the stream (see [`crate::cache`]) and a process-wide
+    /// result cache is installed, previously computed points are
+    /// loaded instead of re-simulated and fresh points are written
+    /// back. Results are bit-identical either way.
+    pub fn sweep_keyed<S: TraceSource + Sync + ?Sized>(
+        scheme: &str,
+        workload: &str,
+        total_bits: RangeInclusive<u32>,
+        source: &S,
+        simulator: Simulator,
+        source_id: Option<&str>,
+        make: impl Fn(u32, u32) -> PredictorConfig,
+    ) -> Surface {
         let mut shapes: Vec<(u32, u32)> = Vec::new();
         for total in total_bits.clone() {
             // Paper orientation: address-indexed on the left.
@@ -123,7 +141,7 @@ impl Surface {
             }
         }
         let configs: Vec<PredictorConfig> = shapes.iter().map(|&(r, c)| make(r, c)).collect();
-        let results = run_configs(&configs, source, simulator);
+        let results = run_configs_keyed(&configs, source, simulator, source_id);
 
         let mut tiers: Vec<Tier> = Vec::new();
         for ((row_bits, col_bits), result) in shapes.into_iter().zip(results) {

@@ -36,6 +36,7 @@
 
 pub mod binfmt;
 mod error;
+pub mod fnv;
 pub mod io;
 mod outcome;
 mod record;

@@ -111,6 +111,18 @@ impl Trace {
             records: self.records[..n.min(self.records.len())].to_vec(),
         }
     }
+
+    /// A stable content fingerprint of the record sequence.
+    ///
+    /// Two traces have the same fingerprint exactly when they hold the
+    /// same records in the same order (up to 64-bit hash collisions).
+    /// The value is an FNV-1a hash over the canonical binary encoding
+    /// ([`binfmt`](crate::binfmt)), so it is identical across
+    /// platforms and releases and can key persistent caches of
+    /// simulation results for on-disk traces.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fnv::fnv64(&crate::binfmt::encode(self))
+    }
 }
 
 impl Index<usize> for Trace {
@@ -274,5 +286,19 @@ mod tests {
     #[test]
     fn display_summarises() {
         assert_eq!(sample().to_string(), "trace of 4 records (3 conditional)");
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let t = sample();
+        assert_eq!(t.fingerprint(), t.clone().fingerprint());
+        assert_ne!(t.fingerprint(), t.truncated(2).fingerprint());
+        let mut reordered = t.clone().into_records();
+        reordered.swap(0, 1);
+        assert_ne!(
+            t.fingerprint(),
+            Trace::from_records(reordered).fingerprint()
+        );
+        assert_eq!(Trace::new().fingerprint(), Trace::new().fingerprint());
     }
 }

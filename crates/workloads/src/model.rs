@@ -84,6 +84,9 @@ pub struct WorkloadModel {
     jump_fraction: f64,
     sequence_coherence: f64,
     paper: PaperReference,
+    /// Stable FNV-1a hash of the originating spec's
+    /// [canonical string](BenchmarkSpec::canonical_string).
+    fingerprint: u64,
 }
 
 impl WorkloadModel {
@@ -142,6 +145,7 @@ impl WorkloadModel {
             jump_fraction: spec.jump_fraction,
             sequence_coherence: spec.sequence_coherence,
             paper: spec.paper,
+            fingerprint: bpred_trace::fnv::fnv64(spec.canonical_string().as_bytes()),
         }
     }
 
@@ -163,6 +167,24 @@ impl WorkloadModel {
     /// Default trace length in conditional branches.
     pub fn dynamic_branches(&self) -> usize {
         self.dynamic_branches
+    }
+
+    /// Fraction of records that are non-conditional transfers.
+    pub fn jump_fraction(&self) -> f64 {
+        self.jump_fraction
+    }
+
+    /// Stable fingerprint of the spec this model was materialised
+    /// from: the FNV-1a hash of
+    /// [`BenchmarkSpec::canonical_string`]. Two models with equal
+    /// fingerprints generate bit-identical streams for equal `(seed,
+    /// length, jump fraction)`, which is what lets the fingerprint
+    /// anchor persistent cache keys. [`scaled`](Self::scaled) and
+    /// [`with_jump_fraction`](Self::with_jump_fraction) do *not*
+    /// change the fingerprint — their effects are keyed separately
+    /// (see [`WorkloadSource::cache_id`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The paper's published numbers for the benchmark this model
@@ -381,6 +403,39 @@ impl WorkloadSource {
     /// Conditional branches per replay.
     pub fn conditionals(&self) -> usize {
         self.conditionals
+    }
+
+    /// Stable identity of the exact record stream this source replays,
+    /// for keying persistent result caches.
+    ///
+    /// Combines the model's [spec fingerprint](WorkloadModel::fingerprint)
+    /// with every post-materialisation knob that changes the stream:
+    /// seed, replay length, and jump fraction. Equal ids guarantee
+    /// bit-identical streams; distinct streams get distinct ids (up to
+    /// the 64-bit fingerprint). The format is part of the on-disk
+    /// cache-key scheme — change it only alongside an engine-version
+    /// bump in the consumer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bpred_workloads::{suite, WorkloadSource};
+    ///
+    /// let a = WorkloadSource::new(suite::espresso().scaled(1_000), 7);
+    /// let b = WorkloadSource::new(suite::espresso().scaled(1_000), 7);
+    /// assert_eq!(a.cache_id(), b.cache_id());
+    /// let c = WorkloadSource::new(suite::espresso().scaled(1_000), 8);
+    /// assert_ne!(a.cache_id(), c.cache_id());
+    /// ```
+    pub fn cache_id(&self) -> String {
+        format!(
+            "workload:{}@{:016x}/s{}/n{}/j{}",
+            self.model.name(),
+            self.model.fingerprint(),
+            self.seed,
+            self.conditionals,
+            self.model.jump_fraction(),
+        )
     }
 }
 
@@ -688,5 +743,36 @@ mod tests {
     fn structure_seed_differs_by_name() {
         assert_ne!(structure_seed("espresso"), structure_seed("mpeg_play"));
         assert_eq!(structure_seed("gs"), structure_seed("gs"));
+    }
+
+    #[test]
+    fn fingerprint_is_spec_identity() {
+        assert_eq!(
+            suite::espresso().fingerprint(),
+            suite::espresso().fingerprint()
+        );
+        assert_ne!(
+            suite::espresso().fingerprint(),
+            suite::mpeg_play().fingerprint()
+        );
+        // Post-materialisation knobs leave the fingerprint alone; the
+        // cache id carries them instead.
+        let model = suite::espresso();
+        let scaled = model.clone().scaled(123);
+        assert_eq!(model.fingerprint(), scaled.fingerprint());
+        assert_ne!(
+            WorkloadSource::new(model, 1).cache_id(),
+            WorkloadSource::new(scaled, 1).cache_id()
+        );
+    }
+
+    #[test]
+    fn cache_id_tracks_every_stream_knob() {
+        let base = || WorkloadSource::new(suite::sdet().scaled(500), 3);
+        assert_eq!(base().cache_id(), base().cache_id());
+        let longer = WorkloadSource::with_length(suite::sdet(), 3, 501);
+        assert_ne!(base().cache_id(), longer.cache_id());
+        let jumpy = WorkloadSource::new(suite::sdet().scaled(500).with_jump_fraction(0.3), 3);
+        assert_ne!(base().cache_id(), jumpy.cache_id());
     }
 }

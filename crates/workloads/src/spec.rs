@@ -282,6 +282,60 @@ impl BenchmarkSpec {
     pub fn static_branches(&self) -> usize {
         self.coverage.total()
     }
+
+    /// Canonical serialization of every generation-relevant field, in
+    /// a fixed order with a leading format version.
+    ///
+    /// This string is the *identity* of the workload a spec describes:
+    /// two specs produce bit-identical trace streams (per seed and
+    /// length) whenever their canonical strings are equal. The result
+    /// store hashes it into persistent cache keys, so the format must
+    /// stay stable — extend it only together with a version bump of
+    /// the consuming cache. [`PaperReference`] is deliberately
+    /// excluded: the published numbers are reporting metadata and do
+    /// not influence generation.
+    ///
+    /// Floats are rendered with Rust's shortest round-trip `Display`,
+    /// which is platform-independent, so equal field values always
+    /// produce equal text.
+    pub fn canonical_string(&self) -> String {
+        let mix = |m: &BehaviorMix| {
+            format!(
+                "{},{},{},{},{}",
+                m.biased_taken, m.biased_not_taken, m.loops, m.patterns, m.correlated
+            )
+        };
+        let t = &self.tuning;
+        format!(
+            "spec-v1|name={}|suite={}|cov={},{},{},{}|hot={}|cold={}|hbias={},{}|cbias={},{}\
+             |corr={},{}|tune={},{},{},{},{},{},{},{}|coh={}|dyn={}|jump={}",
+            self.name,
+            self.suite.label(),
+            self.coverage.first_50,
+            self.coverage.next_40,
+            self.coverage.next_9,
+            self.coverage.last_1,
+            mix(&self.hot_mix),
+            mix(&self.cold_mix),
+            self.hot_bias.low,
+            self.hot_bias.high,
+            self.cold_bias.low,
+            self.cold_bias.high,
+            self.correlation_bits,
+            self.correlation_noise,
+            t.loop_short_max,
+            t.loop_long_max,
+            t.loop_long_fraction,
+            t.pattern_min_bits,
+            t.pattern_max_bits,
+            t.correlated_taken_low,
+            t.correlated_taken_high,
+            t.correlated_pool,
+            self.sequence_coherence,
+            self.dynamic_branches,
+            self.jump_fraction,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -386,5 +440,41 @@ mod tests {
     fn suite_labels() {
         assert_eq!(SuiteKind::SpecInt92.label(), "SPECint92");
         assert_eq!(SuiteKind::IbsUltrix.label(), "IBS-Ultrix");
+    }
+
+    #[test]
+    fn canonical_string_is_stable_and_discriminating() {
+        let a = crate::suites::espresso_spec();
+        assert_eq!(
+            a.canonical_string(),
+            crate::suites::espresso_spec().canonical_string()
+        );
+        assert!(a.canonical_string().starts_with("spec-v1|name=espresso|"));
+
+        // Every generation-relevant change must change the string...
+        let mut longer = crate::suites::espresso_spec();
+        longer.dynamic_branches += 1;
+        assert_ne!(a.canonical_string(), longer.canonical_string());
+        let mut biased = crate::suites::espresso_spec();
+        biased.hot_bias.high -= 1e-9;
+        assert_ne!(a.canonical_string(), biased.canonical_string());
+
+        // ...while reporting metadata must not.
+        let mut reported = crate::suites::espresso_spec();
+        reported.paper.dynamic_instructions += 1;
+        assert_eq!(a.canonical_string(), reported.canonical_string());
+    }
+
+    #[test]
+    fn canonical_strings_differ_across_suite() {
+        let specs = crate::suites::all_specs();
+        let mut seen = std::collections::HashSet::new();
+        for spec in &specs {
+            assert!(
+                seen.insert(spec.canonical_string()),
+                "duplicate canonical string for {}",
+                spec.name
+            );
+        }
     }
 }

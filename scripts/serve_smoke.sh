@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the sweep service over a real socket.
+#
+# Starts `serve` on a scratch cache directory, issues the same sweep
+# twice, and asserts the cache contract:
+#   * both responses are bit-identical,
+#   * the second advances the hit counter, not the miss counter
+#     (i.e. it never re-entered the simulation engine).
+#
+# Usage: scripts/serve_smoke.sh [port]   (default 8199)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-8199}"
+BASE="http://127.0.0.1:$PORT"
+CACHE_DIR=$(mktemp -d)
+SERVER_PID=""
+
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$CACHE_DIR"
+}
+trap cleanup EXIT
+
+cargo build --release -q -p bpred-serve --bin serve
+./target/release/serve --addr "127.0.0.1:$PORT" --cache-dir "$CACHE_DIR" &
+SERVER_PID=$!
+
+# Wait for liveness.
+for _ in $(seq 1 50); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q ok || { echo "FAIL: /healthz"; exit 1; }
+
+SWEEP="$BASE/sweep?workload=espresso&branches=50000&configs=gshare:h=8,c=2;gas:h=8,c=2;bimodal:a=10"
+
+scrape() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m { print $2 }'; }
+
+# Cold request: every cell simulates.
+curl -fsS "$SWEEP" -o "$CACHE_DIR/cold.json"
+MISSES_COLD=$(scrape bpred_cache_misses_total)
+[[ "$MISSES_COLD" -gt 0 ]] || { echo "FAIL: cold request did not simulate"; exit 1; }
+
+# Warm request: bit-identical, no new misses, hits advance.
+curl -fsS "$SWEEP" -o "$CACHE_DIR/warm.json"
+MISSES_WARM=$(scrape bpred_cache_misses_total)
+HITS_WARM=$(scrape bpred_cache_hits_total)
+
+cmp "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json" \
+    || { echo "FAIL: cached response differs from cold response"; exit 1; }
+[[ "$MISSES_WARM" -eq "$MISSES_COLD" ]] \
+    || { echo "FAIL: warm request re-simulated (misses $MISSES_COLD -> $MISSES_WARM)"; exit 1; }
+[[ "$HITS_WARM" -gt 0 ]] || { echo "FAIL: warm request did not hit the cache"; exit 1; }
+
+echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM)"
