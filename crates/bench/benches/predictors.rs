@@ -1,7 +1,8 @@
 //! Criterion microbenchmarks: single-thread prediction throughput of
-//! every scheme on a fixed workload. These measure the simulator
-//! itself (predictions per second), complementing the accuracy
-//! harnesses in `src/bin/`.
+//! every scheme on a fixed workload, plus the enum-kernel vs
+//! `Box<dyn>` dispatch comparison. These measure the simulator itself
+//! (predictions per second), complementing the accuracy harnesses in
+//! `src/bin/`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -86,5 +87,57 @@ fn predictor_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, predictor_throughput);
+/// Enum-dispatched [`PredictorKernel`](bpred_core::PredictorKernel)
+/// (the hot path since the replay-core rework) against the same
+/// replay over a `Box<dyn BranchPredictor>`: identical `ReplayCore`,
+/// identical results, differing only in how predict/update dispatch.
+fn dispatch_comparison(c: &mut Criterion) {
+    let trace = suite::mpeg_play().scaled(BRANCHES).trace(1);
+    let sweep: Vec<PredictorConfig> = (6..14)
+        .map(|history_bits| PredictorConfig::Gshare {
+            history_bits,
+            col_bits: 2,
+        })
+        .collect();
+    let mut group = c.benchmark_group("dispatch/gshare-sweep");
+    group.throughput(Throughput::Elements((BRANCHES * sweep.len()) as u64));
+    group.sample_size(30);
+
+    group.bench_function("boxed-dyn", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|cfg| {
+                    let mut predictor = cfg.build();
+                    Simulator::new().run(&mut predictor, &trace).mispredictions
+                })
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("direct-static", |b| {
+        b.iter(|| {
+            (6..14)
+                .map(|history_bits| {
+                    let mut core = bpred_sim::ReplayCore::new(
+                        bpred_core::Gshare::new(history_bits, 2),
+                        Simulator::new(),
+                    );
+                    core.replay(&trace);
+                    core.finish().mispredictions
+                })
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("enum-kernel", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|cfg| run_config(*cfg, &trace, Simulator::new()).mispredictions)
+                .sum::<u64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predictor_throughput, dispatch_comparison);
 criterion_main!(benches);

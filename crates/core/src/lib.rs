@@ -56,6 +56,7 @@ mod fsm;
 mod geometry;
 mod global;
 mod history;
+mod kernel;
 mod peraddr;
 mod predictor;
 mod setsel;
@@ -80,6 +81,7 @@ pub use global::{
     PathSelector,
 };
 pub use history::{reset_pattern, HistoryRegister, PathRegister};
+pub use kernel::{KernelVisitor, PredictorKernel, TournamentKernel};
 pub use peraddr::{Pas, SelfSelector};
 pub use predictor::BranchPredictor;
 pub use setsel::{Sas, SetSelector};

@@ -90,6 +90,36 @@ pub trait BranchPredictor {
     }
 }
 
+impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
+    fn predict(&mut self, pc: u64, target: u64) -> Outcome {
+        (**self).predict(pc, target)
+    }
+
+    fn update(&mut self, pc: u64, target: u64, outcome: Outcome) {
+        (**self).update(pc, target, outcome)
+    }
+
+    fn note_control_transfer(&mut self, record: &BranchRecord) {
+        (**self).note_control_transfer(record)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn state_bits(&self) -> u64 {
+        (**self).state_bits()
+    }
+
+    fn alias_stats(&self) -> Option<AliasStats> {
+        (**self).alias_stats()
+    }
+
+    fn bht_stats(&self) -> Option<BhtStats> {
+        (**self).bht_stats()
+    }
+}
+
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
     fn predict(&mut self, pc: u64, target: u64) -> Outcome {
         (**self).predict(pc, target)

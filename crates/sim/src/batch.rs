@@ -1,19 +1,21 @@
-//! Single-pass batched replay.
+//! Single-pass batched replay: N lanes × one shared stream.
 //!
 //! The per-configuration sweep ([`run_config`](crate::run_config) in a
-//! loop, or the pre-batching [`run_configs`](crate::run_configs))
-//! replays the whole trace once *per predictor*: a 32-point sweep over
-//! a 120k-branch trace walks 3.8M records. The batched engine instead
-//! drives a *shard* of predictors through one streaming pass — each
-//! record is fed to every predictor in the shard before the stream
-//! advances — so the trace is walked once per shard, the record stays
-//! hot in cache while every predictor consumes it, and a streaming
-//! [`TraceSource`] (e.g. a workload generator) never needs to be
-//! materialised at all.
+//! loop) replays the whole trace once *per predictor*: a 32-point
+//! sweep over a 120k-branch trace walks 3.8M records. The batched
+//! engine instead drives a *shard* of predictors through one streaming
+//! pass — each record is fed to every lane in the shard before the
+//! stream advances — so the trace is walked once per shard, the record
+//! stays hot in cache while every predictor consumes it, and a
+//! streaming [`TraceSource`] (e.g. a workload generator) never needs
+//! to be materialised at all.
 //!
-//! Because predictors are independent, feeding them record-by-record
-//! in a batch is *bit-identical* to running them one at a time: the
-//! per-lane statistics replicate [`Simulator::run`] exactly, which
+//! Each lane is a [`ReplayCore`] over the configuration's
+//! enum-dispatched [`PredictorKernel`](bpred_core::PredictorKernel),
+//! so the inner loop pays one match per call instead of two virtual
+//! calls per record. Because lanes are independent and the core is the
+//! single feed path, a batched run is *bit-identical* to running each
+//! configuration alone through [`Simulator::run`], which
 //! `tests/determinism.rs` at the workspace root enforces for every
 //! configuration variant.
 //!
@@ -26,90 +28,55 @@
 //! for the paper's predictor sizes (≤ 64 KiB of counters each); use
 //! smaller shards for very large predictors, larger ones for cheap
 //! static schemes where stream generation dominates.
+//!
+//! # Thread count
+//!
+//! Shards are distributed over `min(available parallelism, shards)`
+//! worker threads. Set `BPRED_THREADS` to pin the worker count
+//! (clamped to at least 1) for reproducible CI and benchmark runs;
+//! thread count never changes results, only wall-clock time.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use bpred_core::{AliasStats, BhtStats, BranchPredictor, PredictorConfig};
+use bpred_core::{PredictorConfig, PredictorKernel};
 use bpred_trace::TraceSource;
 
-use crate::{SimResult, Simulator};
+use crate::{ReplayCore, SimResult, Simulator};
 
 /// Predictors replayed together per shard by [`run_batched_default`]
 /// and the sweep layers built on it.
 pub const DEFAULT_SHARD_SIZE: usize = 8;
 
-/// One predictor being driven through a shared record stream, with the
-/// same bookkeeping [`Simulator::run`] keeps.
-struct Lane {
-    predictor: Box<dyn BranchPredictor>,
-    warmup: usize,
-    seen: usize,
-    scored: u64,
-    mispredictions: u64,
-    alias_before: AliasStats,
-    bht_before: BhtStats,
+/// One batched lane: a [`ReplayCore`] over the configuration's
+/// enum-dispatched kernel.
+type Lane = ReplayCore<PredictorKernel>;
+
+/// Number of worker threads: the `BPRED_THREADS` environment override
+/// (clamped ≥ 1) when set and numeric, otherwise the available
+/// parallelism; always capped by the number of jobs.
+pub(crate) fn worker_count(jobs: usize) -> usize {
+    let cores = std::env::var("BPRED_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    cores.min(jobs).max(1)
 }
 
-impl Lane {
-    fn new(config: &PredictorConfig, simulator: Simulator) -> Self {
-        let predictor = config.build();
-        Lane {
-            warmup: simulator.warmup(),
-            seen: 0,
-            scored: 0,
-            mispredictions: 0,
-            alias_before: predictor.alias_stats().unwrap_or_default(),
-            bht_before: predictor.bht_stats().unwrap_or_default(),
-            predictor,
-        }
-    }
-
-    fn feed(&mut self, record: &bpred_trace::BranchRecord) {
-        if record.is_conditional() {
-            let predicted = self.predictor.predict(record.pc, record.target);
-            if self.seen >= self.warmup {
-                self.scored += 1;
-                if predicted != record.outcome {
-                    self.mispredictions += 1;
-                }
-            }
-            self.seen += 1;
-            self.predictor
-                .update(record.pc, record.target, record.outcome);
-        } else {
-            self.predictor.note_control_transfer(record);
-        }
-    }
-
-    fn finish(self) -> SimResult {
-        let alias = self.predictor.alias_stats().map(|after| AliasStats {
-            accesses: after.accesses - self.alias_before.accesses,
-            conflicts: after.conflicts - self.alias_before.conflicts,
-            harmless_conflicts: after.harmless_conflicts - self.alias_before.harmless_conflicts,
-        });
-        let bht = self.predictor.bht_stats().map(|after| BhtStats {
-            accesses: after.accesses - self.bht_before.accesses,
-            misses: after.misses - self.bht_before.misses,
-        });
-        SimResult {
-            predictor: self.predictor.name(),
-            state_bits: self.predictor.state_bits(),
-            conditionals: self.scored,
-            mispredictions: self.mispredictions,
-            alias,
-            bht,
-        }
-    }
-}
-
-/// Number of worker threads: the available parallelism, capped by the
-/// number of shards.
-fn worker_count(shards: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    cores.min(shards).max(1)
+/// Locks `mutex` even when another worker's panic poisoned it: every
+/// slot is written at most once by the worker that computed it, so the
+/// data is consistent regardless, and swallowing the poison lets the
+/// *original* panic (a predictor bug surfaced by `thread::scope`)
+/// propagate instead of an opaque secondary "lock poisoned" panic.
+pub(crate) fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Simulates every configuration against `source` in shards of
@@ -180,14 +147,14 @@ where
                 let shard_configs = &configs[base..(base + shard_size).min(configs.len())];
                 let mut lanes: Vec<Lane> = shard_configs
                     .iter()
-                    .map(|config| Lane::new(config, simulator))
+                    .map(|config| ReplayCore::from_config(config, simulator))
                     .collect();
                 for record in source.stream() {
                     for lane in &mut lanes {
                         lane.feed(&record);
                     }
                 }
-                let mut results = results.lock().expect("batch worker panicked");
+                let mut results = lock_ignoring_poison(&results);
                 for (offset, lane) in lanes.into_iter().enumerate() {
                     results[base + offset] = Some(lane.finish());
                 }
@@ -197,7 +164,7 @@ where
 
     results
         .into_inner()
-        .expect("batch worker panicked")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .into_iter()
         .map(|r| r.expect("every configuration simulated"))
         .collect()
@@ -294,6 +261,43 @@ mod tests {
     #[should_panic(expected = "shard size must be positive")]
     fn zero_shard_size_panics() {
         let _ = run_batched(&mixed_configs(), &trace(10), Simulator::new(), 0);
+    }
+
+    #[test]
+    fn bpred_threads_pins_the_worker_count() {
+        // Serialised via the env var itself: this test owns the name.
+        std::env::set_var("BPRED_THREADS", "2");
+        assert_eq!(worker_count(8), 2);
+        assert_eq!(worker_count(1), 1); // still capped by jobs
+        std::env::set_var("BPRED_THREADS", "0");
+        assert_eq!(worker_count(8), 1); // clamped to at least one
+        std::env::set_var("BPRED_THREADS", "not-a-number");
+        assert!(worker_count(8) >= 1); // garbage falls back to cores
+        std::env::remove_var("BPRED_THREADS");
+        assert!(worker_count(64) >= 1);
+
+        // Thread count never changes results.
+        std::env::set_var("BPRED_THREADS", "1");
+        let pinned = run_batched(&mixed_configs(), &trace(500), Simulator::new(), 2);
+        std::env::remove_var("BPRED_THREADS");
+        let free = run_batched(&mixed_configs(), &trace(500), Simulator::new(), 2);
+        assert_eq!(pinned, free);
+    }
+
+    #[test]
+    fn poisoned_results_lock_is_recovered_not_repanicked() {
+        let mutex = Mutex::new(vec![0u32]);
+        std::thread::scope(|scope| {
+            let _ = scope
+                .spawn(|| {
+                    let _guard = mutex.lock().expect("first lock");
+                    panic!("lane panic while holding the lock");
+                })
+                .join();
+        });
+        assert!(mutex.is_poisoned());
+        lock_ignoring_poison(&mutex)[0] = 7;
+        assert_eq!(mutex.into_inner().unwrap_or_else(|p| p.into_inner())[0], 7);
     }
 
     #[test]

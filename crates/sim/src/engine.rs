@@ -5,10 +5,14 @@
 //! resolved, every other control transfer is reported to the predictor
 //! (for path-history schemes), and the result collects the paper's
 //! figures of merit — misprediction rate, second-level aliasing, and
-//! first-level miss rate.
+//! first-level miss rate. The replay itself is one pass of the shared
+//! [`ReplayCore`](crate::ReplayCore); `Simulator` carries only the
+//! scoring policy (warmup) and the convenience entry point.
 
 use bpred_core::{AliasStats, BhtStats, BranchPredictor};
 use bpred_trace::Trace;
+
+use crate::ReplayCore;
 
 /// Replays traces against predictors.
 ///
@@ -53,46 +57,9 @@ impl Simulator {
 
     /// Replays `trace` against `predictor` and collects statistics.
     pub fn run<P: BranchPredictor + ?Sized>(&self, predictor: &mut P, trace: &Trace) -> SimResult {
-        let mut seen = 0usize;
-        let mut scored = 0u64;
-        let mut mispredictions = 0u64;
-        let alias_before = predictor.alias_stats().unwrap_or_default();
-        let bht_before = predictor.bht_stats().unwrap_or_default();
-
-        for record in trace.iter() {
-            if record.is_conditional() {
-                let predicted = predictor.predict(record.pc, record.target);
-                if seen >= self.warmup {
-                    scored += 1;
-                    if predicted != record.outcome {
-                        mispredictions += 1;
-                    }
-                }
-                seen += 1;
-                predictor.update(record.pc, record.target, record.outcome);
-            } else {
-                predictor.note_control_transfer(record);
-            }
-        }
-
-        let alias = predictor.alias_stats().map(|after| AliasStats {
-            accesses: after.accesses - alias_before.accesses,
-            conflicts: after.conflicts - alias_before.conflicts,
-            harmless_conflicts: after.harmless_conflicts - alias_before.harmless_conflicts,
-        });
-        let bht = predictor.bht_stats().map(|after| BhtStats {
-            accesses: after.accesses - bht_before.accesses,
-            misses: after.misses - bht_before.misses,
-        });
-
-        SimResult {
-            predictor: predictor.name(),
-            state_bits: predictor.state_bits(),
-            conditionals: scored,
-            mispredictions,
-            alias,
-            bht,
-        }
+        let mut core = ReplayCore::new(predictor, *self);
+        core.replay(trace);
+        core.finish()
     }
 }
 

@@ -3,15 +3,18 @@
 //! The paper's aliasing metric counts *conflicting accesses*; its
 //! related work (Talcott, Nemirovsky & Wood 1995) goes further and
 //! asks whether each conflict actually changed the outcome. This
-//! module implements that refinement: every prediction is classified
-//! by (conflicting?, correct?), so destructive interference — the
-//! quantity the paper argues "can easily drown the benefits of
-//! correlation" — is measured directly instead of being inferred from
-//! rate differences.
+//! module implements that refinement as an [`Observer`]:
+//! [`InterferenceObserver`] watches the predictor's own
+//! [`alias_stats`](BranchPredictor::alias_stats) delta at each
+//! prediction and cross-classifies it by (conflicting?, correct?), so
+//! destructive interference — the quantity the paper argues "can
+//! easily drown the benefits of correlation" — is measured directly
+//! instead of being inferred from rate differences.
 
 use bpred_core::BranchPredictor;
-use bpred_trace::Trace;
+use bpred_trace::{BranchRecord, Outcome, Trace};
 
+use crate::replay::{Observer, ReplayCore};
 use crate::report::{percent, TextTable};
 
 /// Predictions cross-classified by counter-conflict and correctness.
@@ -97,10 +100,66 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// An [`Observer`] cross-classifying every prediction by
+/// (conflicting?, correct?).
+///
+/// Conflicts are detected through the predictor's own
+/// [`alias_stats`](BranchPredictor::alias_stats) delta at prediction
+/// time — this relies on the observer running *between* predict and
+/// update, which is exactly where [`ReplayCore`] calls it. Predictors
+/// without aliasing instrumentation classify every access as clean.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterferenceObserver {
+    stats: InterferenceStats,
+    conflicts_seen: u64,
+}
+
+impl InterferenceObserver {
+    /// An observer for `predictor`, baselined on the conflicts it has
+    /// already accumulated so only *this* replay's conflicts classify.
+    pub fn for_predictor<P: BranchPredictor + ?Sized>(predictor: &P) -> Self {
+        InterferenceObserver {
+            stats: InterferenceStats::default(),
+            conflicts_seen: predictor
+                .alias_stats()
+                .map(|a| a.conflicts)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The classification accumulated so far.
+    pub fn stats(&self) -> InterferenceStats {
+        self.stats
+    }
+}
+
+impl Observer for InterferenceObserver {
+    fn on_conditional(
+        &mut self,
+        record: &BranchRecord,
+        predicted: Outcome,
+        _scored: bool,
+        predictor: &dyn BranchPredictor,
+    ) {
+        let conflicts_now = predictor
+            .alias_stats()
+            .map(|a| a.conflicts)
+            .unwrap_or_default();
+        let conflicted = conflicts_now > self.conflicts_seen;
+        self.conflicts_seen = conflicts_now;
+        let correct = predicted == record.outcome;
+        match (conflicted, correct) {
+            (false, true) => self.stats.clean_correct += 1,
+            (false, false) => self.stats.clean_incorrect += 1,
+            (true, true) => self.stats.conflict_correct += 1,
+            (true, false) => self.stats.conflict_incorrect += 1,
+        }
+    }
+}
+
 /// Replays `trace`, classifying each prediction by whether its table
-/// access conflicted (detected through the predictor's own
-/// [`alias_stats`](BranchPredictor::alias_stats) delta) and whether it
-/// was correct.
+/// access conflicted and whether it was correct: one
+/// [`ReplayCore`] pass with an [`InterferenceObserver`] attached.
 ///
 /// Predictors without aliasing instrumentation classify every access
 /// as clean.
@@ -128,34 +187,10 @@ pub fn classify<P: BranchPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
 ) -> InterferenceStats {
-    let mut stats = InterferenceStats::default();
-    let mut conflicts_seen = predictor
-        .alias_stats()
-        .map(|a| a.conflicts)
-        .unwrap_or_default();
-
-    for record in trace.iter() {
-        if !record.is_conditional() {
-            predictor.note_control_transfer(record);
-            continue;
-        }
-        let predicted = predictor.predict(record.pc, record.target);
-        let conflicts_now = predictor
-            .alias_stats()
-            .map(|a| a.conflicts)
-            .unwrap_or_default();
-        let conflicted = conflicts_now > conflicts_seen;
-        conflicts_seen = conflicts_now;
-        let correct = predicted == record.outcome;
-        match (conflicted, correct) {
-            (false, true) => stats.clean_correct += 1,
-            (false, false) => stats.clean_incorrect += 1,
-            (true, true) => stats.conflict_correct += 1,
-            (true, false) => stats.conflict_incorrect += 1,
-        }
-        predictor.update(record.pc, record.target, record.outcome);
-    }
-    stats
+    let mut observer = InterferenceObserver::for_predictor(predictor);
+    let mut core = ReplayCore::new(predictor, crate::Simulator::new());
+    core.replay_observed(trace, &mut observer);
+    observer.stats()
 }
 
 #[cfg(test)]
@@ -222,6 +257,18 @@ mod tests {
             stats.clean_incorrect + stats.conflict_incorrect,
             result.mispredictions
         );
+    }
+
+    #[test]
+    fn observer_baselines_on_prior_conflicts() {
+        // Classifying twice with the same predictor must not let the
+        // first run's conflicts bleed into the second classification.
+        let trace = opposed_pair(100);
+        let mut p = AddressIndexed::new(0);
+        let first = classify(&mut p, &trace);
+        let second = classify(&mut p, &trace);
+        assert_eq!(first.total(), second.total());
+        assert!(second.conflict_correct + second.conflict_incorrect > 0);
     }
 
     #[test]

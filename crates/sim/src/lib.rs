@@ -3,6 +3,17 @@
 //! the experiment drivers that regenerate every table and figure of
 //! Sechrest, Lee & Mudge (ISCA 1996).
 //!
+//! # Replay core & observers
+//!
+//! Every replay in this crate — [`Simulator::run`], the batched sweep
+//! lanes, [`ProfiledRun`], [`interference::classify`] — is one
+//! [`ReplayCore`] pass: predict, score after warmup, update, note
+//! non-conditional control transfers. Measurement concerns that used
+//! to be separate hand-rolled loops are [`Observer`]s attached to that
+//! single feed path; observers see the predictor only through a shared
+//! borrow, so attaching any combination of them cannot change results
+//! (enforced by `tests/observers.rs` at the workspace root).
+//!
 //! # Batched replay
 //!
 //! Sweeps route through the batched single-pass engine
@@ -55,6 +66,7 @@ pub mod experiments;
 pub mod interference;
 mod profiled;
 pub mod ranking;
+mod replay;
 mod replicate;
 pub mod report;
 mod surface;
@@ -64,8 +76,9 @@ pub use batch::{run_batched, run_batched_default, DEFAULT_SHARD_SIZE};
 pub use cache::{run_configs_keyed, CellKey, ResultCache, ENGINE_VERSION};
 pub use cost::CpiModel;
 pub use engine::{SimResult, Simulator};
-pub use interference::InterferenceStats;
-pub use profiled::{BranchOutcomeCounts, ProfiledRun};
+pub use interference::{InterferenceObserver, InterferenceStats};
+pub use profiled::{BranchOutcomeCounts, BranchProfiler, ProfiledRun};
+pub use replay::{Observer, ReplayCore};
 pub use replicate::{replicate, Replication};
 pub use report::TextTable;
 pub use surface::{Surface, SurfacePoint, Tier};

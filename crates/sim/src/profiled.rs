@@ -3,18 +3,20 @@
 //! The paper's methodology argument (§1) is that designs should follow
 //! from *aggregate* behaviour of large programs, not from individual
 //! constructs — but checking that requires seeing the per-branch
-//! breakdown. [`ProfiledRun`] replays a trace like
-//! [`Simulator::run`](crate::Simulator::run) while attributing every
-//! misprediction to its static branch, exposing the concentration of
-//! error mass the paper reasons about.
+//! breakdown. [`BranchProfiler`] is an [`Observer`] that attributes
+//! every scored prediction to its static branch; [`ProfiledRun`]
+//! attaches it to one [`ReplayCore`](crate::ReplayCore) pass and pairs
+//! the attribution with the aggregate result, exposing the
+//! concentration of error mass the paper reasons about.
 
 use std::collections::HashMap;
 
 use bpred_core::BranchPredictor;
-use bpred_trace::Trace;
+use bpred_trace::{BranchRecord, Outcome, Trace};
 
+use crate::replay::{Observer, ReplayCore};
 use crate::report::{percent, TextTable};
-use crate::SimResult;
+use crate::{SimResult, Simulator};
 
 /// Per-static-branch outcome of a profiled simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +34,47 @@ impl BranchOutcomeCounts {
             0.0
         } else {
             self.mispredictions as f64 / self.executions as f64
+        }
+    }
+}
+
+/// An [`Observer`] attributing every scored prediction to its static
+/// branch address.
+///
+/// Warmup-excluded records are skipped, so the profiler's totals
+/// always sum exactly to the core's aggregate [`SimResult`].
+#[derive(Debug, Clone, Default)]
+pub struct BranchProfiler {
+    per_branch: HashMap<u64, BranchOutcomeCounts>,
+}
+
+impl BranchProfiler {
+    /// An empty profiler, ready to attach to a replay.
+    pub fn new() -> Self {
+        BranchProfiler::default()
+    }
+
+    /// The per-branch counts accumulated so far.
+    pub fn counts(&self) -> &HashMap<u64, BranchOutcomeCounts> {
+        &self.per_branch
+    }
+}
+
+impl Observer for BranchProfiler {
+    fn on_conditional(
+        &mut self,
+        record: &BranchRecord,
+        predicted: Outcome,
+        scored: bool,
+        _predictor: &dyn BranchPredictor,
+    ) {
+        if !scored {
+            return;
+        }
+        let entry = self.per_branch.entry(record.pc).or_default();
+        entry.executions += 1;
+        if predicted != record.outcome {
+            entry.mispredictions += 1;
         }
     }
 }
@@ -63,47 +106,25 @@ impl ProfiledRun {
     /// assert_eq!(worst[0].0, 0x40);
     /// ```
     pub fn run<P: BranchPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> ProfiledRun {
-        let mut per_branch: HashMap<u64, BranchOutcomeCounts> = HashMap::new();
-        let mut mispredictions = 0u64;
-        let mut conditionals = 0u64;
-        let alias_before = predictor.alias_stats().unwrap_or_default();
-        let bht_before = predictor.bht_stats().unwrap_or_default();
+        ProfiledRun::run_with(predictor, trace, Simulator::new())
+    }
 
-        for record in trace.iter() {
-            if !record.is_conditional() {
-                predictor.note_control_transfer(record);
-                continue;
-            }
-            let predicted = predictor.predict(record.pc, record.target);
-            predictor.update(record.pc, record.target, record.outcome);
-            conditionals += 1;
-            let entry = per_branch.entry(record.pc).or_default();
-            entry.executions += 1;
-            if predicted != record.outcome {
-                entry.mispredictions += 1;
-                mispredictions += 1;
-            }
-        }
-
-        let alias = predictor.alias_stats().map(|after| bpred_core::AliasStats {
-            accesses: after.accesses - alias_before.accesses,
-            conflicts: after.conflicts - alias_before.conflicts,
-            harmless_conflicts: after.harmless_conflicts - alias_before.harmless_conflicts,
-        });
-        let bht = predictor.bht_stats().map(|after| bpred_core::BhtStats {
-            accesses: after.accesses - bht_before.accesses,
-            misses: after.misses - bht_before.misses,
-        });
+    /// [`run`](Self::run) under an explicit scoring policy: one
+    /// [`ReplayCore`] pass with a [`BranchProfiler`] attached.
+    /// Warmup-excluded branches train the predictor but appear in
+    /// neither the aggregate nor the attribution, so the per-branch
+    /// totals always sum to the aggregate exactly.
+    pub fn run_with<P: BranchPredictor + ?Sized>(
+        predictor: &mut P,
+        trace: &Trace,
+        simulator: Simulator,
+    ) -> ProfiledRun {
+        let mut profiler = BranchProfiler::new();
+        let mut core = ReplayCore::new(predictor, simulator);
+        core.replay_observed(trace, &mut profiler);
         ProfiledRun {
-            result: SimResult {
-                predictor: predictor.name(),
-                state_bits: predictor.state_bits(),
-                conditionals,
-                mispredictions,
-                alias,
-                bht,
-            },
-            per_branch,
+            result: core.finish(),
+            per_branch: profiler.per_branch,
         }
     }
 

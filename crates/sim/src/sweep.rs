@@ -14,17 +14,8 @@ use std::sync::Mutex;
 use bpred_core::PredictorConfig;
 use bpred_trace::{Trace, TraceSource};
 
-use crate::batch::{run_batched, DEFAULT_SHARD_SIZE};
-use crate::{SimResult, Simulator};
-
-/// Number of worker threads used by [`run_configs_per_config`]: the
-/// available parallelism, capped by the number of jobs.
-fn worker_count(jobs: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    cores.min(jobs).max(1)
-}
+use crate::batch::{lock_ignoring_poison, run_batched, worker_count, DEFAULT_SHARD_SIZE};
+use crate::{ReplayCore, SimResult, Simulator};
 
 /// Simulates every configuration against `source` in parallel,
 /// returning results in the same order as `configs`.
@@ -87,24 +78,26 @@ pub fn run_configs_per_config(
                 }
                 let mut predictor = configs[index].build();
                 let result = simulator.run(&mut predictor, trace);
-                results.lock().expect("sweep worker panicked")[index] = Some(result);
+                lock_ignoring_poison(&results)[index] = Some(result);
             });
         }
     });
 
     results
         .into_inner()
-        .expect("sweep worker panicked")
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
         .into_iter()
         .map(|r| r.expect("every configuration simulated"))
         .collect()
 }
 
 /// Simulates one configuration (convenience wrapper matching
-/// [`run_configs`] semantics for a single point).
+/// [`run_configs`] semantics for a single point), replayed through the
+/// configuration's enum-dispatched kernel.
 pub fn run_config(config: PredictorConfig, trace: &Trace, simulator: Simulator) -> SimResult {
-    let mut predictor = config.build();
-    simulator.run(&mut predictor, trace)
+    let mut core = ReplayCore::from_config(&config, simulator);
+    core.replay_dispatched(trace);
+    core.finish()
 }
 
 #[cfg(test)]
