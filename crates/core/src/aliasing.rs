@@ -48,13 +48,11 @@ impl AliasStats {
     /// when the row was selected by an all-ones history pattern.
     #[inline]
     pub fn record_access(&mut self, conflict: bool, all_taken_pattern: bool) {
+        // Branch-free: this sits on the per-record replay path, where a
+        // data-dependent branch per access costs more than two adds.
         self.accesses += 1;
-        if conflict {
-            self.conflicts += 1;
-            if all_taken_pattern {
-                self.harmless_conflicts += 1;
-            }
-        }
+        self.conflicts += conflict as u64;
+        self.harmless_conflicts += (conflict & all_taken_pattern) as u64;
     }
 
     /// Fraction of accesses that conflicted (the paper's "aliasing

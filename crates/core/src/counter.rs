@@ -80,38 +80,44 @@ impl fmt::Display for CounterState {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TwoBitCounter {
-    state: CounterState,
+    bits: u8,
+}
+
+/// The saturating two-bit transition, branch-free: `bits` moves one
+/// step toward the outcome and clamps at the strong states. Shared by
+/// [`TwoBitCounter`] and the packed-cell
+/// [`CounterTable`](crate::CounterTable) hot path, which stores raw
+/// counter bits instead of a state enum.
+#[inline]
+pub(crate) fn next_counter_bits(bits: u8, outcome: Outcome) -> u8 {
+    let step = (outcome.is_taken() as i8) * 2 - 1;
+    (bits as i8 + step).clamp(0, 3) as u8
 }
 
 impl TwoBitCounter {
     /// Creates a counter in the given initial state.
     #[inline]
     pub fn new(state: CounterState) -> Self {
-        TwoBitCounter { state }
+        TwoBitCounter { bits: state.bits() }
     }
 
     /// The current state.
     #[inline]
     pub fn state(self) -> CounterState {
-        self.state
+        CounterState::from_bits(self.bits).expect("two-bit value")
     }
 
     /// The direction this counter currently predicts.
     #[inline]
     pub fn predict(self) -> Outcome {
-        Outcome::from(self.state.bits() >= 2)
+        Outcome::from(self.bits >= 2)
     }
 
     /// Advances the state machine with an observed outcome, saturating
     /// at the strong states.
     #[inline]
     pub fn train(&mut self, outcome: Outcome) {
-        let bits = self.state.bits();
-        let next = match outcome {
-            Outcome::Taken => (bits + 1).min(3),
-            Outcome::NotTaken => bits.saturating_sub(1),
-        };
-        self.state = CounterState::from_bits(next).expect("two-bit value");
+        self.bits = next_counter_bits(self.bits, outcome);
     }
 }
 

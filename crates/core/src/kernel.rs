@@ -132,6 +132,14 @@ impl PredictorKernel {
         dispatch!(self, p => p.update(pc, target, outcome))
     }
 
+    /// Fused predict-and-train (see
+    /// [`BranchPredictor::predict_then_update`]) — one variant match
+    /// instead of two, and the concrete scheme's own fused path inside.
+    #[inline]
+    pub fn predict_then_update(&mut self, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        dispatch!(self, p => p.predict_then_update(pc, target, outcome))
+    }
+
     /// Reports a non-conditional control transfer (see
     /// [`BranchPredictor::note_control_transfer`]).
     #[inline]
@@ -234,6 +242,11 @@ impl BranchPredictor for PredictorKernel {
     #[inline]
     fn update(&mut self, pc: u64, target: u64, outcome: Outcome) {
         PredictorKernel::update(self, pc, target, outcome)
+    }
+
+    #[inline]
+    fn predict_then_update(&mut self, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        PredictorKernel::predict_then_update(self, pc, target, outcome)
     }
 
     #[inline]

@@ -59,6 +59,24 @@ pub trait BranchPredictor {
     /// `target`.
     fn update(&mut self, pc: u64, target: u64, outcome: Outcome);
 
+    /// Predicts and immediately trains with the already-resolved
+    /// outcome — the trace-replay fast path, where the outcome is
+    /// known the moment the prediction is made.
+    ///
+    /// Must behave exactly like [`predict`](BranchPredictor::predict)
+    /// followed by [`update`](BranchPredictor::update) with the same
+    /// arguments; the default does precisely that. Table-based schemes
+    /// override it to fuse the two second-level walks into one cell
+    /// read-modify-write. Equivalence is enforced by the workspace
+    /// observer tests, which replay the same trace through the fused
+    /// and unfused paths and require identical results.
+    #[inline]
+    fn predict_then_update(&mut self, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        let predicted = self.predict(pc, target);
+        self.update(pc, target, outcome);
+        predicted
+    }
+
     /// Informs the predictor of a non-conditional control transfer
     /// (jump, call, return, indirect). Path-based schemes fold the
     /// target address into their path register; the default
@@ -99,6 +117,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
         (**self).update(pc, target, outcome)
     }
 
+    fn predict_then_update(&mut self, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        (**self).predict_then_update(pc, target, outcome)
+    }
+
     fn note_control_transfer(&mut self, record: &BranchRecord) {
         (**self).note_control_transfer(record)
     }
@@ -127,6 +149,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
 
     fn update(&mut self, pc: u64, target: u64, outcome: Outcome) {
         (**self).update(pc, target, outcome)
+    }
+
+    fn predict_then_update(&mut self, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        (**self).predict_then_update(pc, target, outcome)
     }
 
     fn note_control_transfer(&mut self, record: &BranchRecord) {

@@ -1,6 +1,12 @@
 use bpred_trace::Outcome;
 
+use crate::counter::next_counter_bits;
 use crate::{AliasStats, CounterState, TableGeometry, TwoBitCounter};
+
+/// Owner tag for a counter no branch has touched yet. Real branch
+/// addresses never have all of their low 62 bits set (that would be an
+/// instruction in the last word of the address space).
+const EMPTY_OWNER: u64 = (1 << 62) - 1;
 
 /// The second-level table shared by every "A" scheme: a
 /// [`TableGeometry`]-shaped array of [`TwoBitCounter`]s with built-in
@@ -27,10 +33,12 @@ use crate::{AliasStats, CounterState, TableGeometry, TwoBitCounter};
 #[derive(Debug, Clone)]
 pub struct CounterTable {
     geometry: TableGeometry,
-    counters: Vec<TwoBitCounter>,
-    /// Branch address that last accessed each counter; `u64::MAX` marks
-    /// an untouched counter (no real PC is all-ones).
-    last_pc: Vec<u64>,
+    /// One word per counter: the low 62 bits of the branch address that
+    /// last accessed it (the conflict-detection tag; [`EMPTY_OWNER`]
+    /// marks an untouched counter) packed above the two counter bits.
+    /// One cache line per access instead of two parallel arrays — this
+    /// is the single hottest load/store pair in the replay loop.
+    cells: Vec<u64>,
     stats: AliasStats,
 }
 
@@ -47,10 +55,18 @@ impl CounterTable {
         let n = geometry.counters() as usize;
         CounterTable {
             geometry,
-            counters: vec![TwoBitCounter::new(initial); n],
-            last_pc: vec![u64::MAX; n],
+            cells: vec![(EMPTY_OWNER << 2) | initial.bits() as u64; n],
             stats: AliasStats::default(),
         }
+    }
+
+    /// The cell index for `(row, col)`. Masking by `len - 1` (sizes are
+    /// powers of two) is a no-op — the geometry index is already in
+    /// range — but lets the compiler drop the bounds check in the
+    /// replay hot loop.
+    #[inline]
+    fn cell_index(&self, row: u64, col: u64) -> usize {
+        self.geometry.index(row, col) & (self.cells.len() - 1)
     }
 
     /// The table shape.
@@ -80,14 +96,39 @@ impl CounterTable {
     /// may pass raw registers and word addresses.
     #[inline]
     pub fn access(&mut self, row: u64, col: u64, pc: u64, all_taken_pattern: bool) -> Outcome {
-        let idx = self.geometry.index(row, col);
-        let conflict = {
-            let prev = self.last_pc[idx];
-            prev != u64::MAX && prev != pc
-        };
+        let idx = self.cell_index(row, col);
+        let cell = self.cells[idx];
+        let owner = cell >> 2;
+        let tag = pc & EMPTY_OWNER;
+        let conflict = (owner != EMPTY_OWNER) & (owner != tag);
         self.stats.record_access(conflict, all_taken_pattern);
-        self.last_pc[idx] = pc;
-        self.counters[idx].predict()
+        self.cells[idx] = (tag << 2) | (cell & 0b11);
+        Outcome::from(cell & 0b11 >= 2)
+    }
+
+    /// Fused [`access`](CounterTable::access) followed by
+    /// [`train`](CounterTable::train) on the same cell: one index
+    /// computation and one cell read-modify-write instead of two of
+    /// each. Observable behaviour is identical to the unfused pair —
+    /// the prediction returned is the counter state *before* training.
+    #[inline]
+    pub fn access_train(
+        &mut self,
+        row: u64,
+        col: u64,
+        pc: u64,
+        all_taken_pattern: bool,
+        outcome: Outcome,
+    ) -> Outcome {
+        let idx = self.cell_index(row, col);
+        let cell = self.cells[idx];
+        let owner = cell >> 2;
+        let tag = pc & EMPTY_OWNER;
+        let conflict = (owner != EMPTY_OWNER) & (owner != tag);
+        self.stats.record_access(conflict, all_taken_pattern);
+        let bits = (cell & 0b11) as u8;
+        self.cells[idx] = (tag << 2) | next_counter_bits(bits, outcome) as u64;
+        Outcome::from(bits >= 2)
     }
 
     /// Reads the prediction without touching instrumentation — for
@@ -96,20 +137,23 @@ impl CounterTable {
     /// predictor).
     #[inline]
     pub fn peek(&self, row: u64, col: u64) -> Outcome {
-        self.counters[self.geometry.index(row, col)].predict()
+        Outcome::from(self.cells[self.cell_index(row, col)] & 0b11 >= 2)
     }
 
     /// Trains the counter at `(row, col)` with the resolved outcome.
     #[inline]
     pub fn train(&mut self, row: u64, col: u64, outcome: Outcome) {
-        let idx = self.geometry.index(row, col);
-        self.counters[idx].train(outcome);
+        let idx = self.cell_index(row, col);
+        let cell = self.cells[idx];
+        let next = next_counter_bits((cell & 0b11) as u8, outcome);
+        self.cells[idx] = (cell & !0b11) | next as u64;
     }
 
     /// The state of the counter at `(row, col)` — exposed for tests and
     /// table-dump tooling.
     pub fn counter_state(&self, row: u64, col: u64) -> CounterState {
-        self.counters[self.geometry.index(row, col)].state()
+        let bits = (self.cells[self.cell_index(row, col)] & 0b11) as u8;
+        CounterState::from_bits(bits).expect("two-bit value")
     }
 }
 

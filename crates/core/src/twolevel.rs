@@ -187,6 +187,23 @@ impl<S: RowSelector> BranchPredictor for TwoLevel<S> {
         self.selector.train(pc, target, outcome, geometry);
     }
 
+    fn predict_then_update(&mut self, pc: u64, target: u64, outcome: Outcome) -> Outcome {
+        // Fused fast path: one second-level cell read-modify-write
+        // instead of separate access and train walks. Leaves `pending`
+        // exactly as the unfused pair would (consumed); in a fused
+        // replay loop it is always already empty, so skip the store.
+        if self.pending.is_some() {
+            self.pending = None;
+        }
+        let geometry = self.table.geometry();
+        let sel = self.selector.select(pc, geometry);
+        let predicted =
+            self.table
+                .access_train(sel.row, pc >> 2, pc, sel.all_taken_pattern, outcome);
+        self.selector.train(pc, target, outcome, geometry);
+        predicted
+    }
+
     fn note_control_transfer(&mut self, record: &BranchRecord) {
         self.selector.note_control_transfer(record);
     }

@@ -131,6 +131,17 @@ impl Metrics {
             let _ = writeln!(out, "{name} {value}");
         }
 
+        // Engine-side counter: lane-records replayed through the
+        // chunked sweep pipeline, process-wide (so it covers every
+        // batch this service has run).
+        let replayed = bpred_sim::records_replayed_total();
+        let _ = writeln!(
+            out,
+            "# HELP bpred_records_replayed_total Lane-records replayed through the chunked sweep pipeline"
+        );
+        let _ = writeln!(out, "# TYPE bpred_records_replayed_total counter");
+        let _ = writeln!(out, "bpred_records_replayed_total {replayed}");
+
         let inflight = self.inflight_batches.load(Ordering::Relaxed);
         let _ = writeln!(
             out,
@@ -189,6 +200,30 @@ mod tests {
         assert!(text.contains("bpred_batch_seconds_bucket{le=\"0.01\"} 1"));
         assert!(text.contains("bpred_batch_seconds_bucket{le=\"1\"} 2"));
         assert!(text.contains("bpred_batch_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("# TYPE bpred_records_replayed_total counter"));
+    }
+
+    #[test]
+    fn replayed_records_series_tracks_the_engine_counter() {
+        use bpred_core::PredictorConfig;
+        use bpred_sim::{run_batched_default, Simulator};
+        use bpred_trace::{BranchRecord, Outcome, Trace};
+
+        let m = Metrics::new();
+        let trace: Trace = (0..200)
+            .map(|i| BranchRecord::conditional(0x40 + 4 * (i % 8), 0x20, Outcome::from(i % 3 == 0)))
+            .collect();
+        let before = bpred_sim::records_replayed_total();
+        run_batched_default(&[PredictorConfig::AlwaysTaken], &trace, Simulator::new());
+        assert!(bpred_sim::records_replayed_total() >= before + 200);
+        let value: u64 = m
+            .render_prometheus()
+            .lines()
+            .find_map(|l| l.strip_prefix("bpred_records_replayed_total "))
+            .expect("series present")
+            .parse()
+            .expect("numeric value");
+        assert!(value >= before + 200);
     }
 
     #[test]

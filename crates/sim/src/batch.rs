@@ -1,47 +1,54 @@
-//! Single-pass batched replay: N lanes × one shared stream.
+//! Single-pass batched replay: N lanes × one shared chunk stream.
 //!
 //! The per-configuration sweep ([`run_config`](crate::run_config) in a
 //! loop) replays the whole trace once *per predictor*: a 32-point
 //! sweep over a 120k-branch trace walks 3.8M records. The batched
-//! engine instead drives a *shard* of predictors through one streaming
-//! pass — each record is fed to every lane in the shard before the
-//! stream advances — so the trace is walked once per shard, the record
-//! stays hot in cache while every predictor consumes it, and a
-//! streaming [`TraceSource`] (e.g. a workload generator) never needs
-//! to be materialised at all.
+//! engine goes further than sharing a stream per shard: the trace is
+//! generated (or decoded) into structure-of-arrays
+//! [`TraceChunk`]s **exactly once per sweep**, and every lane replays
+//! that one chunk sequence. Chunk production either runs inline ahead
+//! of the lanes (single worker) or on a dedicated producer thread that
+//! publishes into a bounded ref-counted ring shared by all shard
+//! workers (see [`crate::ring`]), overlapping generation with replay.
 //!
 //! Each lane is a [`ReplayCore`] over the configuration's
 //! enum-dispatched [`PredictorKernel`](bpred_core::PredictorKernel),
-//! so the inner loop pays one match per call instead of two virtual
-//! calls per record. Because lanes are independent and the core is the
-//! single feed path, a batched run is *bit-identical* to running each
+//! and the chunk feed hoists that enum match to once per lane×chunk,
+//! so the inner record loop is fully monomorphized. Because lanes are
+//! independent and [`ReplayCore::feed_observed`] is the single feed
+//! path, a batched run is *bit-identical* to running each
 //! configuration alone through [`Simulator::run`], which
 //! `tests/determinism.rs` at the workspace root enforces for every
 //! configuration variant.
 //!
 //! # Shard size
 //!
-//! A shard trades stream-replay cost against cache footprint: too
-//! small and the source is replayed many times; too large and the
-//! shard's combined predictor state thrashes the cache that batching
-//! was meant to exploit. [`DEFAULT_SHARD_SIZE`] (8) is a good default
-//! for the paper's predictor sizes (≤ 64 KiB of counters each); use
-//! smaller shards for very large predictors, larger ones for cheap
-//! static schemes where stream generation dominates.
+//! A shard groups the lanes a worker advances consecutively through
+//! each chunk: too large and the shard's combined predictor state
+//! thrashes the cache the chunk was meant to stay hot in.
+//! [`DEFAULT_SHARD_SIZE`] (8) is a good default for the paper's
+//! predictor sizes (≤ 64 KiB of counters each); use smaller shards
+//! for very large predictors. Shard count also bounds worker
+//! parallelism, and in the retained per-shard engine
+//! ([`run_batched_per_shard`]) it still sets how often the source is
+//! re-streamed.
 //!
 //! # Thread count
 //!
 //! Shards are distributed over `min(available parallelism, shards)`
-//! worker threads. Set `BPRED_THREADS` to pin the worker count
-//! (clamped to at least 1) for reproducible CI and benchmark runs;
-//! thread count never changes results, only wall-clock time.
+//! workers. Set `BPRED_THREADS` to pin the worker count (clamped to
+//! at least 1) for reproducible CI and benchmark runs; values that do
+//! not parse as a decimal count are rejected with a one-time warning
+//! on stderr. Thread count never changes results, only wall-clock
+//! time.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 
 use bpred_core::{PredictorConfig, PredictorKernel};
-use bpred_trace::TraceSource;
+use bpred_trace::{TraceChunk, TraceSource};
 
+use crate::ring::{ChunkRing, DetachGuard, FinishGuard, RING_CAPACITY};
 use crate::{ReplayCore, SimResult, Simulator};
 
 /// Predictors replayed together per shard by [`run_batched_default`]
@@ -52,20 +59,50 @@ pub const DEFAULT_SHARD_SIZE: usize = 8;
 /// enum-dispatched kernel.
 type Lane = ReplayCore<PredictorKernel>;
 
+/// Records replayed through the chunked pipeline, process-wide.
+static RECORDS_REPLAYED: AtomicU64 = AtomicU64::new(0);
+
+/// Warns at most once per process about an unparsable `BPRED_THREADS`.
+static BPRED_THREADS_WARNING: Once = Once::new();
+
+/// Total lane-records replayed through the chunked sweep pipeline
+/// since process start (each record counts once per lane that
+/// consumed it). Monotonic; backs the `bpred_records_replayed_total`
+/// counter exported by `bpred-serve`'s `/metrics` endpoint.
+pub fn records_replayed_total() -> u64 {
+    RECORDS_REPLAYED.load(Ordering::Relaxed)
+}
+
 /// Number of worker threads: the `BPRED_THREADS` environment override
 /// (clamped ≥ 1) when set and numeric, otherwise the available
-/// parallelism; always capped by the number of jobs.
+/// parallelism; always capped by the number of jobs. A set-but-invalid
+/// override (e.g. `"0x8"` or an empty string) falls back to available
+/// parallelism and reports the rejected value once on stderr instead
+/// of silently ignoring it.
 pub(crate) fn worker_count(jobs: usize) -> usize {
-    let cores = std::env::var("BPRED_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    let cores = match std::env::var("BPRED_THREADS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                BPRED_THREADS_WARNING.call_once(|| {
+                    eprintln!(
+                        "bpred-sim: ignoring invalid BPRED_THREADS value {raw:?} \
+                         (expected a decimal thread count); \
+                         using available parallelism"
+                    );
+                });
+                available_parallelism_or_one()
+            }
+        },
+        Err(_) => available_parallelism_or_one(),
+    };
     cores.min(jobs).max(1)
+}
+
+fn available_parallelism_or_one() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Locks `mutex` even when another worker's panic poisoned it: every
@@ -79,24 +116,15 @@ pub(crate) fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Simulates every configuration against `source` in shards of
-/// `shard_size` predictors, each shard advancing through one streaming
-/// pass over the records. Results come back in `configs` order and are
-/// bit-identical to running [`Simulator::run`] per configuration.
+/// Simulates every configuration against `source` through the chunked
+/// decode-once pipeline with [`TraceChunk::DEFAULT_LEN`]-record
+/// chunks. Results come back in `configs` order and are bit-identical
+/// to running [`Simulator::run`] per configuration.
 ///
-/// Shards are distributed over worker threads; every shard opens its
-/// own stream, so the source must replay the same sequence on every
-/// [`TraceSource::stream`] call (all sources in this workspace do).
-///
-/// # Shard size
-///
-/// `shard_size` trades stream-replay cost against cache footprint:
-/// too small and the source is replayed (or regenerated) many times;
-/// too large and the shard's combined predictor state falls out of
-/// cache, defeating the point of sharing each record. The paper's
-/// predictor sizes fit comfortably at [`DEFAULT_SHARD_SIZE`] (8);
-/// shrink it for very large predictors, grow it for cheap static
-/// schemes over an expensive generated source.
+/// The source is generated/decoded into structure-of-arrays chunks
+/// exactly once; every lane replays that one chunk sequence (see
+/// [`run_batched_chunked`] for the pipeline and the role of
+/// `shard_size`).
 ///
 /// # Panics
 ///
@@ -120,6 +148,201 @@ pub(crate) fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard
 /// assert_eq!(results[0].conditionals, 300);
 /// ```
 pub fn run_batched<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+    shard_size: usize,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    run_batched_chunked(
+        configs,
+        source,
+        simulator,
+        shard_size,
+        TraceChunk::DEFAULT_LEN,
+    )
+}
+
+/// [`run_batched`] with [`DEFAULT_SHARD_SIZE`].
+pub fn run_batched_default<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    run_batched(configs, source, simulator, DEFAULT_SHARD_SIZE)
+}
+
+/// The chunked pipeline with an explicit chunk length: the source is
+/// decoded into [`TraceChunk`]s of up to `chunk_len` records exactly
+/// once, and every configuration's lane replays that one sequence.
+///
+/// With a single worker the chunks are produced inline, immediately
+/// ahead of the lanes that consume them. With more, a dedicated
+/// producer thread publishes chunks into a bounded ref-counted ring
+/// and each worker replays them through the shards it owns (static
+/// round-robin), so chunk production overlaps with replay and is
+/// backpressured by the slowest worker. Either way production happens
+/// once per sweep — not once per shard — and results are bit-identical
+/// to [`Simulator::run`] per configuration.
+///
+/// `chunk_len` trades ring memory against synchronisation frequency;
+/// [`TraceChunk::DEFAULT_LEN`] suits everything in this workspace.
+/// `shard_size` groups the lanes a worker advances consecutively
+/// through each chunk (see the [module docs](self)).
+///
+/// # Panics
+///
+/// Panics if `shard_size` or `chunk_len` is zero.
+pub fn run_batched_chunked<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+    shard_size: usize,
+    chunk_len: usize,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    assert!(shard_size > 0, "shard size must be positive");
+    assert!(chunk_len > 0, "chunk length must be positive");
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let shard_count = configs.len().div_ceil(shard_size);
+    let consumers = worker_count(shard_count);
+    if consumers == 1 {
+        run_chunked_inline(configs, source, simulator, chunk_len)
+    } else {
+        run_chunked_pipelined(configs, source, simulator, shard_size, chunk_len, consumers)
+    }
+}
+
+/// Single-worker chunk path: no threads, no ring — produce each chunk
+/// and advance every lane through it before the next one exists.
+fn run_chunked_inline<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+    chunk_len: usize,
+) -> Vec<SimResult>
+where
+    S: TraceSource + ?Sized,
+{
+    let mut lanes: Vec<Lane> = configs
+        .iter()
+        .map(|config| ReplayCore::from_config(config, simulator))
+        .collect();
+    // One generator pass through a single reused buffer: with no other
+    // worker to share with, the whole replay runs out of one chunk's
+    // worth of memory.
+    let mut feeder = source.chunk_feeder();
+    let mut chunk = TraceChunk::with_capacity(chunk_len);
+    while feeder.refill(&mut chunk, chunk_len) > 0 {
+        RECORDS_REPLAYED.fetch_add((chunk.len() * lanes.len()) as u64, Ordering::Relaxed);
+        for lane in &mut lanes {
+            lane.replay_chunk_dispatched(&chunk);
+        }
+    }
+    lanes.into_iter().map(|lane| lane.finish()).collect()
+}
+
+/// Multi-worker chunk path: one producer thread fills a bounded
+/// [`ChunkRing`]; `consumers` workers replay the shared sequence
+/// through the shards each statically owns (worker `c` owns shards
+/// `c, c + consumers, …`).
+fn run_chunked_pipelined<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+    shard_size: usize,
+    chunk_len: usize,
+    consumers: usize,
+) -> Vec<SimResult>
+where
+    S: TraceSource + Sync + ?Sized,
+{
+    let shard_count = configs.len().div_ceil(shard_size);
+    let ring = ChunkRing::new(RING_CAPACITY, consumers);
+    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; configs.len()]);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            // The guard finishes the stream even if the source's
+            // iterator panics mid-sweep.
+            let _finish = FinishGuard(&ring);
+            for chunk in source.chunks(chunk_len) {
+                if !ring.publish(chunk) {
+                    return; // every consumer is gone
+                }
+            }
+        });
+        for consumer in 0..consumers {
+            let ring = &ring;
+            let results = &results;
+            scope.spawn(move || {
+                let _detach = DetachGuard { ring, consumer };
+                let mut shards: Vec<(usize, Vec<Lane>)> = (consumer..shard_count)
+                    .step_by(consumers)
+                    .map(|shard| {
+                        let base = shard * shard_size;
+                        let shard_configs = &configs[base..(base + shard_size).min(configs.len())];
+                        let lanes = shard_configs
+                            .iter()
+                            .map(|config| ReplayCore::from_config(config, simulator))
+                            .collect();
+                        (base, lanes)
+                    })
+                    .collect();
+                if shards.is_empty() {
+                    return; // more workers than shards: nothing owned
+                }
+                let lane_count: usize = shards.iter().map(|(_, lanes)| lanes.len()).sum();
+                while let Some(chunk) = ring.next(consumer) {
+                    RECORDS_REPLAYED
+                        .fetch_add((chunk.len() * lane_count) as u64, Ordering::Relaxed);
+                    for (_, lanes) in &mut shards {
+                        for lane in lanes {
+                            lane.replay_chunk_dispatched(&chunk);
+                        }
+                    }
+                }
+                let mut results = lock_ignoring_poison(results);
+                for (base, lanes) in shards {
+                    for (offset, lane) in lanes.into_iter().enumerate() {
+                        results[base + offset] = Some(lane.finish());
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .into_iter()
+        .map(|r| r.expect("every configuration simulated"))
+        .collect()
+}
+
+/// The pre-pipeline batched engine, retained as a baseline: every
+/// shard opens its *own* streaming pass over the source, so a sweep
+/// re-generates the trace once per shard rather than once overall.
+/// Results are bit-identical to [`run_batched`]; the
+/// `sweep_throughput` bench in `bpred-bench` measures the difference.
+///
+/// Shards are distributed over worker threads by work-stealing; the
+/// source must replay the same sequence on every
+/// [`TraceSource::stream`] call (all sources in this workspace do).
+///
+/// # Panics
+///
+/// Panics if `shard_size` is zero.
+pub fn run_batched_per_shard<S>(
     configs: &[PredictorConfig],
     source: &S,
     simulator: Simulator,
@@ -168,18 +391,6 @@ where
         .into_iter()
         .map(|r| r.expect("every configuration simulated"))
         .collect()
-}
-
-/// [`run_batched`] with [`DEFAULT_SHARD_SIZE`].
-pub fn run_batched_default<S>(
-    configs: &[PredictorConfig],
-    source: &S,
-    simulator: Simulator,
-) -> Vec<SimResult>
-where
-    S: TraceSource + Sync + ?Sized,
-{
-    run_batched(configs, source, simulator, DEFAULT_SHARD_SIZE)
 }
 
 #[cfg(test)]
@@ -233,6 +444,42 @@ mod tests {
     }
 
     #[test]
+    fn chunked_matches_the_per_shard_engine_at_any_chunk_len() {
+        let t = trace(3_000);
+        let configs = mixed_configs();
+        let baseline = run_batched_per_shard(&configs, &t, Simulator::new(), 2);
+        for chunk_len in [1, 7, 2_999, 3_000, 3_001] {
+            let chunked = run_batched_chunked(&configs, &t, Simulator::new(), 2, chunk_len);
+            assert_eq!(baseline, chunked, "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_path_matches_inline() {
+        // The 1-core default would take the inline path, so drive the
+        // producer/consumer pipeline directly with explicit worker
+        // counts (including more workers than shards).
+        let t = trace(4_000);
+        let configs = mixed_configs();
+        let inline = run_chunked_inline(&configs, &t, Simulator::new(), 64);
+        for consumers in [2, 3, 7] {
+            let pipelined = run_chunked_pipelined(&configs, &t, Simulator::new(), 2, 64, consumers);
+            assert_eq!(inline, pipelined, "{consumers} consumers");
+        }
+    }
+
+    #[test]
+    fn pipelined_streaming_source_matches_materialised() {
+        use bpred_workloads::{suite, WorkloadSource};
+        let model = suite::espresso().scaled(3_000);
+        let source = WorkloadSource::new(model.clone(), 23);
+        let configs = mixed_configs();
+        let streamed = run_chunked_pipelined(&configs, &source, Simulator::new(), 2, 256, 2);
+        let materialised = run_batched_per_shard(&configs, &model.trace(23), Simulator::new(), 2);
+        assert_eq!(streamed, materialised);
+    }
+
+    #[test]
     fn results_preserve_config_order() {
         let configs: Vec<PredictorConfig> = (0..13)
             .map(|n| PredictorConfig::AddressIndexed { addr_bits: n })
@@ -264,6 +511,26 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "chunk length must be positive")]
+    fn zero_chunk_len_panics() {
+        let _ = run_batched_chunked(&mixed_configs(), &trace(10), Simulator::new(), 4, 0);
+    }
+
+    #[test]
+    fn replayed_records_counter_advances_by_lanes_times_records() {
+        let configs = mixed_configs();
+        let before = records_replayed_total();
+        let _ = run_batched(&configs, &trace(1_000), Simulator::new(), 2);
+        let grew = records_replayed_total() - before;
+        // Other tests may replay concurrently, so the counter can only
+        // be bounded from below by this run's contribution.
+        assert!(
+            grew >= (1_000 * configs.len()) as u64,
+            "counter grew by {grew}"
+        );
+    }
+
+    #[test]
     fn bpred_threads_pins_the_worker_count() {
         // Serialised via the env var itself: this test owns the name.
         std::env::set_var("BPRED_THREADS", "2");
@@ -272,7 +539,11 @@ mod tests {
         std::env::set_var("BPRED_THREADS", "0");
         assert_eq!(worker_count(8), 1); // clamped to at least one
         std::env::set_var("BPRED_THREADS", "not-a-number");
-        assert!(worker_count(8) >= 1); // garbage falls back to cores
+        assert!(worker_count(8) >= 1); // garbage falls back (with a warning)
+        std::env::set_var("BPRED_THREADS", "0x8");
+        assert!(worker_count(8) >= 1); // hex is rejected, not misread as 0 or 8
+        std::env::set_var("BPRED_THREADS", "");
+        assert!(worker_count(8) >= 1); // empty string likewise
         std::env::remove_var("BPRED_THREADS");
         assert!(worker_count(64) >= 1);
 

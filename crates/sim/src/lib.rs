@@ -16,19 +16,24 @@
 //!
 //! # Batched replay
 //!
-//! Sweeps route through the batched single-pass engine
-//! ([`run_batched`]): shards of [`DEFAULT_SHARD_SIZE`] predictors
-//! advance together through one streaming pass over any
+//! Sweeps route through the chunked decode-once engine
+//! ([`run_batched`]): any
 //! [`TraceSource`](bpred_trace::TraceSource) — a materialised
-//! [`Trace`](bpred_trace::Trace) or a workload generator — so a sweep
-//! walks the records once per shard instead of once per
-//! configuration, and generated traces never need materialising.
-//! Results are bit-identical to [`Simulator::run`] per configuration
-//! (enforced by `tests/determinism.rs` at the workspace root). Shard
-//! sizing: [`DEFAULT_SHARD_SIZE`] (8) fits the paper's predictor
-//! sizes; shrink it when a shard's combined predictor state would
-//! fall out of cache, grow it when stream generation dominates (see
-//! [`run_batched`] for the trade-off).
+//! [`Trace`](bpred_trace::Trace) or a workload generator — is
+//! generated/decoded into structure-of-arrays
+//! [`TraceChunk`](bpred_trace::TraceChunk)s **once per sweep**, and
+//! every configuration's lane replays that single chunk sequence.
+//! With one worker the chunks are produced inline; with more, a
+//! producer thread publishes them into a bounded ref-counted ring
+//! shared by all shard workers, overlapping trace production with
+//! replay. Results are bit-identical to [`Simulator::run`] per
+//! configuration (enforced by `tests/determinism.rs` at the
+//! workspace root). Shard sizing: [`DEFAULT_SHARD_SIZE`] (8) fits
+//! the paper's predictor sizes; shrink it when a shard's combined
+//! predictor state would fall out of cache. The pre-pipeline engine
+//! is retained as [`run_batched_per_shard`], and
+//! [`records_replayed_total`] exposes the pipeline's process-wide
+//! replay counter.
 //!
 //! # Running the test suite
 //!
@@ -69,10 +74,14 @@ pub mod ranking;
 mod replay;
 mod replicate;
 pub mod report;
+mod ring;
 mod surface;
 mod sweep;
 
-pub use batch::{run_batched, run_batched_default, DEFAULT_SHARD_SIZE};
+pub use batch::{
+    records_replayed_total, run_batched, run_batched_chunked, run_batched_default,
+    run_batched_per_shard, DEFAULT_SHARD_SIZE,
+};
 pub use cache::{run_configs_keyed, CellKey, ResultCache, ENGINE_VERSION};
 pub use cost::CpiModel;
 pub use engine::{SimResult, Simulator};

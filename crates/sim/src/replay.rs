@@ -25,8 +25,16 @@
 //! resolves the enum variant *once per stream* and runs the whole
 //! record loop monomorphized; legacy call sites instantiate the core
 //! with `&mut dyn BranchPredictor` (or any concrete scheme) and keep
-//! trait-object semantics. Either way the replayed bit-stream is
-//! identical — dispatch cost is the only difference.
+//! trait-object semantics. Records can arrive one at a time
+//! ([`feed`](ReplayCore::feed)), as a stream, or as
+//! structure-of-arrays [`TraceChunk`]s
+//! ([`feed_chunk`](ReplayCore::feed_chunk) /
+//! [`replay_chunks`](ReplayCore::replay_chunks) /
+//! [`replay_chunk_dispatched`](ReplayCore::replay_chunk_dispatched) —
+//! the chunked sweep pipeline's feed path, hoisted per chunk). Every
+//! shape reassembles the same record sequence through the same feed
+//! site, so the replayed bit-stream is identical — dispatch and
+//! memory-layout cost are the only differences.
 //!
 //! # Examples
 //!
@@ -64,10 +72,12 @@
 //! # let _ = core.finish();
 //! ```
 
+use std::borrow::Borrow;
+
 use bpred_core::{
     AliasStats, BhtStats, BranchPredictor, KernelVisitor, PredictorConfig, PredictorKernel,
 };
-use bpred_trace::{BranchRecord, Outcome, TraceSource};
+use bpred_trace::{BranchRecord, Outcome, TraceChunk, TraceSource};
 
 use crate::{SimResult, Simulator};
 
@@ -201,7 +211,7 @@ impl ReplayCore<PredictorKernel> {
     /// hoist and keep using [`feed`](ReplayCore::feed). The replayed
     /// bit-stream is identical either way.
     pub fn replay_dispatched<S: TraceSource + ?Sized>(&mut self, source: &S) {
-        self.replay_observed_dispatched(source, &mut ());
+        self.run_hoisted(FusedStreamJob { source });
     }
 
     /// [`replay_dispatched`](ReplayCore::replay_dispatched) with an
@@ -211,20 +221,53 @@ impl ReplayCore<PredictorKernel> {
         S: TraceSource + ?Sized,
         O: Observer,
     {
-        struct Hoisted<'a, S: ?Sized, O> {
+        self.run_hoisted(StreamJob { source, observer });
+    }
+
+    /// Replays a whole chunk sequence with the kernel's variant
+    /// resolved once for the entire run, iterating each chunk's
+    /// structure-of-arrays storage in the monomorphized inner loop.
+    ///
+    /// Accepts owned chunks, references, or `Arc`s (anything
+    /// [`Borrow<TraceChunk>`]), so both a [`TraceSource::chunks`] view
+    /// and the sweep pipeline's shared ring chunks replay through the
+    /// same path. Record semantics are identical to
+    /// [`replay`](ReplayCore::replay) over the concatenated records.
+    pub fn replay_chunks<I>(&mut self, chunks: I)
+    where
+        I: IntoIterator,
+        I::Item: Borrow<TraceChunk>,
+    {
+        self.run_hoisted(FusedChunksJob { chunks });
+    }
+
+    /// Feeds one chunk with the kernel's variant resolved once per
+    /// chunk — the batch workers' feed path, where lanes interleave at
+    /// chunk granularity so a whole-stream hoist is impossible but a
+    /// per-chunk hoist still amortises dispatch over thousands of
+    /// records.
+    #[inline]
+    pub fn replay_chunk_dispatched(&mut self, chunk: &TraceChunk) {
+        self.run_hoisted(FusedChunksJob {
+            chunks: std::iter::once(chunk),
+        });
+    }
+
+    /// Resolves the kernel's variant once and runs `job` against a
+    /// concrete-typed twin of this core, folding the bookkeeping (and
+    /// the trained predictor) back afterwards. Baselines stay the
+    /// outer core's: `finish` must report deltas from construction,
+    /// not from this call.
+    fn run_hoisted<J: ReplayJob>(&mut self, job: J) {
+        struct Hoisted<'a, J> {
             core: &'a mut ReplayCore<PredictorKernel>,
-            source: &'a S,
-            observer: &'a mut O,
+            job: J,
         }
 
-        impl<S: TraceSource + ?Sized, O: Observer> KernelVisitor for Hoisted<'_, S, O> {
+        impl<J: ReplayJob> KernelVisitor for Hoisted<'_, J> {
             type Output = ();
 
             fn visit<P: BranchPredictor>(self, predictor: P, rewrap: fn(P) -> PredictorKernel) {
-                // Continue the outer core's run on a concrete-typed
-                // twin, then fold the bookkeeping back. Baselines stay
-                // the outer core's: `finish` must report deltas from
-                // construction, not from this call.
                 let mut inner = ReplayCore {
                     predictor,
                     warmup: self.core.warmup,
@@ -234,9 +277,7 @@ impl ReplayCore<PredictorKernel> {
                     alias_before: self.core.alias_before,
                     bht_before: self.core.bht_before,
                 };
-                for record in self.source.stream() {
-                    inner.feed_observed(&record, &mut *self.observer);
-                }
+                self.job.run(&mut inner);
                 self.core.seen = inner.seen;
                 self.core.scored = inner.scored;
                 self.core.mispredictions = inner.mispredictions;
@@ -248,11 +289,63 @@ impl ReplayCore<PredictorKernel> {
             &mut self.predictor,
             PredictorKernel::AlwaysNotTaken(bpred_core::AlwaysNotTaken),
         );
-        kernel.visit(Hoisted {
-            core: self,
-            source,
-            observer,
-        });
+        kernel.visit(Hoisted { core: self, job });
+    }
+}
+
+/// A unit of replay work runnable against any concrete predictor
+/// type: the bridge between the kernel visitor (which monomorphizes
+/// per scheme) and the various feed shapes (record streams, chunk
+/// sequences).
+trait ReplayJob {
+    /// Feeds the job's records through `core`.
+    fn run<P: BranchPredictor>(self, core: &mut ReplayCore<P>);
+}
+
+/// Replays a full [`TraceSource`] stream with an observer.
+struct StreamJob<'a, S: ?Sized, O> {
+    source: &'a S,
+    observer: &'a mut O,
+}
+
+impl<S: TraceSource + ?Sized, O: Observer> ReplayJob for StreamJob<'_, S, O> {
+    fn run<P: BranchPredictor>(self, core: &mut ReplayCore<P>) {
+        for record in self.source.stream() {
+            core.feed_observed(&record, &mut *self.observer);
+        }
+    }
+}
+
+/// Replays a full [`TraceSource`] stream through the fused
+/// no-observer [`feed`](ReplayCore::feed).
+struct FusedStreamJob<'a, S: ?Sized> {
+    source: &'a S,
+}
+
+impl<S: TraceSource + ?Sized> ReplayJob for FusedStreamJob<'_, S> {
+    fn run<P: BranchPredictor>(self, core: &mut ReplayCore<P>) {
+        for record in self.source.stream() {
+            core.feed(&record);
+        }
+    }
+}
+
+/// Replays a chunk sequence through the fused no-observer
+/// [`feed_chunk`](ReplayCore::feed_chunk) — the sweep pipeline's
+/// inner loop.
+struct FusedChunksJob<I> {
+    chunks: I,
+}
+
+impl<I> ReplayJob for FusedChunksJob<I>
+where
+    I: IntoIterator,
+    I::Item: Borrow<TraceChunk>,
+{
+    fn run<P: BranchPredictor>(self, core: &mut ReplayCore<P>) {
+        for chunk in self.chunks {
+            core.feed_chunk(chunk.borrow());
+        }
     }
 }
 
@@ -278,9 +371,28 @@ impl<P: BranchPredictor> ReplayCore<P> {
 
     /// Feeds one record through the canonical path without
     /// instrumentation.
+    ///
+    /// With no observer to notify between predict and update, this
+    /// uses the predictor's fused
+    /// [`predict_then_update`](BranchPredictor::predict_then_update)
+    /// path (one table walk instead of two). The trait contract makes
+    /// the fused call exactly equivalent to the
+    /// [`feed_observed`](ReplayCore::feed_observed) sequence, and the
+    /// workspace observer tests replay both paths over the same traces
+    /// and require identical results.
     #[inline]
     pub fn feed(&mut self, record: &BranchRecord) {
-        self.feed_observed(record, &mut ());
+        if record.is_conditional() {
+            let scored = self.seen >= self.warmup;
+            let predicted =
+                self.predictor
+                    .predict_then_update(record.pc, record.target, record.outcome);
+            self.scored += scored as u64;
+            self.mispredictions += (scored & (predicted != record.outcome)) as u64;
+            self.seen += 1;
+        } else {
+            self.predictor.note_control_transfer(record);
+        }
     }
 
     /// Feeds one record through the canonical path: predict, score
@@ -291,12 +403,10 @@ impl<P: BranchPredictor> ReplayCore<P> {
         if record.is_conditional() {
             let predicted = self.predictor.predict(record.pc, record.target);
             let scored = self.seen >= self.warmup;
-            if scored {
-                self.scored += 1;
-                if predicted != record.outcome {
-                    self.mispredictions += 1;
-                }
-            }
+            // Branch-free scoring: a mispredict-dependent branch here
+            // would itself mispredict at roughly the rate being measured.
+            self.scored += scored as u64;
+            self.mispredictions += (scored & (predicted != record.outcome)) as u64;
             self.seen += 1;
             observer.on_conditional(record, predicted, scored, &self.predictor);
             self.predictor
@@ -304,6 +414,30 @@ impl<P: BranchPredictor> ReplayCore<P> {
         } else {
             self.predictor.note_control_transfer(record);
             observer.on_control_transfer(record, &self.predictor);
+        }
+    }
+
+    /// Feeds every record of `chunk` through the canonical path,
+    /// iterating the chunk's structure-of-arrays storage with a
+    /// concrete (monomorphized) iterator. Uses the fused no-observer
+    /// [`feed`](ReplayCore::feed) per record.
+    #[inline]
+    pub fn feed_chunk(&mut self, chunk: &TraceChunk) {
+        for record in chunk.iter() {
+            self.feed(&record);
+        }
+    }
+
+    /// [`feed_chunk`](ReplayCore::feed_chunk) with an observer
+    /// attached. Records are reassembled from the parallel arrays one
+    /// at a time and fed through
+    /// [`feed_observed`](ReplayCore::feed_observed) — the single
+    /// predict/update site — so chunked and record-at-a-time replays
+    /// are the same bit-stream by construction.
+    #[inline]
+    pub fn feed_chunk_observed<O: Observer>(&mut self, chunk: &TraceChunk, observer: &mut O) {
+        for record in chunk.iter() {
+            self.feed_observed(&record, observer);
         }
     }
 

@@ -1,0 +1,326 @@
+//! Bounded, ref-counted chunk ring for the sweep pipeline.
+//!
+//! A [`ChunkRing`] connects one *producer* (the thread generating or
+//! decoding the trace into [`TraceChunk`]s) to a fixed set of
+//! *consumers* (the shard workers), all of which replay the **same**
+//! chunk sequence in order. Chunks are published once, wrapped in an
+//! [`Arc`], and handed to every consumer — this is what makes a sweep
+//! pay for trace production exactly once regardless of how many
+//! predictor shards replay it.
+//!
+//! # Backpressure
+//!
+//! The ring holds a bounded window of chunks. The producer blocks in
+//! [`publish`](ChunkRing::publish) while the window is full, i.e.
+//! while the *slowest* consumer is still more than `capacity` chunks
+//! behind the head; a chunk leaves the window (dropping the ring's
+//! reference) as soon as every consumer has taken it. Memory in
+//! flight is therefore at most `capacity` chunks plus whatever `Arc`s
+//! consumers still hold, no matter how long the trace is.
+//!
+//! # Shutdown and panic safety
+//!
+//! The producer signals end-of-stream with [`finish`](ChunkRing::finish)
+//! (typically via a [`FinishGuard`], so a panicking producer still
+//! releases blocked consumers). A consumer that stops early — done or
+//! panicking — detaches with [`DetachGuard`], after which it no
+//! longer holds the window back; when every consumer has detached,
+//! [`publish`](ChunkRing::publish) returns `false` so the producer
+//! stops generating into the void. All of this keeps the enclosing
+//! `thread::scope` joinable, letting the *original* panic propagate
+//! instead of deadlocking the sweep.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use bpred_trace::TraceChunk;
+
+use crate::batch::lock_ignoring_poison;
+
+/// Chunks the producer may run ahead of the slowest consumer. Two
+/// would suffice for overlap; a few more absorb scheduling jitter
+/// while keeping at most ~1 MiB of default-size chunks in flight.
+pub(crate) const RING_CAPACITY: usize = 8;
+
+/// Position marking a detached consumer: never blocks the window.
+const DETACHED: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct RingState {
+    /// Sequence number of `window[0]`.
+    base: u64,
+    /// Published chunks not yet taken by every consumer.
+    window: VecDeque<Arc<TraceChunk>>,
+    /// Producer finished (or abandoned) the stream.
+    done: bool,
+    /// Per-consumer next sequence number ([`DETACHED`] when gone).
+    positions: Vec<u64>,
+}
+
+impl RingState {
+    /// Drops window chunks every live consumer has passed.
+    fn evict_consumed(&mut self) {
+        let horizon = self.positions.iter().copied().min().unwrap_or(DETACHED);
+        while self.base < horizon && !self.window.is_empty() {
+            self.window.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+/// The shared chunk sequence; see the [module docs](self).
+#[derive(Debug)]
+pub(crate) struct ChunkRing {
+    state: Mutex<RingState>,
+    /// Signalled when a chunk is published or the stream finishes.
+    produced: Condvar,
+    /// Signalled when window space frees up or a consumer detaches.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl ChunkRing {
+    /// A ring for `consumers` consumers, holding at most `capacity`
+    /// chunks in flight.
+    pub(crate) fn new(capacity: usize, consumers: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert!(consumers > 0, "ring needs at least one consumer");
+        ChunkRing {
+            state: Mutex::new(RingState {
+                base: 0,
+                window: VecDeque::with_capacity(capacity),
+                done: false,
+                positions: vec![0; consumers],
+            }),
+            produced: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Publishes the next chunk of the sequence, blocking while the
+    /// window is full. Returns `false` once every consumer has
+    /// detached — the producer should stop streaming.
+    pub(crate) fn publish(&self, chunk: TraceChunk) -> bool {
+        let mut state = lock_ignoring_poison(&self.state);
+        loop {
+            if state.positions.iter().all(|&p| p == DETACHED) {
+                return false;
+            }
+            if state.window.len() < self.capacity {
+                state.window.push_back(Arc::new(chunk));
+                self.produced.notify_all();
+                return true;
+            }
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Marks the sequence complete; consumers drain the window and
+    /// then see `None`.
+    pub(crate) fn finish(&self) {
+        lock_ignoring_poison(&self.state).done = true;
+        self.produced.notify_all();
+    }
+
+    /// Takes consumer `consumer`'s next chunk, blocking until the
+    /// producer publishes it; `None` at end-of-stream.
+    pub(crate) fn next(&self, consumer: usize) -> Option<Arc<TraceChunk>> {
+        let mut state = lock_ignoring_poison(&self.state);
+        loop {
+            let pos = state.positions[consumer];
+            debug_assert_ne!(pos, DETACHED, "detached consumer polled the ring");
+            let index = (pos - state.base) as usize;
+            if index < state.window.len() {
+                let chunk = Arc::clone(&state.window[index]);
+                state.positions[consumer] = pos + 1;
+                state.evict_consumed();
+                self.space.notify_all();
+                return Some(chunk);
+            }
+            if state.done {
+                return None;
+            }
+            state = self
+                .produced
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Removes `consumer` from the window horizon; its unconsumed
+    /// chunks are released and it must not call [`next`](Self::next)
+    /// again.
+    pub(crate) fn detach(&self, consumer: usize) {
+        let mut state = lock_ignoring_poison(&self.state);
+        state.positions[consumer] = DETACHED;
+        state.evict_consumed();
+        self.space.notify_all();
+    }
+}
+
+/// Calls [`ChunkRing::finish`] on drop, so the producer releases
+/// waiting consumers even when it unwinds mid-stream.
+#[derive(Debug)]
+pub(crate) struct FinishGuard<'a>(pub(crate) &'a ChunkRing);
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.0.finish();
+    }
+}
+
+/// Calls [`ChunkRing::detach`] on drop, so a consumer that stops
+/// early — normally or by panicking — never stalls the producer.
+#[derive(Debug)]
+pub(crate) struct DetachGuard<'a> {
+    pub(crate) ring: &'a ChunkRing,
+    pub(crate) consumer: usize,
+}
+
+impl Drop for DetachGuard<'_> {
+    fn drop(&mut self) {
+        self.ring.detach(self.consumer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::{BranchRecord, Outcome};
+
+    fn chunk_of(tag: u64) -> TraceChunk {
+        let mut chunk = TraceChunk::new();
+        chunk.push(&BranchRecord::conditional(tag, 0, Outcome::Taken));
+        chunk
+    }
+
+    fn tag(chunk: &TraceChunk) -> u64 {
+        chunk.record(0).pc
+    }
+
+    #[test]
+    fn every_consumer_sees_the_full_sequence_in_order() {
+        const CHUNKS: u64 = 100;
+        const CONSUMERS: usize = 3;
+        let ring = ChunkRing::new(4, CONSUMERS);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _finish = FinishGuard(&ring);
+                for i in 0..CHUNKS {
+                    assert!(ring.publish(chunk_of(i)));
+                }
+            });
+            for consumer in 0..CONSUMERS {
+                let ring = &ring;
+                scope.spawn(move || {
+                    let _detach = DetachGuard { ring, consumer };
+                    let mut expected = 0u64;
+                    while let Some(chunk) = ring.next(consumer) {
+                        assert_eq!(tag(&chunk), expected);
+                        expected += 1;
+                    }
+                    assert_eq!(expected, CHUNKS);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn window_is_bounded_by_capacity() {
+        // With one deliberately stalled consumer, the producer can
+        // publish at most `capacity` chunks ahead.
+        let ring = ChunkRing::new(2, 1);
+        assert!(ring.publish(chunk_of(0)));
+        assert!(ring.publish(chunk_of(1)));
+        let state = lock_ignoring_poison(&ring.state);
+        assert_eq!(state.window.len(), 2);
+        drop(state);
+        // Consuming one frees one slot.
+        let first = ring.next(0).expect("published");
+        assert_eq!(tag(&first), 0);
+        assert!(ring.publish(chunk_of(2)));
+        let state = lock_ignoring_poison(&ring.state);
+        assert_eq!(state.window.len(), 2);
+        assert_eq!(state.base, 1);
+    }
+
+    #[test]
+    fn consumed_chunks_are_released_as_the_slowest_consumer_passes() {
+        let ring = ChunkRing::new(4, 2);
+        for i in 0..3 {
+            assert!(ring.publish(chunk_of(i)));
+        }
+        let held = ring.next(0).expect("chunk 0");
+        let _ = ring.next(0);
+        // Consumer 1 hasn't moved: nothing evicted yet.
+        assert_eq!(lock_ignoring_poison(&ring.state).window.len(), 3);
+        let _ = ring.next(1);
+        // Both consumers are past chunk 0 now.
+        assert_eq!(lock_ignoring_poison(&ring.state).base, 1);
+        // The consumer's own Arc keeps the chunk alive regardless.
+        assert_eq!(tag(&held), 0);
+    }
+
+    #[test]
+    fn finish_releases_blocked_consumers() {
+        let ring = ChunkRing::new(2, 1);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| ring.next(0));
+            scope.spawn(|| {
+                // Give the consumer a moment to block, then finish
+                // with nothing published.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                FinishGuard(&ring);
+            });
+            assert!(waiter.join().expect("consumer thread").is_none());
+        });
+    }
+
+    #[test]
+    fn detached_consumers_stop_blocking_the_producer() {
+        let ring = ChunkRing::new(1, 2);
+        assert!(ring.publish(chunk_of(0)));
+        // Consumer 1 detaches without consuming; consumer 0 drains.
+        ring.detach(1);
+        assert_eq!(ring.next(0).map(|c| tag(&c)), Some(0));
+        assert!(ring.publish(chunk_of(1)));
+        assert_eq!(ring.next(0).map(|c| tag(&c)), Some(1));
+        // Once every consumer is gone, publishing reports it.
+        ring.detach(0);
+        assert!(!ring.publish(chunk_of(2)));
+    }
+
+    #[test]
+    fn producer_outpacing_consumers_blocks_until_space() {
+        let ring = ChunkRing::new(1, 1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _finish = FinishGuard(&ring);
+                for i in 0..50 {
+                    assert!(ring.publish(chunk_of(i)));
+                }
+            });
+            scope.spawn(|| {
+                let _detach = DetachGuard {
+                    ring: &ring,
+                    consumer: 0,
+                };
+                let mut seen = 0u64;
+                while let Some(chunk) = ring.next(0) {
+                    assert_eq!(tag(&chunk), seen);
+                    seen += 1;
+                    // A slow consumer: the producer must wait, never
+                    // skip or reorder.
+                    if seen.is_multiple_of(16) {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                assert_eq!(seen, 50);
+            });
+        });
+    }
+}

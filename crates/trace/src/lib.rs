@@ -11,6 +11,10 @@
 //! * [`TraceSource`] — a restartable streaming view of a record
 //!   sequence, letting generators feed the simulation engine without
 //!   materialising a full trace;
+//! * [`TraceChunk`] — a structure-of-arrays run of records (parallel
+//!   address/target arrays, bit-packed outcome/kind words), the unit
+//!   the chunked sweep pipeline decodes once and shares across shard
+//!   workers;
 //! * [`binfmt`] / [`textfmt`] — a compact binary format and a line-oriented
 //!   text format for storing traces on disk;
 //! * [`stats`] — workload characterization (static/dynamic branch counts,
@@ -35,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod binfmt;
+mod chunk;
 mod error;
 pub mod fnv;
 pub mod io;
@@ -46,8 +51,9 @@ mod stream;
 pub mod streamfmt;
 pub mod textfmt;
 
+pub use chunk::{ChunkRecords, TraceChunk};
 pub use error::{DecodeTraceError, ParseTraceError, ParseTraceErrorKind};
 pub use outcome::Outcome;
 pub use record::{BranchKind, BranchRecord};
-pub use source::TraceSource;
+pub use source::{ChunkFeeder, TraceSource};
 pub use stream::{Iter, Trace};

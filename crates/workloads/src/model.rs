@@ -25,7 +25,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use bpred_trace::{BranchKind, BranchRecord, Outcome, Trace, TraceSource};
+use bpred_trace::{BranchKind, BranchRecord, ChunkFeeder, Outcome, Trace, TraceChunk, TraceSource};
 
 use crate::behavior::{mix64, BehaviorState, BranchBehavior};
 use crate::layout::TextLayout;
@@ -282,6 +282,21 @@ pub struct TraceStream<'a> {
     pending: Option<BranchRecord>,
 }
 
+impl TraceStream<'_> {
+    /// Generates up to `max` records straight into `chunk`'s
+    /// structure-of-arrays storage, returning how many were emitted.
+    ///
+    /// This is the generator's chunk-fill path: the loop is
+    /// monomorphized over the concrete stream, so records go from the
+    /// sampler into the chunk arrays without a boxed per-record
+    /// iterator call. The emitted sequence is exactly what [`next`]
+    /// (Iterator::next) would yield — chunking never perturbs the
+    /// RNG draw order.
+    pub fn fill_chunk(&mut self, chunk: &mut TraceChunk, max: usize) -> usize {
+        chunk.fill_from(self, max)
+    }
+}
+
 impl Iterator for TraceStream<'_> {
     type Item = BranchRecord;
 
@@ -442,6 +457,34 @@ impl WorkloadSource {
 impl TraceSource for WorkloadSource {
     fn stream(&self) -> Box<dyn Iterator<Item = BranchRecord> + '_> {
         Box::new(self.model.stream_of_length(self.seed, self.conditionals))
+    }
+
+    fn chunks(&self, chunk_len: usize) -> Box<dyn Iterator<Item = TraceChunk> + '_> {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        // One generator pass per chunk sequence; each chunk is filled
+        // through the monomorphized `TraceStream::fill_chunk` loop
+        // rather than the boxed record stream.
+        let mut stream = self.model.stream_of_length(self.seed, self.conditionals);
+        Box::new(std::iter::from_fn(move || {
+            let mut chunk = TraceChunk::with_capacity(chunk_len);
+            stream.fill_chunk(&mut chunk, chunk_len);
+            (!chunk.is_empty()).then_some(chunk)
+        }))
+    }
+
+    fn chunk_feeder(&self) -> Box<dyn ChunkFeeder + '_> {
+        // One generator pass, refilling the caller's buffer through the
+        // monomorphized `TraceStream::fill_chunk` loop.
+        struct GeneratorFeeder<'a>(TraceStream<'a>);
+        impl ChunkFeeder for GeneratorFeeder<'_> {
+            fn refill(&mut self, chunk: &mut TraceChunk, max: usize) -> usize {
+                chunk.clear();
+                self.0.fill_chunk(chunk, max)
+            }
+        }
+        Box::new(GeneratorFeeder(
+            self.model.stream_of_length(self.seed, self.conditionals),
+        ))
     }
 }
 
@@ -764,6 +807,25 @@ mod tests {
             WorkloadSource::new(model, 1).cache_id(),
             WorkloadSource::new(scaled, 1).cache_id()
         );
+    }
+
+    #[test]
+    fn chunked_generation_is_bit_identical_to_the_stream() {
+        let source = WorkloadSource::new(suite::mpeg_play().scaled(3_000), 13);
+        let streamed: Vec<_> = source.stream().collect();
+        for chunk_len in [1, 7, 1024, streamed.len(), streamed.len() + 9] {
+            let chunked: Vec<_> = source
+                .chunks(chunk_len)
+                .flat_map(|chunk| chunk.iter().collect::<Vec<_>>())
+                .collect();
+            assert_eq!(chunked, streamed, "chunk_len {chunk_len}");
+        }
+        // Chunk sequences restart like streams do.
+        let again: Vec<_> = source
+            .chunks(512)
+            .flat_map(|chunk| chunk.iter().collect::<Vec<_>>())
+            .collect();
+        assert_eq!(again, streamed);
     }
 
     #[test]

@@ -40,20 +40,28 @@ SWEEP="$BASE/sweep?workload=espresso&branches=50000&configs=gshare:h=8,c=2;gas:h
 
 scrape() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m { print $2 }'; }
 
-# Cold request: every cell simulates.
+# Cold request: every cell simulates, and the replay-volume counter
+# (records fed through the chunked engine) moves with it.
 curl -fsS "$SWEEP" -o "$CACHE_DIR/cold.json"
 MISSES_COLD=$(scrape bpred_cache_misses_total)
+RECORDS_COLD=$(scrape bpred_records_replayed_total)
 [[ "$MISSES_COLD" -gt 0 ]] || { echo "FAIL: cold request did not simulate"; exit 1; }
+[[ "$RECORDS_COLD" -gt 0 ]] \
+    || { echo "FAIL: cold request replayed no records (bpred_records_replayed_total)"; exit 1; }
 
-# Warm request: bit-identical, no new misses, hits advance.
+# Warm request: bit-identical, no new misses, hits advance, and no
+# further records enter the engine.
 curl -fsS "$SWEEP" -o "$CACHE_DIR/warm.json"
 MISSES_WARM=$(scrape bpred_cache_misses_total)
 HITS_WARM=$(scrape bpred_cache_hits_total)
+RECORDS_WARM=$(scrape bpred_records_replayed_total)
 
 cmp "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json" \
     || { echo "FAIL: cached response differs from cold response"; exit 1; }
 [[ "$MISSES_WARM" -eq "$MISSES_COLD" ]] \
     || { echo "FAIL: warm request re-simulated (misses $MISSES_COLD -> $MISSES_WARM)"; exit 1; }
 [[ "$HITS_WARM" -gt 0 ]] || { echo "FAIL: warm request did not hit the cache"; exit 1; }
+[[ "$RECORDS_WARM" -eq "$RECORDS_COLD" ]] \
+    || { echo "FAIL: warm request replayed records ($RECORDS_COLD -> $RECORDS_WARM)"; exit 1; }
 
-echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM)"
+echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM records=$RECORDS_WARM)"
