@@ -1,0 +1,312 @@
+//! Tracked replay-throughput measurement behind `BENCH_replay.json`.
+//!
+//! Replays the acceptance-sized sweep (32 configurations × 120k
+//! branches of the IBS-calibrated `mpeg_play` workload, seed 2)
+//! through the chunked engine once per kernel family and once per
+//! dispatch mode, and writes the measured predict+update pairs per
+//! second — plus toolchain metadata — as JSON:
+//!
+//! ```text
+//! cargo run --release -p bpred-bench --bin bench_replay -- [out.json] [--quick]
+//! # scripts/bench_replay.sh wraps this and writes BENCH_replay.json
+//! ```
+//!
+//! Modes per family:
+//!
+//! - `scalar` — `BPRED_FORCE_SCALAR=1`: every lane is the pinned
+//!   hoisted-dispatch [`ReplayCore`](bpred_sim::ReplayCore) fallback.
+//! - `grouped` — `BPRED_GROUP_STEP=scalar`: record-major lane
+//!   grouping with per-lane counter steps (isolates the grouping +
+//!   decode-once win).
+//! - `grouped-swar` — `BPRED_GROUP_STEP=swar`: record-major grouping
+//!   with the packed `cell::step_packed` counter step (isolates the
+//!   packed step).
+//! - `multilane` — the default tier
+//!   ([`dispatch_tier`](bpred_sim::dispatch_tier)): the fused
+//!   lane-major kernel on stable, explicit SIMD under
+//!   `portable-simd`.
+//!
+//! Every mode produces bit-identical results (asserted here on every
+//! run); only wall-clock differs. `--quick` shrinks the trace and rep
+//! count for CI smoke use.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bpred_core::PredictorConfig;
+use bpred_sim::{dispatch_tier, run_batched_chunked, SimResult, Simulator, DEFAULT_SHARD_SIZE};
+use bpred_trace::{TraceChunk, TraceSource};
+use bpred_workloads::{suite, WorkloadSource};
+
+/// One family sweep: a name plus the configurations replayed together.
+struct Family {
+    name: &'static str,
+    configs: Vec<PredictorConfig>,
+}
+
+/// A measured (family × mode) cell.
+struct Measurement {
+    family: &'static str,
+    mode: &'static str,
+    lanes: usize,
+    pairs_per_sec: f64,
+}
+
+fn families() -> Vec<Family> {
+    let gshare = (2..10u32)
+        .flat_map(|history_bits| {
+            (1..=4u32).map(move |col_bits| PredictorConfig::Gshare {
+                history_bits,
+                col_bits,
+            })
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(gshare.len(), 32, "the acceptance sweep is 32 points");
+    vec![
+        Family {
+            name: "gshare",
+            configs: gshare,
+        },
+        Family {
+            name: "gas",
+            configs: (2..10u32)
+                .flat_map(|history_bits| {
+                    (1..=4u32).map(move |col_bits| PredictorConfig::Gas {
+                        history_bits,
+                        col_bits,
+                    })
+                })
+                .collect(),
+        },
+        Family {
+            name: "address-indexed",
+            configs: (1..=16u32)
+                .map(|addr_bits| PredictorConfig::AddressIndexed { addr_bits })
+                .collect(),
+        },
+        Family {
+            name: "static",
+            configs: vec![
+                PredictorConfig::AlwaysTaken,
+                PredictorConfig::AlwaysNotTaken,
+                PredictorConfig::Btfn,
+            ],
+        },
+        // No grouped tier exists for per-address-history schemes: this
+        // family pins the expectation that the scalar fallback keeps
+        // them at baseline speed under every mode.
+        Family {
+            name: "pas",
+            configs: (2..6u32)
+                .map(|history_bits| PredictorConfig::PasInfinite {
+                    history_bits,
+                    col_bits: 2,
+                })
+                .collect(),
+        },
+    ]
+}
+
+/// Replays `configs` against `source` `reps` times and returns the
+/// best pairs/s plus the (bit-identical across reps) results.
+fn measure(
+    configs: &[PredictorConfig],
+    source: &WorkloadSource,
+    records: usize,
+    reps: usize,
+) -> (f64, Vec<SimResult>) {
+    let mut best = 0.0f64;
+    let mut results = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let run = run_batched_chunked(
+            configs,
+            source,
+            Simulator::new(),
+            DEFAULT_SHARD_SIZE,
+            TraceChunk::DEFAULT_LEN,
+        );
+        let pairs_per_sec = (records * configs.len()) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(pairs_per_sec);
+        results = run;
+    }
+    (best, results)
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn rustc_version() -> String {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned());
+    std::process::Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_owned())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_replay.json".to_owned();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: bench_replay [out.json] [--quick]");
+                return ExitCode::SUCCESS;
+            }
+            path => out_path = path.to_owned(),
+        }
+    }
+    let (conditionals, reps) = if quick { (20_000, 1) } else { (120_000, 3) };
+
+    // Worker count changes wall-clock, never results; pin it so the
+    // artifact measures the kernels, not the machine's core count.
+    if std::env::var_os("BPRED_THREADS").is_none() {
+        std::env::set_var("BPRED_THREADS", "1");
+    }
+    std::env::remove_var("BPRED_FORCE_SCALAR");
+    std::env::remove_var("BPRED_GROUP_STEP");
+
+    let source = WorkloadSource::new(suite::mpeg_play().scaled(conditionals), 2);
+    let records: usize = source
+        .chunks(TraceChunk::DEFAULT_LEN)
+        .map(|c| c.len())
+        .sum();
+
+    // Chunk generation alone: every sweep pays this once regardless
+    // of tier, so it bounds the speedup any replay kernel can show
+    // (Amdahl) — reported so the decomposition can subtract it.
+    let gen_records_per_sec = {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let n: usize = source
+                .chunks(TraceChunk::DEFAULT_LEN)
+                .map(|c| c.len())
+                .sum();
+            assert_eq!(n, records);
+            best = best.max(records as f64 / start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    eprintln!(
+        "chunk generation: {:.1} M records/s",
+        gen_records_per_sec / 1e6
+    );
+
+    // (mode name, BPRED_FORCE_SCALAR, BPRED_GROUP_STEP)
+    let modes: [(&str, Option<&str>, Option<&str>); 4] = [
+        ("scalar", Some("1"), None),
+        ("grouped", None, Some("scalar")),
+        ("grouped-swar", None, Some("swar")),
+        ("multilane", None, None),
+    ];
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for family in families() {
+        let mut oracle: Option<Vec<SimResult>> = None;
+        for (mode, force_scalar, group_step) in modes {
+            match force_scalar {
+                Some(v) => std::env::set_var("BPRED_FORCE_SCALAR", v),
+                None => std::env::remove_var("BPRED_FORCE_SCALAR"),
+            }
+            match group_step {
+                Some(v) => std::env::set_var("BPRED_GROUP_STEP", v),
+                None => std::env::remove_var("BPRED_GROUP_STEP"),
+            }
+            let (pairs_per_sec, results) = measure(&family.configs, &source, records, reps);
+            match &oracle {
+                None => oracle = Some(results),
+                Some(want) => assert_eq!(
+                    want, &results,
+                    "{} {mode} diverged from the scalar oracle",
+                    family.name
+                ),
+            }
+            eprintln!(
+                "{:<16} {:<10} {:>2} lanes  {:>7.1} M pairs/s",
+                family.name,
+                mode,
+                family.configs.len(),
+                pairs_per_sec / 1e6
+            );
+            measurements.push(Measurement {
+                family: family.name,
+                mode,
+                lanes: family.configs.len(),
+                pairs_per_sec,
+            });
+        }
+    }
+    std::env::remove_var("BPRED_FORCE_SCALAR");
+    std::env::remove_var("BPRED_GROUP_STEP");
+
+    // The headline numbers: the acceptance sweep's scalar baseline vs
+    // the full multilane tier.
+    let overall = |mode: &str| {
+        measurements
+            .iter()
+            .find(|m| m.family == "gshare" && m.mode == mode)
+            .expect("gshare sweep measured")
+            .pairs_per_sec
+    };
+    let scalar = overall("scalar");
+    let multilane = overall("multilane");
+    let speedup = multilane / scalar;
+    eprintln!("\ngshare sweep: {:.2}x over the scalar fallback", speedup);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"replay_throughput\",");
+    let _ = writeln!(json, "  \"conditionals\": {conditionals},");
+    let _ = writeln!(json, "  \"records\": {records},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"dispatch_tier\": \"{}\",", dispatch_tier());
+    let _ = writeln!(json, "  \"rustc\": \"{}\",", json_escape(&rustc_version()));
+    let _ = writeln!(
+        json,
+        "  \"rustflags\": \"{}\",",
+        json_escape(&std::env::var("RUSTFLAGS").unwrap_or_default())
+    );
+    let _ = writeln!(
+        json,
+        "  \"profile\": \"{}\",",
+        if cfg!(debug_assertions) {
+            "dev"
+        } else {
+            "release"
+        }
+    );
+    let _ = writeln!(
+        json,
+        "  \"threads\": \"{}\",",
+        json_escape(&std::env::var("BPRED_THREADS").unwrap_or_default())
+    );
+    let _ = writeln!(json, "  \"gen_records_per_sec\": {gen_records_per_sec:.0},");
+    let _ = writeln!(json, "  \"scalar_pairs_per_sec\": {scalar:.0},");
+    let _ = writeln!(json, "  \"multilane_pairs_per_sec\": {multilane:.0},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"sweeps\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"family\": \"{}\", \"mode\": \"{}\", \"lanes\": {}, \"pairs_per_sec\": {:.0}}}{comma}",
+            m.family, m.mode, m.lanes, m.pairs_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("{out_path}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,224 @@
+//! Packed counter-cell primitives.
+//!
+//! A *cell* is the single-`u64` second-level table entry introduced by
+//! the replay-path rebuild: the low two bits hold a saturating-counter
+//! state, the high 62 bits the conflict-detection owner tag (the
+//! branch address that last touched the counter, the paper's
+//! direct-mapped-cache analogy). [`CounterTable`](crate::CounterTable)
+//! — the scalar oracle every fast path is measured against — and the
+//! multilane replay kernels in `bpred-sim` both step cells through the
+//! helpers in this module, so there is exactly one definition of the
+//! cell transition function in the workspace.
+//!
+//! [`step_packed`] is the SWAR tier of that transition: up to
+//! [`PACKED_LANES`] two-bit counters packed side by side in one `u64`
+//! advance toward a shared outcome in a handful of word ops, with the
+//! same per-field semantics as [`step`] (property-tested below and in
+//! the workspace multilane suite).
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_core::cell;
+//! use bpred_trace::Outcome;
+//!
+//! let fresh = cell::fresh(2); // weak-taken, untouched
+//! let (predicted, conflict, next) = cell::step(fresh, cell::tag(0x40), Outcome::Taken);
+//! assert_eq!(predicted, Outcome::Taken);
+//! assert!(!conflict); // first access is never a conflict
+//! assert_eq!(cell::counter_bits(next), 3); // trained to strong taken
+//! ```
+
+use bpred_trace::Outcome;
+
+use crate::counter::next_counter_bits;
+
+/// Owner tag for a counter no branch has touched yet. Real branch
+/// addresses never have all of their low 62 bits set (that would be an
+/// instruction in the last word of the address space).
+pub const EMPTY_OWNER: u64 = (1 << 62) - 1;
+
+/// Two-bit counter fields that fit side by side in one packed `u64`
+/// ([`step_packed`]'s lane width).
+pub const PACKED_LANES: usize = 32;
+
+/// Mask of the low bit of every two-bit field in a packed word.
+const FIELD_LO: u64 = 0x5555_5555_5555_5555;
+
+/// A cell holding `counter_bits` with no owner recorded yet.
+#[inline]
+pub fn fresh(counter_bits: u8) -> u64 {
+    (EMPTY_OWNER << 2) | (counter_bits & 0b11) as u64
+}
+
+/// The owner tag of the branch at `pc` (its low 62 address bits).
+#[inline]
+pub fn tag(pc: u64) -> u64 {
+    pc & EMPTY_OWNER
+}
+
+/// The two-bit counter state stored in `cell`.
+#[inline]
+pub fn counter_bits(cell: u64) -> u8 {
+    (cell & 0b11) as u8
+}
+
+/// The direction `cell`'s counter currently predicts.
+#[inline]
+pub fn predicted(cell: u64) -> Outcome {
+    Outcome::from(cell & 0b11 >= 2)
+}
+
+/// Whether an access by the branch tagged `tag` conflicts: the cell
+/// was last touched by a *different* branch (untouched cells never
+/// conflict).
+#[inline]
+pub fn conflicts_with(cell: u64, tag: u64) -> bool {
+    let owner = cell >> 2;
+    (owner != EMPTY_OWNER) & (owner != tag)
+}
+
+/// Read-only access by the branch tagged `tag`: the prediction, the
+/// conflict flag, and the cell re-tagged to the new owner with its
+/// counter unchanged (the unfused
+/// [`CounterTable::access`](crate::CounterTable::access) transition).
+#[inline]
+pub fn touch(cell: u64, tag: u64) -> (Outcome, bool, u64) {
+    (
+        predicted(cell),
+        conflicts_with(cell, tag),
+        (tag << 2) | (cell & 0b11),
+    )
+}
+
+/// Fused access-and-train by the branch tagged `tag`: the prediction
+/// *before* training, the conflict flag, and the cell re-tagged with
+/// its counter stepped toward `outcome` — the single-cell
+/// read-modify-write at the heart of every replay fast path.
+#[inline]
+pub fn step(cell: u64, tag: u64, outcome: Outcome) -> (Outcome, bool, u64) {
+    let conflict = conflicts_with(cell, tag);
+    let bits = counter_bits(cell);
+    let next = (tag << 2) | next_counter_bits(bits, outcome) as u64;
+    (Outcome::from(bits >= 2), conflict, next)
+}
+
+/// Trains `cell`'s counter toward `outcome` without touching the owner
+/// tag (the standalone
+/// [`CounterTable::train`](crate::CounterTable::train) transition).
+#[inline]
+pub fn retrain(cell: u64, outcome: Outcome) -> u64 {
+    (cell & !0b11) | next_counter_bits(counter_bits(cell), outcome) as u64
+}
+
+/// SWAR saturating step: every two-bit field of `packed` moves one
+/// state toward `outcome` and clamps at the strong states — up to
+/// [`PACKED_LANES`] counters per word op, each transitioning exactly
+/// like [`TwoBitCounter::train`](crate::TwoBitCounter::train).
+///
+/// Branch-free: fields at 0b11 contribute no increment and fields at
+/// 0b00 no decrement, so no add ever carries (and no subtract ever
+/// borrows) across a field boundary.
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::cell::step_packed;
+/// use bpred_trace::Outcome;
+///
+/// // Fields [0b00, 0b01, 0b10, 0b11] all step toward taken (the
+/// // word's other 28 fields step 0b00 -> 0b01 too, hence the mask).
+/// assert_eq!(step_packed(0b11_10_01_00, Outcome::Taken) & 0xFF, 0b11_11_10_01);
+/// // ... and toward not-taken.
+/// assert_eq!(step_packed(0b11_10_01_00, Outcome::NotTaken), 0b10_01_00_00);
+/// ```
+#[inline]
+pub fn step_packed(packed: u64, outcome: Outcome) -> u64 {
+    let hi = (packed >> 1) & FIELD_LO;
+    let lo = packed & FIELD_LO;
+    let inc = !(hi & lo) & FIELD_LO; // +1 everywhere below strong taken
+    let dec = (hi | lo) & FIELD_LO; // -1 everywhere above strong not-taken
+    let taken = 0u64.wrapping_sub(outcome.is_taken() as u64); // all-ones when taken
+    packed + (inc & taken) - (dec & !taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterState, TwoBitCounter};
+
+    #[test]
+    fn fresh_cells_never_conflict_and_keep_their_bits() {
+        for bits in 0..4u8 {
+            let cell = fresh(bits);
+            assert_eq!(counter_bits(cell), bits);
+            assert!(!conflicts_with(cell, tag(0x40)));
+            assert_eq!(cell >> 2, EMPTY_OWNER);
+        }
+    }
+
+    #[test]
+    fn conflict_requires_a_different_previous_owner() {
+        let (_, first, cell) = touch(fresh(2), tag(0x40));
+        assert!(!first);
+        let (_, same, cell) = touch(cell, tag(0x40));
+        assert!(!same);
+        let (_, other, _) = touch(cell, tag(0x44));
+        assert!(other);
+    }
+
+    #[test]
+    fn step_matches_the_counter_state_machine() {
+        for state in CounterState::ALL {
+            for outcome in [Outcome::Taken, Outcome::NotTaken] {
+                let cell = fresh(state.bits());
+                let (predicted, _, next) = step(cell, tag(0x40), outcome);
+                let mut reference = TwoBitCounter::new(state);
+                assert_eq!(predicted, reference.predict(), "{state} predict");
+                reference.train(outcome);
+                assert_eq!(
+                    counter_bits(next),
+                    reference.state().bits(),
+                    "{state} toward {outcome:?}"
+                );
+                assert_eq!(next >> 2, tag(0x40), "ownership transfers");
+            }
+        }
+    }
+
+    #[test]
+    fn retrain_preserves_the_owner() {
+        let (_, _, cell) = touch(fresh(2), tag(0x88));
+        let trained = retrain(cell, Outcome::NotTaken);
+        assert_eq!(trained >> 2, tag(0x88));
+        assert_eq!(counter_bits(trained), 1);
+    }
+
+    #[test]
+    fn step_packed_matches_scalar_in_every_field() {
+        // Every field value in every field position, both outcomes.
+        for outcome in [Outcome::Taken, Outcome::NotTaken] {
+            for pattern in [
+                0x0000_0000_0000_0000u64,
+                0xFFFF_FFFF_FFFF_FFFF,
+                0x1B1B_1B1B_1B1B_1B1B, // fields 3,2,1,0 repeating
+                0xE4E4_E4E4_E4E4_E4E4, // fields 0,1,2,3 repeating
+                0x0123_4567_89AB_CDEF,
+            ] {
+                let stepped = step_packed(pattern, outcome);
+                for lane in 0..PACKED_LANES {
+                    let before = ((pattern >> (2 * lane)) & 0b11) as u8;
+                    let after = ((stepped >> (2 * lane)) & 0b11) as u8;
+                    let mut reference =
+                        TwoBitCounter::new(CounterState::from_bits(before).expect("two bits"));
+                    reference.train(outcome);
+                    assert_eq!(
+                        after,
+                        reference.state().bits(),
+                        "lane {lane} of {pattern:#x} toward {outcome:?}"
+                    );
+                }
+            }
+        }
+    }
+}

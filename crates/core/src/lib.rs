@@ -47,6 +47,7 @@
 mod aliasing;
 mod bht;
 mod btb;
+pub mod cell;
 mod combining;
 mod config;
 mod counter;

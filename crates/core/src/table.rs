@@ -1,12 +1,7 @@
 use bpred_trace::Outcome;
 
-use crate::counter::next_counter_bits;
+use crate::cell;
 use crate::{AliasStats, CounterState, TableGeometry, TwoBitCounter};
-
-/// Owner tag for a counter no branch has touched yet. Real branch
-/// addresses never have all of their low 62 bits set (that would be an
-/// instruction in the last word of the address space).
-const EMPTY_OWNER: u64 = (1 << 62) - 1;
 
 /// The second-level table shared by every "A" scheme: a
 /// [`TableGeometry`]-shaped array of [`TwoBitCounter`]s with built-in
@@ -33,11 +28,13 @@ const EMPTY_OWNER: u64 = (1 << 62) - 1;
 #[derive(Debug, Clone)]
 pub struct CounterTable {
     geometry: TableGeometry,
-    /// One word per counter: the low 62 bits of the branch address that
-    /// last accessed it (the conflict-detection tag; [`EMPTY_OWNER`]
-    /// marks an untouched counter) packed above the two counter bits.
-    /// One cache line per access instead of two parallel arrays — this
-    /// is the single hottest load/store pair in the replay loop.
+    /// One [`cell`] word per counter: the low 62 bits of the branch
+    /// address that last accessed it (the conflict-detection tag;
+    /// [`cell::EMPTY_OWNER`] marks an untouched counter) packed above
+    /// the two counter bits. One cache line per access instead of two
+    /// parallel arrays — this is the single hottest load/store pair in
+    /// the replay loop. Cell transitions live in [`cell`], the one
+    /// definition shared with the multilane replay kernels.
     cells: Vec<u64>,
     stats: AliasStats,
 }
@@ -55,7 +52,7 @@ impl CounterTable {
         let n = geometry.counters() as usize;
         CounterTable {
             geometry,
-            cells: vec![(EMPTY_OWNER << 2) | initial.bits() as u64; n],
+            cells: vec![cell::fresh(initial.bits()); n],
             stats: AliasStats::default(),
         }
     }
@@ -97,13 +94,10 @@ impl CounterTable {
     #[inline]
     pub fn access(&mut self, row: u64, col: u64, pc: u64, all_taken_pattern: bool) -> Outcome {
         let idx = self.cell_index(row, col);
-        let cell = self.cells[idx];
-        let owner = cell >> 2;
-        let tag = pc & EMPTY_OWNER;
-        let conflict = (owner != EMPTY_OWNER) & (owner != tag);
+        let (predicted, conflict, next) = cell::touch(self.cells[idx], cell::tag(pc));
         self.stats.record_access(conflict, all_taken_pattern);
-        self.cells[idx] = (tag << 2) | (cell & 0b11);
-        Outcome::from(cell & 0b11 >= 2)
+        self.cells[idx] = next;
+        predicted
     }
 
     /// Fused [`access`](CounterTable::access) followed by
@@ -121,14 +115,10 @@ impl CounterTable {
         outcome: Outcome,
     ) -> Outcome {
         let idx = self.cell_index(row, col);
-        let cell = self.cells[idx];
-        let owner = cell >> 2;
-        let tag = pc & EMPTY_OWNER;
-        let conflict = (owner != EMPTY_OWNER) & (owner != tag);
+        let (predicted, conflict, next) = cell::step(self.cells[idx], cell::tag(pc), outcome);
         self.stats.record_access(conflict, all_taken_pattern);
-        let bits = (cell & 0b11) as u8;
-        self.cells[idx] = (tag << 2) | next_counter_bits(bits, outcome) as u64;
-        Outcome::from(bits >= 2)
+        self.cells[idx] = next;
+        predicted
     }
 
     /// Reads the prediction without touching instrumentation — for
@@ -137,22 +127,20 @@ impl CounterTable {
     /// predictor).
     #[inline]
     pub fn peek(&self, row: u64, col: u64) -> Outcome {
-        Outcome::from(self.cells[self.cell_index(row, col)] & 0b11 >= 2)
+        cell::predicted(self.cells[self.cell_index(row, col)])
     }
 
     /// Trains the counter at `(row, col)` with the resolved outcome.
     #[inline]
     pub fn train(&mut self, row: u64, col: u64, outcome: Outcome) {
         let idx = self.cell_index(row, col);
-        let cell = self.cells[idx];
-        let next = next_counter_bits((cell & 0b11) as u8, outcome);
-        self.cells[idx] = (cell & !0b11) | next as u64;
+        self.cells[idx] = cell::retrain(self.cells[idx], outcome);
     }
 
     /// The state of the counter at `(row, col)` — exposed for tests and
     /// table-dump tooling.
     pub fn counter_state(&self, row: u64, col: u64) -> CounterState {
-        let bits = (self.cells[self.cell_index(row, col)] & 0b11) as u8;
+        let bits = cell::counter_bits(self.cells[self.cell_index(row, col)]);
         CounterState::from_bits(bits).expect("two-bit value")
     }
 }

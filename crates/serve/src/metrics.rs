@@ -142,6 +142,18 @@ impl Metrics {
         let _ = writeln!(out, "# TYPE bpred_records_replayed_total counter");
         let _ = writeln!(out, "bpred_records_replayed_total {replayed}");
 
+        // Predict+update throughput of the most recent sweep, labelled
+        // with the dispatch tier the engine would use for groupable
+        // lanes (scalar / swar / simd). 0 until the first sweep runs.
+        let pairs = bpred_sim::replay_pairs_per_sec();
+        let tier = bpred_sim::dispatch_tier();
+        let _ = writeln!(
+            out,
+            "# HELP bpred_replay_pairs_per_sec Predict+update pairs per second of the most recent chunked sweep"
+        );
+        let _ = writeln!(out, "# TYPE bpred_replay_pairs_per_sec gauge");
+        let _ = writeln!(out, "bpred_replay_pairs_per_sec{{tier=\"{tier}\"}} {pairs}");
+
         let inflight = self.inflight_batches.load(Ordering::Relaxed);
         let _ = writeln!(
             out,
@@ -224,6 +236,32 @@ mod tests {
             .parse()
             .expect("numeric value");
         assert!(value >= before + 200);
+    }
+
+    #[test]
+    fn replay_throughput_gauge_carries_the_dispatch_tier_label() {
+        use bpred_core::PredictorConfig;
+        use bpred_sim::{run_batched_default, Simulator};
+        use bpred_trace::{BranchRecord, Outcome, Trace};
+
+        let m = Metrics::new();
+        let trace: Trace = (0..500)
+            .map(|i| BranchRecord::conditional(0x40 + 4 * (i % 8), 0x20, Outcome::from(i % 3 == 0)))
+            .collect();
+        run_batched_default(&[PredictorConfig::AlwaysTaken], &trace, Simulator::new());
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE bpred_replay_pairs_per_sec gauge"));
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("bpred_replay_pairs_per_sec{tier=\""))
+            .expect("labelled gauge present");
+        let value: f64 = line
+            .rsplit(' ')
+            .next()
+            .expect("value field")
+            .parse()
+            .expect("numeric value");
+        assert!(value > 0.0, "{line}");
     }
 
     #[test]

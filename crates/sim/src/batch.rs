@@ -44,12 +44,13 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
+use std::time::Instant;
 
 use bpred_core::{PredictorConfig, PredictorKernel};
 use bpred_trace::{TraceChunk, TraceSource};
 
 use crate::ring::{ChunkRing, DetachGuard, FinishGuard, RING_CAPACITY};
-use crate::{ReplayCore, SimResult, Simulator};
+use crate::{LaneSet, ReplayCore, SimResult, Simulator};
 
 /// Predictors replayed together per shard by [`run_batched_default`]
 /// and the sweep layers built on it.
@@ -62,6 +63,10 @@ type Lane = ReplayCore<PredictorKernel>;
 /// Records replayed through the chunked pipeline, process-wide.
 static RECORDS_REPLAYED: AtomicU64 = AtomicU64::new(0);
 
+/// Bit pattern of the last chunked sweep's predict+update pairs per
+/// second (an `f64` stored through `to_bits`; 0 until a sweep runs).
+static REPLAY_PAIRS_PER_SEC: AtomicU64 = AtomicU64::new(0);
+
 /// Warns at most once per process about an unparsable `BPRED_THREADS`.
 static BPRED_THREADS_WARNING: Once = Once::new();
 
@@ -71,6 +76,16 @@ static BPRED_THREADS_WARNING: Once = Once::new();
 /// counter exported by `bpred-serve`'s `/metrics` endpoint.
 pub fn records_replayed_total() -> u64 {
     RECORDS_REPLAYED.load(Ordering::Relaxed)
+}
+
+/// Predict+update pairs per second of the most recent chunked sweep
+/// in this process (0.0 before any sweep). Wall-clock observability
+/// only — it never influences results; backs the
+/// `bpred_replay_pairs_per_sec` gauge exported by `bpred-serve`'s
+/// `/metrics` endpoint, labelled with
+/// [`dispatch_tier`](crate::dispatch_tier).
+pub fn replay_pairs_per_sec() -> f64 {
+    f64::from_bits(REPLAY_PAIRS_PER_SEC.load(Ordering::Relaxed))
 }
 
 /// Number of worker threads: the `BPRED_THREADS` environment override
@@ -215,11 +230,19 @@ where
     }
     let shard_count = configs.len().div_ceil(shard_size);
     let consumers = worker_count(shard_count);
-    if consumers == 1 {
+    let before = records_replayed_total();
+    let start = Instant::now();
+    let results = if consumers == 1 {
         run_chunked_inline(configs, source, simulator, chunk_len)
     } else {
         run_chunked_pipelined(configs, source, simulator, shard_size, chunk_len, consumers)
+    };
+    let pairs = records_replayed_total() - before;
+    let elapsed = start.elapsed().as_secs_f64();
+    if pairs > 0 && elapsed > 0.0 {
+        REPLAY_PAIRS_PER_SEC.store((pairs as f64 / elapsed).to_bits(), Ordering::Relaxed);
     }
+    results
 }
 
 /// Single-worker chunk path: no threads, no ring — produce each chunk
@@ -233,10 +256,7 @@ fn run_chunked_inline<S>(
 where
     S: TraceSource + ?Sized,
 {
-    let mut lanes: Vec<Lane> = configs
-        .iter()
-        .map(|config| ReplayCore::from_config(config, simulator))
-        .collect();
+    let mut lanes = LaneSet::new(configs, simulator);
     // One generator pass through a single reused buffer: with no other
     // worker to share with, the whole replay runs out of one chunk's
     // worth of memory.
@@ -244,11 +264,9 @@ where
     let mut chunk = TraceChunk::with_capacity(chunk_len);
     while feeder.refill(&mut chunk, chunk_len) > 0 {
         RECORDS_REPLAYED.fetch_add((chunk.len() * lanes.len()) as u64, Ordering::Relaxed);
-        for lane in &mut lanes {
-            lane.replay_chunk_dispatched(&chunk);
-        }
+        lanes.replay_chunk(&chunk);
     }
-    lanes.into_iter().map(|lane| lane.finish()).collect()
+    lanes.finish()
 }
 
 /// Multi-worker chunk path: one producer thread fills a bounded
@@ -286,35 +304,29 @@ where
             let results = &results;
             scope.spawn(move || {
                 let _detach = DetachGuard { ring, consumer };
-                let mut shards: Vec<(usize, Vec<Lane>)> = (consumer..shard_count)
+                let mut shards: Vec<(usize, LaneSet)> = (consumer..shard_count)
                     .step_by(consumers)
                     .map(|shard| {
                         let base = shard * shard_size;
                         let shard_configs = &configs[base..(base + shard_size).min(configs.len())];
-                        let lanes = shard_configs
-                            .iter()
-                            .map(|config| ReplayCore::from_config(config, simulator))
-                            .collect();
-                        (base, lanes)
+                        (base, LaneSet::new(shard_configs, simulator))
                     })
                     .collect();
                 if shards.is_empty() {
                     return; // more workers than shards: nothing owned
                 }
-                let lane_count: usize = shards.iter().map(|(_, lanes)| lanes.len()).sum();
+                let lane_count: usize = shards.iter().map(|(_, set)| set.len()).sum();
                 while let Some(chunk) = ring.next(consumer) {
                     RECORDS_REPLAYED
                         .fetch_add((chunk.len() * lane_count) as u64, Ordering::Relaxed);
-                    for (_, lanes) in &mut shards {
-                        for lane in lanes {
-                            lane.replay_chunk_dispatched(&chunk);
-                        }
+                    for (_, set) in &mut shards {
+                        set.replay_chunk(&chunk);
                     }
                 }
                 let mut results = lock_ignoring_poison(results);
-                for (base, lanes) in shards {
-                    for (offset, lane) in lanes.into_iter().enumerate() {
-                        results[base + offset] = Some(lane.finish());
+                for (base, set) in shards {
+                    for (offset, result) in set.finish().into_iter().enumerate() {
+                        results[base + offset] = Some(result);
                     }
                 }
             });

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 mod batch;
 pub mod cache;
@@ -69,6 +70,7 @@ mod cost;
 mod engine;
 pub mod experiments;
 pub mod interference;
+pub mod multilane;
 mod profiled;
 pub mod ranking;
 mod replay;
@@ -79,13 +81,14 @@ mod surface;
 mod sweep;
 
 pub use batch::{
-    records_replayed_total, run_batched, run_batched_chunked, run_batched_default,
-    run_batched_per_shard, DEFAULT_SHARD_SIZE,
+    records_replayed_total, replay_pairs_per_sec, run_batched, run_batched_chunked,
+    run_batched_default, run_batched_per_shard, DEFAULT_SHARD_SIZE,
 };
 pub use cache::{run_configs_keyed, CellKey, ResultCache, ENGINE_VERSION};
 pub use cost::CpiModel;
 pub use engine::{SimResult, Simulator};
 pub use interference::{InterferenceObserver, InterferenceStats};
+pub use multilane::{dispatch_tier, replay_multilane, LaneSet};
 pub use profiled::{BranchOutcomeCounts, BranchProfiler, ProfiledRun};
 pub use replay::{Observer, ReplayCore};
 pub use replicate::{replicate, Replication};

@@ -1,0 +1,967 @@
+//! Multi-lane replay: many predictor configurations advance through
+//! one record stream with data-parallel kernels.
+//!
+//! The scalar batch engine replays lane-major: each lane walks a whole
+//! chunk through its own serial predict/update chain, so throughput is
+//! bounded by the latency of one chain. [`LaneSet`] regroups the work
+//! by *dispatch tier* so independent lanes (and, for history-free
+//! schemes, independent records) are stepped together:
+//!
+//! * **Record-parallel statics** — always-taken, always-not-taken and
+//!   BTFN have no state, so whole chunks collapse into popcounts over
+//!   the [`TraceChunk`] metadata words (sixteen records per `u64` op)
+//!   and one branchless pass over the pc/target columns.
+//! * **Lane groups** — the global-history family (address-indexed,
+//!   GAg/GAs, gshare) shares one monomorphic loop over a SWAR-decoded
+//!   conditional stream: the chunk metadata is reduced to a dense
+//!   `(pc, taken)` conditional list once (sixteen records per `u64`
+//!   nibble op), and up to [`cell::PACKED_LANES`] lanes step their
+//!   packed cells through a shared arena. The default *fused* step is
+//!   lane-major with all lane parameters and accumulators
+//!   register-resident; two record-major variants are kept behind
+//!   `BPRED_GROUP_STEP` — one stepping every gathered counter in a
+//!   single [`cell::step_packed`] word op, one stepping per lane —
+//!   to decompose where the speedup comes from. With the
+//!   off-by-default `portable-simd` feature the group instead runs
+//!   eight lanes per `std::simd` gather/scatter vector.
+//! * **Scalar fallback** — every other scheme (and everything when
+//!   `BPRED_FORCE_SCALAR` is set) replays through the hoisted
+//!   [`ReplayCore`] dispatch unchanged. The scalar kernel remains the
+//!   oracle: multilane results are bit-identical by construction and
+//!   by test (`tests/multilane.rs` at the workspace root).
+//!
+//! Lane grouping never straddles kernel variants: a group holds only
+//! configurations whose per-record transition is the unified
+//! `row = (hist ^ ((word >> col_bits) & xor_mask)) & row_mask` form,
+//! so one monomorphic loop serves the whole group.
+//!
+//! # Environment knobs
+//!
+//! * `BPRED_FORCE_SCALAR` — any value other than empty/`0` pins every
+//!   lane to the scalar tier (the determinism suite runs under this in
+//!   CI).
+//! * `BPRED_GROUP_STEP=scalar` — lane groups go record-major and step
+//!   counters one lane at a time (isolates the grouping + decode-once
+//!   win); `BPRED_GROUP_STEP=swar` — record-major with the packed
+//!   [`cell::step_packed`] counter step (isolates the packed step).
+//!   Any other value selects the fused lane-major default. Used to
+//!   decompose the speedup in EXPERIMENTS.md.
+//!
+//! Neither knob changes results, only the code path that computes
+//! them.
+
+use bpred_core::{cell, AliasStats, PredictorConfig, PredictorKernel, TwoBitCounter};
+use bpred_trace::{Outcome, TraceChunk, TraceSource};
+
+use crate::{ReplayCore, SimResult, Simulator};
+
+/// One scalar-tier lane: a [`ReplayCore`] over the enum-dispatched
+/// kernel, exactly as the pre-multilane batch engine ran it.
+type Lane = ReplayCore<PredictorKernel>;
+
+/// Mask of the low bit of every 4-bit metadata field in a chunk
+/// metadata word.
+const NIBBLE_LO: u64 = 0x1111_1111_1111_1111;
+
+/// `bits` low ones (0 for `bits == 0`); widths here are at most
+/// [`bpred_core::TableGeometry::MAX_TOTAL_BITS`].
+#[inline]
+fn low_mask(bits: u32) -> u64 {
+    (1u64 << bits) - 1
+}
+
+/// Whether `BPRED_FORCE_SCALAR` pins every lane to the scalar tier.
+fn force_scalar() -> bool {
+    matches!(std::env::var("BPRED_FORCE_SCALAR"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Counter-step strategy inside a lane group (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupStep {
+    /// Lane-major with register-resident parameters and a fused
+    /// branch-free cell step — the default (fastest) tier.
+    Fused,
+    /// Record-major, all gathered counters stepped in one
+    /// [`cell::step_packed`] word op (decomposition knob).
+    RecordSwar,
+    /// Record-major, counters stepped one lane at a time through the
+    /// scalar oracle [`cell::step`] (decomposition knob).
+    RecordScalar,
+}
+
+/// The `BPRED_GROUP_STEP` decomposition knob (module docs).
+fn group_step() -> GroupStep {
+    match std::env::var("BPRED_GROUP_STEP").as_deref() {
+        Ok("swar") => GroupStep::RecordSwar,
+        Ok("scalar") => GroupStep::RecordScalar,
+        _ => GroupStep::Fused,
+    }
+}
+
+/// The dispatch tier the next [`LaneSet`] will use for groupable
+/// configurations: `"scalar"` under `BPRED_FORCE_SCALAR`, `"simd"`
+/// when the `portable-simd` feature is compiled in, `"swar"`
+/// otherwise. Exported (with this label) as the
+/// `bpred_replay_pairs_per_sec` gauge's `tier` by `bpred-serve`.
+pub fn dispatch_tier() -> &'static str {
+    if force_scalar() {
+        "scalar"
+    } else if cfg!(feature = "portable-simd") {
+        "simd"
+    } else {
+        "swar"
+    }
+}
+
+/// Conditional/taken-conditional counts of a chunk, sixteen records
+/// per word op: a record is conditional when its three kind bits are
+/// zero, and the taken bit sits below them.
+fn conditional_counts(chunk: &TraceChunk) -> (u64, u64) {
+    let len = chunk.len();
+    let words = chunk.meta_words();
+    let tail = len % TraceChunk::META_RECORDS_PER_WORD;
+    let mut conditionals = 0u64;
+    let mut taken = 0u64;
+    for (i, &word) in words.iter().enumerate() {
+        // Zeroed high fields of the final word would read as
+        // conditional-not-taken; mask them off.
+        let valid = if i + 1 == words.len() && tail != 0 {
+            (1u64 << (4 * tail)) - 1
+        } else {
+            !0
+        };
+        let word = word & valid;
+        let kind = (word >> 1) | (word >> 2) | (word >> 3);
+        let cond = !kind & NIBBLE_LO & valid;
+        conditionals += cond.count_ones() as u64;
+        taken += (cond & word).count_ones() as u64;
+    }
+    (conditionals, taken)
+}
+
+/// Extracts a chunk's dense conditional stream into the reused
+/// scratch column: element `i` is `(pc << 1) | taken` of the i-th
+/// conditional (addresses fit 62 bits, see [`cell::EMPTY_OWNER`]).
+/// Decoded once per chunk and shared by every lane group, so the
+/// group kernels stream a single dense column with no metadata
+/// re-decoding and no branch on record kind.
+fn collect_conditionals(chunk: &TraceChunk, stream_out: &mut Vec<u64>) {
+    stream_out.clear();
+    let mut meta = chunk.meta_words().iter();
+    let mut word_bits = 0u64;
+    let mut in_word = 0u32;
+    for &pc in chunk.pcs() {
+        if in_word == 0 {
+            word_bits = meta.next().copied().unwrap_or(0);
+            in_word = TraceChunk::META_RECORDS_PER_WORD as u32;
+        }
+        let bits = word_bits & 0xF;
+        word_bits >>= TraceChunk::META_BITS_PER_RECORD;
+        in_word -= 1;
+        if bits & 0b1110 == 0 {
+            stream_out.push((pc << 1) | (bits & 1));
+        }
+    }
+}
+
+/// The three stateless schemes the record-parallel tier covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StaticScheme {
+    AlwaysTaken,
+    AlwaysNotTaken,
+    Btfn,
+}
+
+/// One record-parallel static lane.
+#[derive(Debug)]
+struct StaticUnit {
+    /// Result slot in the caller's configuration order.
+    index: usize,
+    scheme: StaticScheme,
+    mispredictions: u64,
+}
+
+impl StaticUnit {
+    /// Scores a whole chunk. `conditionals`/`taken` are the chunk's
+    /// shared counts; the bulk word paths apply once the warmup prefix
+    /// is consumed, with a per-record fallback for the (rare) chunk
+    /// that crosses the warmup boundary.
+    fn replay_chunk(
+        &mut self,
+        chunk: &TraceChunk,
+        seen: u64,
+        warmup: u64,
+        conditionals: u64,
+        taken: u64,
+    ) {
+        if seen >= warmup {
+            self.mispredictions += match self.scheme {
+                StaticScheme::AlwaysTaken => conditionals - taken,
+                StaticScheme::AlwaysNotTaken => taken,
+                StaticScheme::Btfn => btfn_wrong(chunk),
+            };
+        } else {
+            self.replay_chunk_scalar(chunk, seen, warmup);
+        }
+    }
+
+    /// Per-record path for chunks that straddle the warmup boundary.
+    fn replay_chunk_scalar(&mut self, chunk: &TraceChunk, mut seen: u64, warmup: u64) {
+        for record in chunk.iter() {
+            if !record.is_conditional() {
+                continue;
+            }
+            let scored = seen >= warmup;
+            seen += 1;
+            if !scored {
+                continue;
+            }
+            let predicted = match self.scheme {
+                StaticScheme::AlwaysTaken => Outcome::Taken,
+                StaticScheme::AlwaysNotTaken => Outcome::NotTaken,
+                StaticScheme::Btfn => Outcome::from(record.target < record.pc),
+            };
+            self.mispredictions += (predicted != record.outcome) as u64;
+        }
+    }
+
+    fn finish(self, scored: u64) -> SimResult {
+        SimResult {
+            predictor: match self.scheme {
+                StaticScheme::AlwaysTaken => "always-taken".to_owned(),
+                StaticScheme::AlwaysNotTaken => "always-not-taken".to_owned(),
+                StaticScheme::Btfn => "btfn".to_owned(),
+            },
+            state_bits: 0,
+            conditionals: scored,
+            mispredictions: self.mispredictions,
+            alias: None,
+            bht: None,
+        }
+    }
+}
+
+/// BTFN mispredictions over a whole chunk: one branchless pass over
+/// the pc/target columns with the conditional/outcome flags decoded
+/// straight from the metadata nibbles.
+fn btfn_wrong(chunk: &TraceChunk) -> u64 {
+    let pcs = chunk.pcs();
+    let targets = chunk.targets();
+    let words = chunk.meta_words();
+    let mut wrong = 0u64;
+    for i in 0..pcs.len() {
+        let bits = (words[i / TraceChunk::META_RECORDS_PER_WORD]
+            >> (TraceChunk::META_BITS_PER_RECORD * (i % TraceChunk::META_RECORDS_PER_WORD)))
+            & 0xF;
+        let conditional = (bits & 0b1110 == 0) as u64;
+        let predicted_taken = (targets[i] < pcs[i]) as u64;
+        wrong += conditional & (predicted_taken ^ (bits & 1));
+    }
+    wrong
+}
+
+/// Per-lane parameters of one groupable configuration, before arena
+/// placement.
+struct GroupSpec {
+    index: usize,
+    name: String,
+    state_bits: u64,
+    row_bits: u32,
+    col_bits: u32,
+    /// gshare XORs row-address bits into the history row.
+    xor: bool,
+    /// Whether the scheme keeps a history register at all
+    /// (address-indexed does not).
+    history: bool,
+}
+
+impl GroupSpec {
+    fn cells(&self) -> u64 {
+        1u64 << (self.row_bits + self.col_bits)
+    }
+}
+
+/// A lane group: up to [`cell::PACKED_LANES`] global-family lanes
+/// stepping record-major through a shared cell arena.
+///
+/// Lane parameters and accumulators are structure-of-arrays so the
+/// inner loop (and its `portable-simd` twin) reads them as flat
+/// vectors. Each lane owns a power-of-two region of the arena at a
+/// base offset aligned to its size (lanes are placed in descending
+/// size order), so `base | idx` is the lane's slot and regions never
+/// overlap — which also makes the SIMD scatter safe.
+#[derive(Debug)]
+struct GlobalGroup {
+    /// Result slot per lane in the caller's configuration order.
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    // Per-lane parameters (structure-of-arrays).
+    hist: Vec<u64>,
+    hist_mask: Vec<u64>,
+    /// Value `hist` equals exactly when the history pattern is
+    /// all-taken; `u64::MAX` sentinel when the scheme has no (or a
+    /// zero-width) history register, which `hist` can never reach.
+    all_taken_ref: Vec<u64>,
+    xor_mask: Vec<u64>,
+    row_mask: Vec<u64>,
+    col_shift: Vec<u64>,
+    col_mask: Vec<u64>,
+    base: Vec<u64>,
+    // Per-lane accumulators.
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    /// Per-record slot scratch for the two-phase SWAR step.
+    slots: Vec<usize>,
+    /// All lanes' packed counter cells.
+    arena: Vec<u64>,
+    /// `arena.len() - 1` (length is a power of two): slots are already
+    /// in range, but masking lets the compiler drop the bounds check.
+    arena_mask: u64,
+    /// Which group step to run (`BPRED_GROUP_STEP`). The explicit-SIMD
+    /// tier supersedes all three, so the knob is inert under
+    /// `portable-simd`.
+    #[cfg_attr(feature = "portable-simd", allow(dead_code))]
+    step: GroupStep,
+}
+
+impl GlobalGroup {
+    fn new(mut specs: Vec<GroupSpec>, step: GroupStep) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        // Descending size order: every earlier region is a multiple of
+        // each later size, so each base is aligned to its lane's size
+        // and `base | idx` is exact addition.
+        specs.sort_by(|a, b| b.cells().cmp(&a.cells()).then(a.index.cmp(&b.index)));
+        let lanes = specs.len();
+        let mut group = GlobalGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            hist: vec![0; lanes],
+            hist_mask: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            xor_mask: Vec::with_capacity(lanes),
+            row_mask: Vec::with_capacity(lanes),
+            col_shift: Vec::with_capacity(lanes),
+            col_mask: Vec::with_capacity(lanes),
+            base: Vec::with_capacity(lanes),
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            slots: vec![0; lanes],
+            arena: Vec::new(),
+            arena_mask: 0,
+            step,
+        };
+        let mut next_base = 0u64;
+        for spec in specs {
+            let row_mask = low_mask(spec.row_bits);
+            let cells = spec.cells();
+            group.indices.push(spec.index);
+            group.state_bits.push(spec.state_bits);
+            group.names.push(spec.name);
+            group
+                .hist_mask
+                .push(if spec.history { row_mask } else { 0 });
+            group
+                .all_taken_ref
+                .push(if spec.history && spec.row_bits > 0 {
+                    row_mask
+                } else {
+                    u64::MAX
+                });
+            group.xor_mask.push(if spec.xor { row_mask } else { 0 });
+            group.row_mask.push(row_mask);
+            group.col_shift.push(u64::from(spec.col_bits));
+            group.col_mask.push(low_mask(spec.col_bits));
+            group.base.push(next_base);
+            next_base += cells;
+        }
+        let arena_len = next_base.next_power_of_two().max(1) as usize;
+        let fresh = cell::fresh(TwoBitCounter::default().state().bits());
+        group.arena = vec![fresh; arena_len];
+        group.arena_mask = (arena_len - 1) as u64;
+        group
+    }
+
+    /// Feeds a chunk's dense conditional stream (elements
+    /// `(pc << 1) | taken`, non-conditionals already dropped — a no-op
+    /// for this family) through all lanes. `seen`/`warmup` reproduce
+    /// the scalar core's warmup scoring exactly.
+    fn replay_conditionals(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        #[cfg(feature = "portable-simd")]
+        {
+            self.replay_record_major(stream, seen, warmup, Self::step_record_simd);
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        match self.step {
+            GroupStep::Fused => self.replay_fused(stream, seen, warmup),
+            GroupStep::RecordSwar => {
+                self.replay_record_major(stream, seen, warmup, |group, w, t, tk, s| {
+                    group.step_record_swar(w, t, tk, s, 0)
+                })
+            }
+            GroupStep::RecordScalar => {
+                self.replay_record_major(stream, seen, warmup, Self::step_record_scalar)
+            }
+        }
+    }
+
+    /// Drives one of the record-major step kernels over the
+    /// conditional stream.
+    fn replay_record_major(
+        &mut self,
+        stream: &[u64],
+        seen: u64,
+        warmup: u64,
+        mut step: impl FnMut(&mut Self, u64, u64, u64, u64),
+    ) {
+        for (i, &packed) in stream.iter().enumerate() {
+            let scored = (seen + i as u64 >= warmup) as u64;
+            let pc = packed >> 1;
+            step(self, pc >> 2, cell::tag(pc), packed & 1, scored);
+        }
+    }
+
+    /// The default group kernel (superseded by the vector kernel when
+    /// `portable-simd` is compiled in): lane-major over the conditional
+    /// stream with every lane parameter, the history register, and all
+    /// three accumulators held in locals, so the inner loop touches
+    /// memory only for the (shared, cache-hot) conditional columns and
+    /// the lane's own arena region. The cell step is fused and
+    /// branch-free, semantically [`cell::step`].
+    #[cfg_attr(feature = "portable-simd", allow(dead_code))]
+    fn replay_fused(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.hist.len() {
+            let col_shift = self.col_shift[lane];
+            let xor_mask = self.xor_mask[lane];
+            let row_mask = self.row_mask[lane];
+            let col_mask = self.col_mask[lane];
+            let base = self.base[lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            // Masking by `len - 1` (a power of two) also elides the
+            // bounds check.
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let word = packed >> 3;
+                let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                let row = (hist ^ ((word >> col_shift) & xor_mask)) & row_mask;
+                let idx = (row << col_shift) | (word & col_mask);
+                let slot = ((base | idx) as usize) & mask;
+                let cell_word = arena[slot];
+                let owner = cell_word >> 2;
+                let bits = cell_word & 0b11;
+                let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                conflicts += conflict;
+                harmless += conflict & ((hist == all_taken_ref) as u64);
+                wrong += scored & ((bits >= 2) as u64 ^ taken);
+                hist = ((hist << 1) | taken) & hist_mask;
+                // Saturating two-bit step: +1 below strong taken when
+                // taken, -1 above strong not-taken otherwise.
+                let inc = ((bits < 3) as u64) & taken;
+                let dec = ((bits > 0) as u64) & (1 - taken);
+                arena[slot] = (tag << 2) | (bits + inc - dec);
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    /// Two-phase record step over lanes `[first, K)`: per-lane slot
+    /// computation, gather, score and history push, then one
+    /// [`cell::step_packed`] word op advances every gathered counter
+    /// at once and the second loop scatters the re-tagged cells back.
+    fn step_record_swar(&mut self, word: u64, tag: u64, taken: u64, scored: u64, first: usize) {
+        let lanes = self.hist.len();
+        let mut packed = 0u64;
+        for lane in first..lanes {
+            let row = (self.hist[lane] ^ ((word >> self.col_shift[lane]) & self.xor_mask[lane]))
+                & self.row_mask[lane];
+            let idx = (row << self.col_shift[lane]) | (word & self.col_mask[lane]);
+            let slot = ((self.base[lane] | idx) & self.arena_mask) as usize;
+            self.slots[lane] = slot;
+            let cell_word = self.arena[slot];
+            let owner = cell_word >> 2;
+            let bits = cell_word & 0b11;
+            packed |= bits << (2 * (lane - first));
+            let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+            let all_taken = (self.hist[lane] == self.all_taken_ref[lane]) as u64;
+            self.conflicts[lane] += conflict;
+            self.harmless[lane] += conflict & all_taken;
+            self.mispredictions[lane] += scored & ((bits >= 2) as u64 ^ taken);
+            self.hist[lane] = ((self.hist[lane] << 1) | taken) & self.hist_mask[lane];
+        }
+        let stepped = cell::step_packed(packed, Outcome::from_bit(taken));
+        let owner_bits = tag << 2;
+        for lane in first..lanes {
+            self.arena[self.slots[lane]] = owner_bits | ((stepped >> (2 * (lane - first))) & 0b11);
+        }
+    }
+
+    /// Record-major step with per-lane counter transitions through the
+    /// scalar oracle [`cell::step`] — the `BPRED_GROUP_STEP=scalar`
+    /// decomposition path (lane grouping without SWAR).
+    #[cfg_attr(feature = "portable-simd", allow(dead_code))]
+    fn step_record_scalar(&mut self, word: u64, tag: u64, taken: u64, scored: u64) {
+        let outcome = Outcome::from_bit(taken);
+        for lane in 0..self.hist.len() {
+            let row = (self.hist[lane] ^ ((word >> self.col_shift[lane]) & self.xor_mask[lane]))
+                & self.row_mask[lane];
+            let idx = (row << self.col_shift[lane]) | (word & self.col_mask[lane]);
+            let slot = ((self.base[lane] | idx) & self.arena_mask) as usize;
+            let (predicted, conflict, next) = cell::step(self.arena[slot], tag, outcome);
+            self.arena[slot] = next;
+            let all_taken = (self.hist[lane] == self.all_taken_ref[lane]) as u64;
+            self.conflicts[lane] += conflict as u64;
+            self.harmless[lane] += conflict as u64 & all_taken;
+            self.mispredictions[lane] += scored & ((predicted.is_taken() as u64) ^ taken);
+            self.hist[lane] = ((self.hist[lane] << 1) | taken) & self.hist_mask[lane];
+        }
+    }
+
+    /// Explicit-SIMD record step: eight lanes per `std::simd` vector
+    /// gather/score/scatter, with the SWAR path covering the
+    /// remainder. Semantics are identical to
+    /// [`step_record_swar`](Self::step_record_swar) over all lanes.
+    #[cfg(feature = "portable-simd")]
+    fn step_record_simd(&mut self, word: u64, tag: u64, taken: u64, scored: u64) {
+        use std::simd::cmp::{SimdPartialEq, SimdPartialOrd};
+        use std::simd::num::SimdUint;
+        use std::simd::{Select, Simd};
+
+        const N: usize = 8;
+        let lanes = self.hist.len();
+        let blocks = lanes / N * N;
+        let word_v = Simd::<u64, N>::splat(word);
+        let tag_v = Simd::<u64, N>::splat(tag);
+        let taken_v = Simd::<u64, N>::splat(taken);
+        let scored_v = Simd::<u64, N>::splat(scored);
+        let zero = Simd::<u64, N>::splat(0);
+        let one = Simd::<u64, N>::splat(1);
+        for b in (0..blocks).step_by(N) {
+            let hist = Simd::from_slice(&self.hist[b..b + N]);
+            let col_shift = Simd::from_slice(&self.col_shift[b..b + N]);
+            let row = (hist ^ ((word_v >> col_shift) & Simd::from_slice(&self.xor_mask[b..b + N])))
+                & Simd::from_slice(&self.row_mask[b..b + N]);
+            let idx = (row << col_shift) | (word_v & Simd::from_slice(&self.col_mask[b..b + N]));
+            let slot = ((Simd::from_slice(&self.base[b..b + N]) | idx)
+                & Simd::splat(self.arena_mask))
+            .cast::<usize>();
+            let cells = Simd::gather_or_default(&self.arena, slot);
+            let owner = cells >> Simd::splat(2u64);
+            let bits = cells & Simd::splat(3u64);
+            let conflict = (!(owner.simd_eq(Simd::splat(cell::EMPTY_OWNER))
+                | owner.simd_eq(tag_v)))
+            .select(one, zero);
+            let all_taken = hist
+                .simd_eq(Simd::from_slice(&self.all_taken_ref[b..b + N]))
+                .select(one, zero);
+            (Simd::from_slice(&self.conflicts[b..b + N]) + conflict)
+                .copy_to_slice(&mut self.conflicts[b..b + N]);
+            (Simd::from_slice(&self.harmless[b..b + N]) + (conflict & all_taken))
+                .copy_to_slice(&mut self.harmless[b..b + N]);
+            let predicted = bits.simd_ge(Simd::splat(2)).select(one, zero);
+            (Simd::from_slice(&self.mispredictions[b..b + N]) + (scored_v & (predicted ^ taken_v)))
+                .copy_to_slice(&mut self.mispredictions[b..b + N]);
+            // Saturating two-bit step, element-wise: +1 below strong
+            // taken when taken, -1 above strong not-taken otherwise.
+            let inc = bits.simd_lt(Simd::splat(3)).select(one, zero);
+            let dec = bits.simd_gt(zero).select(one, zero);
+            let next_bits = bits + (inc & taken_v) - (dec & (one - taken_v));
+            // Lane regions are disjoint, so the scatter targets are too.
+            ((tag_v << Simd::splat(2u64)) | next_bits).scatter(&mut self.arena, slot);
+            (((hist << one) | taken_v) & Simd::from_slice(&self.hist_mask[b..b + N]))
+                .copy_to_slice(&mut self.hist[b..b + N]);
+        }
+        self.step_record_swar(word, tag, taken, scored, blocks);
+    }
+
+    /// Drains the group into per-lane results. `seen` is the shared
+    /// access count (every conditional fed), `scored` the shared
+    /// post-warmup count.
+    fn finish(self, seen: u64, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                alias: Some(AliasStats {
+                    accesses: seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
+/// A set of predictor lanes advancing together through one chunk
+/// stream, each on its fastest applicable dispatch tier.
+///
+/// Build one over a configuration list, feed it chunks in stream
+/// order with [`replay_chunk`](LaneSet::replay_chunk), and close it
+/// with [`finish`](LaneSet::finish); results come back in
+/// configuration order and are bit-identical to running
+/// [`Simulator::run`] per configuration (the workspace determinism
+/// and multilane suites enforce this).
+///
+/// # Examples
+///
+/// ```
+/// use bpred_core::PredictorConfig;
+/// use bpred_sim::{LaneSet, Simulator};
+/// use bpred_trace::{BranchRecord, Outcome, TraceChunk};
+///
+/// let chunk: TraceChunk = (0..100)
+///     .map(|i| BranchRecord::conditional(0x40 + 4 * (i % 8), 0x20, Outcome::from(i % 3 != 0)))
+///     .collect();
+/// let configs = [
+///     PredictorConfig::AlwaysTaken,
+///     PredictorConfig::Gshare { history_bits: 6, col_bits: 2 },
+/// ];
+/// let mut lanes = LaneSet::new(&configs, Simulator::new());
+/// lanes.replay_chunk(&chunk);
+/// let results = lanes.finish();
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].conditionals, 100);
+/// ```
+#[derive(Debug)]
+pub struct LaneSet {
+    len: usize,
+    warmup: u64,
+    /// Conditionals fed so far (the shared table-access count).
+    seen: u64,
+    /// Conditionals scored so far (past the warmup prefix).
+    scored: u64,
+    groups: Vec<GlobalGroup>,
+    statics: Vec<StaticUnit>,
+    scalars: Vec<(usize, Lane)>,
+    /// Per-chunk scratch: the dense conditional stream shared by every
+    /// lane group (`(pc << 1) | taken`, non-conditionals dropped).
+    conditionals: Vec<u64>,
+}
+
+impl LaneSet {
+    /// Partitions `configs` into dispatch tiers (honouring
+    /// `BPRED_FORCE_SCALAR`) and builds the lanes. Scoring follows
+    /// `simulator`'s warmup policy, shared by every tier.
+    pub fn new(configs: &[PredictorConfig], simulator: Simulator) -> Self {
+        let force_scalar = force_scalar();
+        let step = group_step();
+        let mut specs: Vec<GroupSpec> = Vec::new();
+        let mut statics = Vec::new();
+        let mut scalars = Vec::new();
+        for (index, config) in configs.iter().enumerate() {
+            let scheme = match config {
+                _ if force_scalar => None,
+                PredictorConfig::AlwaysTaken => Some(StaticScheme::AlwaysTaken),
+                PredictorConfig::AlwaysNotTaken => Some(StaticScheme::AlwaysNotTaken),
+                PredictorConfig::Btfn => Some(StaticScheme::Btfn),
+                _ => None,
+            };
+            if let Some(scheme) = scheme {
+                statics.push(StaticUnit {
+                    index,
+                    scheme,
+                    mispredictions: 0,
+                });
+                continue;
+            }
+            let shape = match *config {
+                _ if force_scalar => None,
+                PredictorConfig::AddressIndexed { addr_bits } => Some((0, addr_bits, false, false)),
+                PredictorConfig::Gas {
+                    history_bits,
+                    col_bits,
+                } => Some((history_bits, col_bits, false, true)),
+                PredictorConfig::Gshare {
+                    history_bits,
+                    col_bits,
+                } => Some((history_bits, col_bits, true, true)),
+                _ => None,
+            };
+            match shape {
+                Some((row_bits, col_bits, xor, history)) => {
+                    // Name and state cost come from the kernel itself
+                    // — the single source of the describe() rules —
+                    // captured once at build and the kernel dropped.
+                    let kernel = config.kernel();
+                    specs.push(GroupSpec {
+                        index,
+                        name: kernel.name(),
+                        state_bits: kernel.state_bits(),
+                        row_bits,
+                        col_bits,
+                        xor,
+                        history,
+                    });
+                }
+                None => scalars.push((index, ReplayCore::from_config(config, simulator))),
+            }
+        }
+        let mut groups = Vec::new();
+        while !specs.is_empty() {
+            let rest = specs.split_off(specs.len().min(cell::PACKED_LANES));
+            groups.push(GlobalGroup::new(std::mem::replace(&mut specs, rest), step));
+        }
+        LaneSet {
+            len: configs.len(),
+            warmup: simulator.warmup() as u64,
+            seen: 0,
+            scored: 0,
+            groups,
+            statics,
+            scalars,
+            conditionals: Vec::new(),
+        }
+    }
+
+    /// Number of lanes (configurations) in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of lanes on the scalar fallback tier.
+    pub fn scalar_lanes(&self) -> usize {
+        self.scalars.len()
+    }
+
+    /// Feeds one chunk through every lane. Chunks must arrive in
+    /// stream order; record semantics per lane are identical to
+    /// [`ReplayCore::feed`] over the same records.
+    pub fn replay_chunk(&mut self, chunk: &TraceChunk) {
+        let (conditionals, taken) = conditional_counts(chunk);
+        if !self.groups.is_empty() {
+            collect_conditionals(chunk, &mut self.conditionals);
+            for group in &mut self.groups {
+                group.replay_conditionals(&self.conditionals, self.seen, self.warmup);
+            }
+        }
+        for unit in &mut self.statics {
+            unit.replay_chunk(chunk, self.seen, self.warmup, conditionals, taken);
+        }
+        for (_, lane) in &mut self.scalars {
+            lane.replay_chunk_dispatched(chunk);
+        }
+        let unscored = conditionals.min(self.warmup.saturating_sub(self.seen));
+        self.scored += conditionals - unscored;
+        self.seen += conditionals;
+    }
+
+    /// Closes every lane into its [`SimResult`], in configuration
+    /// order.
+    pub fn finish(self) -> Vec<SimResult> {
+        let mut results: Vec<Option<SimResult>> = (0..self.len).map(|_| None).collect();
+        for group in self.groups {
+            group.finish(self.seen, self.scored, &mut results);
+        }
+        for unit in self.statics {
+            let slot = unit.index;
+            results[slot] = Some(unit.finish(self.scored));
+        }
+        for (index, lane) in self.scalars {
+            results[index] = Some(lane.finish());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane finished"))
+            .collect()
+    }
+}
+
+/// Replays `source` against every configuration through the tiered
+/// multilane kernels, one decode pass over the stream. Results come
+/// back in configuration order, bit-identical to [`Simulator::run`]
+/// per configuration.
+pub fn replay_multilane<S>(
+    configs: &[PredictorConfig],
+    source: &S,
+    simulator: Simulator,
+) -> Vec<SimResult>
+where
+    S: TraceSource + ?Sized,
+{
+    let mut lanes = LaneSet::new(configs, simulator);
+    let mut feeder = source.chunk_feeder();
+    let mut chunk = TraceChunk::with_capacity(TraceChunk::DEFAULT_LEN);
+    while feeder.refill(&mut chunk, TraceChunk::DEFAULT_LEN) > 0 {
+        lanes.replay_chunk(&chunk);
+    }
+    lanes.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bpred_trace::{BranchRecord, Trace};
+
+    fn trace(n: usize) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n as u64 {
+            if i % 17 == 0 {
+                t.push(BranchRecord::jump(0x900 + 4 * (i % 5), 0x40));
+            }
+            t.push(BranchRecord::conditional(
+                0x400 + 4 * (i % 23),
+                if i % 4 == 0 { 0x100 } else { 0x900 },
+                Outcome::from((i * 7) % 5 < 3),
+            ));
+        }
+        t
+    }
+
+    fn grouped_configs() -> Vec<PredictorConfig> {
+        vec![
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::AlwaysNotTaken,
+            PredictorConfig::Btfn,
+            PredictorConfig::AddressIndexed { addr_bits: 4 },
+            PredictorConfig::AddressIndexed { addr_bits: 0 },
+            PredictorConfig::Gas {
+                history_bits: 0,
+                col_bits: 3,
+            },
+            PredictorConfig::Gas {
+                history_bits: 5,
+                col_bits: 0,
+            },
+            PredictorConfig::Gas {
+                history_bits: 4,
+                col_bits: 3,
+            },
+            PredictorConfig::Gshare {
+                history_bits: 0,
+                col_bits: 4,
+            },
+            PredictorConfig::Gshare {
+                history_bits: 6,
+                col_bits: 2,
+            },
+            PredictorConfig::Gshare {
+                history_bits: 8,
+                col_bits: 0,
+            },
+        ]
+    }
+
+    fn assert_matches_serial(configs: &[PredictorConfig], t: &Trace, simulator: Simulator) {
+        let multilane = replay_multilane(configs, t, simulator);
+        for (config, got) in configs.iter().zip(&multilane) {
+            let want = simulator.run(&mut config.kernel(), t);
+            assert_eq!(&want, got, "{config}");
+        }
+    }
+
+    #[test]
+    fn grouped_tiers_match_serial_replay() {
+        assert_matches_serial(&grouped_configs(), &trace(3_000), Simulator::new());
+    }
+
+    #[test]
+    fn warmup_is_honoured_on_every_tier() {
+        for warmup in [1, 100, 2_999, 3_000, 10_000] {
+            assert_matches_serial(
+                &grouped_configs(),
+                &trace(3_000),
+                Simulator::with_warmup(warmup),
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_tier_configs_match_serial_replay() {
+        let configs = vec![
+            PredictorConfig::LastTime { addr_bits: 4 },
+            PredictorConfig::Path {
+                row_bits: 5,
+                col_bits: 2,
+                bits_per_target: 2,
+            },
+            PredictorConfig::Tournament {
+                addr_bits: 4,
+                history_bits: 4,
+                chooser_bits: 4,
+            },
+            PredictorConfig::Gshare {
+                history_bits: 5,
+                col_bits: 1,
+            },
+        ];
+        assert_matches_serial(&configs, &trace(2_000), Simulator::new());
+    }
+
+    #[test]
+    fn groups_split_at_the_packed_lane_limit() {
+        // More groupable lanes than fit one packed word.
+        let configs: Vec<PredictorConfig> = (0..(cell::PACKED_LANES as u32 + 9))
+            .map(|i| PredictorConfig::Gshare {
+                history_bits: 2 + (i % 7),
+                col_bits: i % 4,
+            })
+            .collect();
+        let lanes = LaneSet::new(&configs, Simulator::new());
+        if force_scalar() {
+            // The CI matrix re-runs this suite under
+            // BPRED_FORCE_SCALAR=1, where every lane is scalar-tier.
+            assert!(lanes.groups.is_empty());
+            assert_eq!(lanes.scalar_lanes(), configs.len());
+        } else {
+            assert_eq!(lanes.groups.len(), 2);
+            assert_eq!(lanes.scalar_lanes(), 0);
+        }
+        assert_matches_serial(&configs, &trace(1_500), Simulator::new());
+    }
+
+    #[test]
+    fn duplicate_configs_get_independent_lanes() {
+        let configs = vec![
+            PredictorConfig::Gshare {
+                history_bits: 5,
+                col_bits: 2,
+            };
+            3
+        ];
+        let results = replay_multilane(&configs, &trace(1_000), Simulator::new());
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn empty_inputs_are_empty_results() {
+        assert!(replay_multilane(&[], &trace(10), Simulator::new()).is_empty());
+        let results = replay_multilane(&grouped_configs(), &Trace::new(), Simulator::new());
+        assert!(results.iter().all(|r| r.conditionals == 0));
+    }
+
+    #[test]
+    fn conditional_counts_match_record_decode() {
+        let t = trace(501);
+        for chunk_len in [1, 7, 16, 500, 501, 502] {
+            for chunk in t.chunks(chunk_len) {
+                let (cond, taken) = conditional_counts(&chunk);
+                let want_cond = chunk.iter().filter(|r| r.is_conditional()).count() as u64;
+                let want_taken = chunk
+                    .iter()
+                    .filter(|r| r.is_conditional() && r.outcome.is_taken())
+                    .count() as u64;
+                assert_eq!((cond, taken), (want_cond, want_taken));
+            }
+        }
+    }
+}

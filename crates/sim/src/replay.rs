@@ -36,6 +36,12 @@
 //! site, so the replayed bit-stream is identical — dispatch and
 //! memory-layout cost are the only differences.
 //!
+//! Sweeps that replay *many* configurations over one chunk stream go
+//! one tier further: [`replay_multilane`](crate::replay_multilane)
+//! (module [`multilane`](crate::multilane)) regroups compatible lanes
+//! record-major and steps their counters SWAR-packed, with this core
+//! pinned underneath as the scalar fallback and bit-identity oracle.
+//!
 //! # Examples
 //!
 //! Bare replay (what [`Simulator::run`](crate::Simulator::run) does):

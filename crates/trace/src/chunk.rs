@@ -103,6 +103,15 @@ impl TraceChunk {
     /// cache-resident alongside one predictor's tables.
     pub const DEFAULT_LEN: usize = 8 * 1024;
 
+    /// Records packed per [`meta_words`](TraceChunk::meta_words) word.
+    pub const META_RECORDS_PER_WORD: usize = RECORDS_PER_META_WORD;
+
+    /// Metadata bits per record inside a
+    /// [`meta_words`](TraceChunk::meta_words) word: the outcome bit
+    /// (taken = 1) followed by the three-bit [`BranchKind`] code
+    /// (conditional = 0).
+    pub const META_BITS_PER_RECORD: usize = META_BITS;
+
     /// An empty chunk.
     pub fn new() -> Self {
         TraceChunk::default()
@@ -171,6 +180,33 @@ impl TraceChunk {
             taken += 1;
         }
         taken
+    }
+
+    /// The branch instruction addresses as a flat slice, one per
+    /// record — the raw column record-parallel replay kernels walk.
+    #[inline]
+    pub fn pcs(&self) -> &[u64] {
+        &self.pcs
+    }
+
+    /// The taken-target addresses as a flat slice, one per record.
+    #[inline]
+    pub fn targets(&self) -> &[u64] {
+        &self.targets
+    }
+
+    /// The bit-packed metadata words:
+    /// [`META_RECORDS_PER_WORD`](TraceChunk::META_RECORDS_PER_WORD)
+    /// records of
+    /// [`META_BITS_PER_RECORD`](TraceChunk::META_BITS_PER_RECORD) bits
+    /// each, record `i` at bits `4 * (i % 16)` of word `i / 16`, unused
+    /// high fields of the final word zero. Exposed so record-parallel
+    /// kernels can classify sixteen records per word op (e.g. popcount
+    /// the conditional-and-taken fields) instead of decoding records
+    /// one at a time.
+    #[inline]
+    pub fn meta_words(&self) -> &[u64] {
+        &self.meta
     }
 
     /// The metadata bits of record `i` (outcome bit 0, kind code in
@@ -371,6 +407,32 @@ mod tests {
                 assert!(chunk.len() <= chunk_len);
                 assert!(!chunk.is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn raw_columns_match_positional_access() {
+        let records = every_kind();
+        let chunk: TraceChunk = records.iter().copied().collect();
+        assert_eq!(chunk.pcs().len(), records.len());
+        assert_eq!(chunk.targets().len(), records.len());
+        assert_eq!(
+            chunk.meta_words().len(),
+            records.len().div_ceil(TraceChunk::META_RECORDS_PER_WORD)
+        );
+        for (i, want) in records.iter().enumerate() {
+            assert_eq!(chunk.pcs()[i], want.pc);
+            assert_eq!(chunk.targets()[i], want.target);
+            let word = chunk.meta_words()[i / TraceChunk::META_RECORDS_PER_WORD];
+            let bits = (word >> ((i % TraceChunk::META_RECORDS_PER_WORD) * META_BITS)) & META_MASK;
+            assert_eq!(bits & 1, want.outcome.as_bit());
+            assert_eq!(bits >> 1, kind_code(want.kind));
+        }
+        // Unused high fields of the final metadata word stay zero.
+        let tail = records.len() % TraceChunk::META_RECORDS_PER_WORD;
+        if tail != 0 {
+            let last = *chunk.meta_words().last().unwrap();
+            assert_eq!(last >> (tail * META_BITS), 0);
         }
     }
 

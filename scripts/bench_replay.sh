@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates the tracked replay-throughput artifact.
+#
+# BENCH_replay.json at the repo root records predict+update pairs per
+# second for the acceptance sweep (32 gshare configurations × 120k
+# mpeg_play branches) and the other kernel families, measured per
+# dispatch mode (pinned scalar fallback, record-major grouping with
+# and without the packed SWAR step, and the default fused multilane
+# kernel), plus toolchain metadata. Every mode is asserted
+# bit-identical before a number is written.
+#
+#   scripts/bench_replay.sh             # refresh BENCH_replay.json
+#   scripts/bench_replay.sh --quick     # small trace, 1 rep (CI smoke)
+#   scripts/bench_replay.sh out.json    # write elsewhere
+#
+# Numbers are wall-clock: run on an idle machine for a trustworthy
+# artifact. BPRED_THREADS defaults to 1 inside the harness so the
+# measurement is single-core unless explicitly overridden.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p bpred-bench --bin bench_replay
+exec cargo run --release -q -p bpred-bench --bin bench_replay -- "$@"

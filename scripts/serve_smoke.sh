@@ -41,13 +41,18 @@ SWEEP="$BASE/sweep?workload=espresso&branches=50000&configs=gshare:h=8,c=2;gas:h
 scrape() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m { print $2 }'; }
 
 # Cold request: every cell simulates, and the replay-volume counter
-# (records fed through the chunked engine) moves with it.
+# (records fed through the chunked engine) moves with it, as does the
+# tier-labelled throughput gauge.
 curl -fsS "$SWEEP" -o "$CACHE_DIR/cold.json"
 MISSES_COLD=$(scrape bpred_cache_misses_total)
 RECORDS_COLD=$(scrape bpred_records_replayed_total)
+PAIRS_LINE=$(curl -fsS "$BASE/metrics" | grep '^bpred_replay_pairs_per_sec{tier="')
+PAIRS_RATE=$(echo "$PAIRS_LINE" | awk '{ print $2 }')
 [[ "$MISSES_COLD" -gt 0 ]] || { echo "FAIL: cold request did not simulate"; exit 1; }
 [[ "$RECORDS_COLD" -gt 0 ]] \
     || { echo "FAIL: cold request replayed no records (bpred_records_replayed_total)"; exit 1; }
+awk -v r="$PAIRS_RATE" 'BEGIN { exit (r > 0) ? 0 : 1 }' \
+    || { echo "FAIL: throughput gauge not positive after a sweep ($PAIRS_LINE)"; exit 1; }
 
 # Warm request: bit-identical, no new misses, hits advance, and no
 # further records enter the engine.
@@ -64,4 +69,4 @@ cmp "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json" \
 [[ "$RECORDS_WARM" -eq "$RECORDS_COLD" ]] \
     || { echo "FAIL: warm request replayed records ($RECORDS_COLD -> $RECORDS_WARM)"; exit 1; }
 
-echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM records=$RECORDS_WARM)"
+echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM records=$RECORDS_WARM ${PAIRS_LINE})"

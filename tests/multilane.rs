@@ -1,0 +1,273 @@
+//! Bit-identity harness for the multilane replay kernels.
+//!
+//! `bpred::sim::replay_multilane` (and the [`LaneSet`] the batched
+//! engine now runs on) promises results bit-identical to the pinned
+//! scalar fallback — `Simulator::run` once per configuration — for
+//! every `PredictorConfig` variant, every dispatch tier, any lane
+//! mix, and any chunking of the stream. These tests enforce that
+//! promise; the CI matrix re-runs the whole suite under
+//! `BPRED_FORCE_SCALAR=1` so the forced-fallback partition gets the
+//! same coverage.
+
+use proptest::prelude::*;
+
+use bpred::core::PredictorConfig;
+use bpred::sim::{replay_multilane, run_batched_chunked, LaneSet, SimResult, Simulator};
+use bpred::trace::{BranchKind, BranchRecord, Outcome, Trace, TraceChunk};
+use bpred::workloads::suite;
+
+/// One configuration of every `PredictorConfig` variant: the three
+/// static schemes and three groupable global-history shapes exercise
+/// the fast tiers, everything else the scalar fallback.
+fn every_variant() -> Vec<PredictorConfig> {
+    vec![
+        PredictorConfig::AlwaysTaken,
+        PredictorConfig::AlwaysNotTaken,
+        PredictorConfig::Btfn,
+        PredictorConfig::LastTime { addr_bits: 6 },
+        PredictorConfig::AddressIndexed { addr_bits: 6 },
+        PredictorConfig::Gas {
+            history_bits: 6,
+            col_bits: 2,
+        },
+        PredictorConfig::Gshare {
+            history_bits: 7,
+            col_bits: 2,
+        },
+        PredictorConfig::Path {
+            row_bits: 6,
+            col_bits: 2,
+            bits_per_target: 3,
+        },
+        PredictorConfig::PasInfinite {
+            history_bits: 5,
+            col_bits: 2,
+        },
+        PredictorConfig::PasFinite {
+            history_bits: 5,
+            col_bits: 2,
+            entries: 64,
+            ways: 2,
+        },
+        PredictorConfig::Tournament {
+            addr_bits: 6,
+            history_bits: 6,
+            chooser_bits: 6,
+        },
+        PredictorConfig::Sas {
+            history_bits: 5,
+            set_bits: 3,
+            col_bits: 2,
+        },
+        PredictorConfig::Agree {
+            history_bits: 6,
+            index_bits: 8,
+        },
+        PredictorConfig::BiMode {
+            history_bits: 6,
+            direction_bits: 7,
+            choice_bits: 7,
+        },
+        PredictorConfig::Gskew {
+            history_bits: 6,
+            bank_bits: 7,
+        },
+        PredictorConfig::Yags {
+            choice_bits: 7,
+            cache_bits: 6,
+            tag_bits: 6,
+        },
+    ]
+}
+
+fn serial_reference(
+    configs: &[PredictorConfig],
+    trace: &Trace,
+    simulator: Simulator,
+) -> Vec<SimResult> {
+    configs
+        .iter()
+        .map(|config| simulator.run(&mut config.build(), trace))
+        .collect()
+}
+
+#[test]
+fn every_variant_matches_the_scalar_oracle() {
+    let trace = suite::espresso().scaled(8_000).trace(1996);
+    let configs = every_variant();
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    let multilane = replay_multilane(&configs, &trace, Simulator::new());
+    assert_eq!(serial, multilane);
+}
+
+#[test]
+fn every_variant_matches_with_a_mid_stream_warmup() {
+    let trace = suite::mpeg_play().scaled(6_000).trace(7);
+    let configs = every_variant();
+    let simulator = Simulator::with_warmup(1_000);
+    let serial = serial_reference(&configs, &trace, simulator);
+    let multilane = replay_multilane(&configs, &trace, simulator);
+    assert_eq!(serial, multilane);
+}
+
+#[test]
+fn chunk_boundaries_never_change_results() {
+    // The batched engine drives LaneSet chunk by chunk; cover
+    // single-record chunks, a coprime length, and the off-by-one
+    // straddles of the trace length.
+    let trace = suite::mpeg_play().scaled(3_000).trace(11);
+    let len = trace.len();
+    let configs = every_variant();
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    for chunk_len in [1, 7, len - 1, len, len + 1] {
+        let chunked = run_batched_chunked(&configs, &trace, Simulator::new(), 8, chunk_len);
+        assert_eq!(serial, chunked, "chunk_len {chunk_len}");
+    }
+}
+
+#[test]
+fn a_group_wider_than_the_packed_lane_limit_splits_cleanly() {
+    // 41 groupable lanes force a second GlobalGroup (the limit is
+    // cell::PACKED_LANES = 32), mixed with statics and scalar-tier
+    // lanes on both sides of the split.
+    let mut configs = vec![PredictorConfig::AlwaysTaken];
+    configs.extend((1..=20u32).map(|n| PredictorConfig::Gshare {
+        history_bits: n % 9 + 1,
+        col_bits: n % 3 + 1,
+    }));
+    configs.push(PredictorConfig::PasInfinite {
+        history_bits: 4,
+        col_bits: 2,
+    });
+    configs.extend((1..=21u32).map(|n| PredictorConfig::Gas {
+        history_bits: n % 7 + 1,
+        col_bits: n % 4 + 1,
+    }));
+    configs.push(PredictorConfig::Btfn);
+    let trace = suite::sdet().scaled(5_000).trace(3);
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    let multilane = replay_multilane(&configs, &trace, Simulator::new());
+    assert_eq!(serial, multilane);
+}
+
+#[test]
+fn duplicate_configurations_stay_independent() {
+    let configs = vec![
+        PredictorConfig::Gshare {
+            history_bits: 5,
+            col_bits: 2,
+        };
+        5
+    ];
+    let trace = suite::espresso().scaled(2_000).trace(9);
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    let multilane = replay_multilane(&configs, &trace, Simulator::new());
+    assert_eq!(serial, multilane);
+    assert!(multilane.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn lane_set_streams_one_chunk_at_a_time() {
+    // Drive LaneSet directly (the batched engine's usage) with a
+    // reused chunk buffer, against the one-shot entry point.
+    use bpred::trace::TraceSource;
+    let trace = suite::real_gcc().scaled(4_000).trace(17);
+    let configs = every_variant();
+    let mut lanes = LaneSet::new(&configs, Simulator::new());
+    let mut feeder = trace.chunk_feeder();
+    let mut chunk = TraceChunk::with_capacity(333);
+    while feeder.refill(&mut chunk, 333) > 0 {
+        lanes.replay_chunk(&chunk);
+    }
+    assert_eq!(
+        lanes.finish(),
+        replay_multilane(&configs, &trace, Simulator::new())
+    );
+}
+
+/// A small pool of branch addresses so random traces still alias.
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        0u64..24,
+        0u64..8,
+        prop::sample::select(vec![
+            BranchKind::Conditional,
+            BranchKind::Conditional,
+            BranchKind::Conditional,
+            BranchKind::Unconditional,
+            BranchKind::Call,
+            BranchKind::Return,
+            BranchKind::Indirect,
+        ]),
+        any::<bool>(),
+    )
+        .prop_map(|(pc_idx, target_idx, kind, taken)| {
+            BranchRecord::new(
+                0x1000 + 4 * pc_idx,
+                0x2000 + 4 * target_idx,
+                kind,
+                Outcome::from(taken),
+            )
+        })
+}
+
+/// A configuration drawn from every dispatch tier, with degenerate
+/// shapes (zero history, zero columns) included.
+fn arb_config() -> impl Strategy<Value = PredictorConfig> {
+    prop_oneof![
+        Just(PredictorConfig::AlwaysTaken),
+        Just(PredictorConfig::AlwaysNotTaken),
+        Just(PredictorConfig::Btfn),
+        (0u32..8, 0u32..4).prop_map(|(history_bits, col_bits)| PredictorConfig::Gshare {
+            history_bits,
+            col_bits
+        }),
+        (0u32..8, 0u32..4).prop_map(|(history_bits, col_bits)| PredictorConfig::Gas {
+            history_bits,
+            col_bits
+        }),
+        (0u32..8).prop_map(|addr_bits| PredictorConfig::AddressIndexed { addr_bits }),
+        (1u32..6, 1u32..3).prop_map(|(history_bits, col_bits)| PredictorConfig::PasInfinite {
+            history_bits,
+            col_bits
+        }),
+        (2u32..6, 2u32..6, 2u32..6).prop_map(|(addr_bits, history_bits, chooser_bits)| {
+            PredictorConfig::Tournament {
+                addr_bits,
+                history_bits,
+                chooser_bits,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any trace, any lane mix, any warmup, any chunking: the
+    /// multilane kernels are bit-identical to the scalar oracle.
+    #[test]
+    fn multilane_matches_serial_on_arbitrary_lane_mixes(
+        records in prop::collection::vec(arb_record(), 1..200),
+        configs in prop::collection::vec(arb_config(), 1..12),
+        warmup in 0usize..150,
+        chunk_extra in 0usize..4,
+    ) {
+        let trace: Trace = records.into_iter().collect();
+        let len = trace.len();
+        let simulator = Simulator::with_warmup(warmup);
+        let serial = serial_reference(&configs, &trace, simulator);
+        prop_assert_eq!(
+            &serial,
+            &replay_multilane(&configs, &trace, simulator),
+            "one-shot multilane"
+        );
+        for chunk_len in [1, 7, len.max(2) - 1, len + chunk_extra] {
+            if chunk_len == 0 {
+                continue;
+            }
+            let chunked = run_batched_chunked(&configs, &trace, simulator, 4, chunk_len);
+            prop_assert_eq!(&serial, &chunked, "chunk_len {}", chunk_len);
+        }
+    }
+}
