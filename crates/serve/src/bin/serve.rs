@@ -1,12 +1,17 @@
 //! `bpred-serve` binary: the sweep service over HTTP.
 //!
 //! ```text
-//! serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--max-branches N]
+//! serve [--addr HOST:PORT] [--cache-dir DIR] [--shards N] [--workers N]
+//!       [--queue N] [--max-branches N]
 //! ```
 //!
 //! `--cache-dir` defaults to `BPRED_CACHE_DIR` when set; with neither,
 //! the server runs uncached (every cell simulates). The bound address
 //! is printed on startup — use port 0 to let the OS pick.
+//!
+//! Env knobs (flags win): `BPRED_SERVE_QUEUE` (compute queue depth),
+//! `BPRED_SERVE_TIMEOUT_MS` (read/write timeout),
+//! `BPRED_SERVE_IDLE_MS` (keep-alive idle timeout).
 
 use std::process::ExitCode;
 
@@ -14,15 +19,17 @@ use bpred_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--cache-dir DIR] [--workers N] [--max-branches N]\n\
+        "usage: serve [--addr HOST:PORT] [--cache-dir DIR] [--shards N] [--workers N]\n\
+         \x20            [--queue N] [--max-branches N]\n\
          \n\
          endpoints:\n\
          \x20 GET /healthz\n\
          \x20 GET /metrics\n\
          \x20 GET /sweep?workload=<name>&configs=<cfg>;<cfg>[&seed=N][&branches=N][&warmup=N]\n\
          \n\
-         defaults: --addr 127.0.0.1:8199, --workers 4, --max-branches 2000000,\n\
-         --cache-dir $BPRED_CACHE_DIR (unset: uncached)"
+         defaults: --addr 127.0.0.1:8199, --shards 2, --workers 4, --max-branches 2000000,\n\
+         --queue $BPRED_SERVE_QUEUE (64), --cache-dir $BPRED_CACHE_DIR (unset: uncached);\n\
+         timeouts via BPRED_SERVE_TIMEOUT_MS (10000) and BPRED_SERVE_IDLE_MS (30000)"
     );
     std::process::exit(2);
 }
@@ -57,6 +64,24 @@ fn main() -> ExitCode {
                     Ok(n) if n > 0 => n,
                     _ => {
                         eprintln!("error: --workers needs a positive count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--shards" => {
+                config.shards = match value(&args, &mut i, "--shards").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --shards needs a positive count");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--queue" => {
+                config.queue_depth = match value(&args, &mut i, "--queue").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("error: --queue needs a positive depth");
                         return ExitCode::from(2);
                     }
                 }

@@ -12,9 +12,22 @@
 //! early-return), the slot is marked aborted and waiters receive
 //! `None` — they fall back to computing on their own, so a crashed
 //! leader never deadlocks the service.
+//!
+//! Poisoning is contained by construction: every lock in this module
+//! recovers a poisoned guard with
+//! [`into_inner`](std::sync::PoisonError::into_inner) rather than
+//! propagating the panic. A computation that panics therefore aborts
+//! only its own entry — the group stays usable, and a guard dropped
+//! during unwind never double-panics.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Locks `mutex`, shrugging off poison: flight state transitions are
+/// single assignments, so a poisoned guard's data is still coherent.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[derive(Debug)]
 enum Slot<V> {
@@ -59,7 +72,7 @@ impl<V: Clone> Flight<V> {
     /// Joins the flight for `key`: the first concurrent caller leads,
     /// the rest follow.
     pub fn join(&self, key: &str) -> Join<V> {
-        let mut slots = self.shared.slots.lock().expect("flight slots poisoned");
+        let mut slots = lock_recover(&self.shared.slots);
         if let Some(cell) = slots.get(key) {
             return Join::Follower(Waiter { cell: cell.clone() });
         }
@@ -109,15 +122,11 @@ impl<V> LeaderGuard<V> {
 
     fn finish(&self, slot: Slot<V>) {
         {
-            let mut state = self.cell.state.lock().expect("flight cell poisoned");
+            let mut state = lock_recover(&self.cell.state);
             *state = slot;
         }
         self.cell.ready.notify_all();
-        self.shared
-            .slots
-            .lock()
-            .expect("flight slots poisoned")
-            .remove(&self.key);
+        lock_recover(&self.shared.slots).remove(&self.key);
     }
 }
 
@@ -139,7 +148,7 @@ impl<V: Clone> Waiter<V> {
     /// Blocks until the leader publishes. `None` means the leader
     /// aborted; the caller should compute the value itself.
     pub fn wait(self) -> Option<V> {
-        let mut state = self.cell.state.lock().expect("flight cell poisoned");
+        let mut state = lock_recover(&self.cell.state);
         loop {
             match &*state {
                 Slot::Waiting => {
@@ -147,7 +156,7 @@ impl<V: Clone> Waiter<V> {
                         .cell
                         .ready
                         .wait(state)
-                        .expect("flight cell poisoned while waiting");
+                        .unwrap_or_else(|e| e.into_inner());
                 }
                 Slot::Done(v) => return Some(v.clone()),
                 Slot::Aborted => return None,
@@ -220,6 +229,68 @@ mod tests {
         assert_eq!(follower.join().expect("no panic"), None);
         // The key is free again: the next join leads.
         assert!(matches!(flight.join("k"), Join::Leader(_)));
+    }
+
+    #[test]
+    fn panicking_leader_poisons_only_its_own_entry() {
+        let flight: Arc<Flight<u8>> = Arc::new(Flight::new());
+
+        // A waiter joins behind the doomed leader.
+        let Join::Leader(guard) = flight.join("doomed") else {
+            panic!("first join leads");
+        };
+        let waiter = {
+            let flight = flight.clone();
+            thread::spawn(move || match flight.join("doomed") {
+                Join::Follower(w) => w.wait(),
+                Join::Leader(_) => panic!("leader already present"),
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+
+        // The computation panics while the guard is live — and, worse,
+        // while holding the cell's state lock, so the mutex really is
+        // poisoned when the guard's Drop runs during unwind.
+        let panicked = thread::spawn(move || {
+            let _held = guard.cell.state.lock().unwrap();
+            panic!("compute exploded");
+        })
+        .join();
+        assert!(panicked.is_err(), "the compute thread panicked");
+
+        // The waiter is released empty-handed (retry signal), not hung
+        // and not panicking on propagated poison.
+        assert_eq!(waiter.join().expect("waiter must not panic"), None);
+
+        // The poisoned entry is gone; the key and the whole group keep
+        // working for later callers.
+        match flight.join("doomed") {
+            Join::Leader(g) => g.complete(7),
+            Join::Follower(_) => panic!("aborted key must be free"),
+        }
+        match flight.join("unrelated") {
+            Join::Leader(g) => g.complete(9),
+            Join::Follower(_) => panic!("other keys unaffected"),
+        }
+    }
+
+    #[test]
+    fn waiter_survives_poison_raced_during_wait() {
+        // Poison the slots map itself (panic while holding it) and
+        // check join still works afterwards.
+        let flight: Arc<Flight<u8>> = Arc::new(Flight::new());
+        let poisoner = {
+            let flight = flight.clone();
+            thread::spawn(move || {
+                let _guard = flight.shared.slots.lock().unwrap();
+                panic!("poison the slots map");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        match flight.join("after-poison") {
+            Join::Leader(g) => g.complete(1),
+            Join::Follower(_) => panic!("join must recover from poison"),
+        }
     }
 
     #[test]

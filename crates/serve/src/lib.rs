@@ -17,13 +17,18 @@
 //!   the process (the `bpred-bench` binaries do this when
 //!   `BPRED_CACHE_DIR` is set).
 //!
-//! * **[`server`]** — a dependency-free HTTP/1.1 service over
-//!   `std::net::TcpListener` that answers sweep requests as JSON.
-//!   Requests decompose into cells; cells are deduplicated against
-//!   the store and against in-flight work ([`flight`], single-flight
-//!   coalescing), and the residual misses run as one batch through
-//!   the single-pass engine. `/healthz` reports liveness and
-//!   `/metrics` exposes Prometheus counters for requests, cache
+//! * **[`server`]** — a dependency-free event-driven HTTP/1.1
+//!   service: sharded readiness loops over nonblocking `std::net`
+//!   (poll(2) via the self-contained [`reactor`]) drive
+//!   per-connection state machines with keep-alive, pipelining, and
+//!   read/write/idle timeouts, handing sweep compute to a bounded
+//!   worker queue that load-sheds with `429 + Retry-After` when
+//!   saturated. Requests decompose into cells; cells are
+//!   deduplicated against the store and against in-flight work
+//!   ([`flight`], single-flight coalescing), and the residual misses
+//!   run as one batch through the single-pass engine. `/healthz`
+//!   reports liveness and `/metrics` exposes Prometheus counters for
+//!   requests (by status), connections, sheds, queue depth, cache
 //!   hits/misses, in-flight batches, and batch latency.
 //!
 //! # Quick start
@@ -37,7 +42,10 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one `#[allow(unsafe_code)]`
+// carve-out is `reactor::sys`, the poll(2) binding that keeps the
+// event loop vendor-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -46,11 +54,12 @@ pub mod flight;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod store;
 
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::{SweepRequest, SweepService};
+pub use service::{sweep_body, SweepRequest, SweepService};
 pub use store::{install_from_env, GcReport, ResultStore};

@@ -42,11 +42,26 @@ impl Histogram {
     }
 }
 
+/// Statuses that get their own `bpred_serve_requests_total{status=…}`
+/// series; anything else lands in the `"other"` bucket.
+pub const TRACKED_STATUSES: [u16; 7] = [200, 400, 404, 413, 429, 431, 500];
+
 /// All counters the service exports.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// HTTP requests accepted (any route).
     pub http_requests: AtomicU64,
+    /// Responses sent, by status (indexed like [`TRACKED_STATUSES`],
+    /// final slot = other).
+    pub requests_by_status: [AtomicU64; TRACKED_STATUSES.len() + 1],
+    /// Connections currently open across all shards (gauge).
+    pub connections_open: AtomicU64,
+    /// Sweep requests refused with 429 because the compute queue was
+    /// full.
+    pub shed_total: AtomicU64,
+    /// Sweep requests sitting in (or being pulled from) the compute
+    /// queue (gauge).
+    pub queue_depth: AtomicU64,
     /// Sweep requests parsed successfully.
     pub sweep_requests: AtomicU64,
     /// Requests rejected with a 4xx.
@@ -81,6 +96,24 @@ impl Metrics {
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one response by its status code.
+    pub fn observe_status(&self, status: u16) {
+        let idx = TRACKED_STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .unwrap_or(TRACKED_STATUSES.len());
+        self.requests_by_status[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads one status counter (tests and sanity checks).
+    pub fn status_count(&self, status: u16) -> u64 {
+        let idx = TRACKED_STATUSES
+            .iter()
+            .position(|&s| s == status)
+            .unwrap_or(TRACKED_STATUSES.len());
+        self.requests_by_status[idx].load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus text exposition format.
@@ -130,6 +163,57 @@ impl Metrics {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+
+        let _ = writeln!(
+            out,
+            "# HELP bpred_serve_requests_total Responses sent, by HTTP status"
+        );
+        let _ = writeln!(out, "# TYPE bpred_serve_requests_total counter");
+        for (i, status) in TRACKED_STATUSES.iter().enumerate() {
+            let value = self.requests_by_status[i].load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "bpred_serve_requests_total{{status=\"{status}\"}} {value}"
+            );
+        }
+        let other = self.requests_by_status[TRACKED_STATUSES.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "bpred_serve_requests_total{{status=\"other\"}} {other}"
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP bpred_serve_shed_total Sweep requests refused with 429 (compute queue full)"
+        );
+        let _ = writeln!(out, "# TYPE bpred_serve_shed_total counter");
+        let _ = writeln!(
+            out,
+            "bpred_serve_shed_total {}",
+            self.shed_total.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP bpred_serve_connections_open Connections currently open across all shards"
+        );
+        let _ = writeln!(out, "# TYPE bpred_serve_connections_open gauge");
+        let _ = writeln!(
+            out,
+            "bpred_serve_connections_open {}",
+            self.connections_open.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP bpred_serve_queue_depth Sweep requests waiting in the compute queue"
+        );
+        let _ = writeln!(out, "# TYPE bpred_serve_queue_depth gauge");
+        let _ = writeln!(
+            out,
+            "bpred_serve_queue_depth {}",
+            self.queue_depth.load(Ordering::Relaxed)
+        );
 
         // Engine-side counter: lane-records replayed through the
         // chunked sweep pipeline, process-wide (so it covers every
@@ -213,6 +297,31 @@ mod tests {
         assert!(text.contains("bpred_batch_seconds_bucket{le=\"1\"} 2"));
         assert!(text.contains("bpred_batch_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("# TYPE bpred_records_replayed_total counter"));
+    }
+
+    #[test]
+    fn serve_series_track_statuses_and_gauges() {
+        let m = Metrics::new();
+        m.observe_status(200);
+        m.observe_status(200);
+        m.observe_status(429);
+        m.observe_status(431);
+        m.observe_status(418); // falls into the "other" bucket
+        Metrics::inc(&m.shed_total);
+        m.connections_open.fetch_add(3, Ordering::Relaxed);
+        m.queue_depth.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(m.status_count(200), 2);
+        assert_eq!(m.status_count(429), 1);
+        assert_eq!(m.status_count(418), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("bpred_serve_requests_total{status=\"200\"} 2"));
+        assert!(text.contains("bpred_serve_requests_total{status=\"429\"} 1"));
+        assert!(text.contains("bpred_serve_requests_total{status=\"431\"} 1"));
+        assert!(text.contains("bpred_serve_requests_total{status=\"413\"} 0"));
+        assert!(text.contains("bpred_serve_requests_total{status=\"other\"} 1"));
+        assert!(text.contains("bpred_serve_shed_total 1"));
+        assert!(text.contains("bpred_serve_connections_open 3"));
+        assert!(text.contains("bpred_serve_queue_depth 2"));
     }
 
     #[test]

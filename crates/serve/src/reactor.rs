@@ -1,0 +1,245 @@
+//! Readiness polling for the event-driven server — self-contained,
+//! no dependencies.
+//!
+//! The workspace is vendor-free, so instead of pulling in `mio` or
+//! `libc` this module binds `poll(2)` directly: `std` already links
+//! the platform C library, and the binding is a single extern
+//! declaration plus a `#[repr(C)]` pollfd mirror, isolated in the
+//! one `#[allow(unsafe_code)]` module of the crate. Each server
+//! shard polls its listener, its wake socket, and its connections in
+//! one call, with a timeout bounded by the nearest connection
+//! deadline.
+//!
+//! Cross-thread wakeups use a loopback UDP pair ([`WakeChannel`]):
+//! the compute pool finishes a request, pushes the response into the
+//! shard's mailbox, and [`Waker::wake`]s the shard out of `poll` by
+//! sending one datagram. UDP on loopback never blocks the sender,
+//! and a dropped datagram can only happen when the receive buffer
+//! already holds a wakeup — the shard is waking either way.
+
+use std::io;
+use std::net::UdpSocket;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+#[allow(unsafe_code)]
+mod sys {
+    //! The `poll(2)` binding. `nfds_t` is `c_ulong` on every libc
+    //! this workspace targets.
+    use std::ffi::{c_int, c_ulong};
+
+    /// Mirror of `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    /// Safe wrapper: polls `fds` for up to `timeout_ms` (-1 blocks).
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd structs for the duration of the call;
+        // poll(2) only reads `fd`/`events` and writes `revents`.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc < 0 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+}
+
+/// What a poll entry wants to be woken for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or has a pending accept).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+}
+
+/// What a poll entry was woken with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// Readable (includes a peer close — the read reports EOF).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup/invalid — the owner should tear the fd down if a
+    /// read or write does not already surface the failure.
+    pub failed: bool,
+}
+
+/// One pollable entry: the fd, what it wants, and (after
+/// [`poll`]) what it got.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// The raw fd to poll. The caller keeps it open for the call.
+    pub fd: RawFd,
+    /// Requested wakeup conditions.
+    pub interest: Interest,
+    /// Delivered wakeup conditions; cleared on entry to [`poll`].
+    pub readiness: Readiness,
+}
+
+impl Entry {
+    /// An entry with the given interest and no readiness yet.
+    pub fn new(fd: RawFd, interest: Interest) -> Entry {
+        Entry {
+            fd,
+            interest,
+            readiness: Readiness::default(),
+        }
+    }
+}
+
+/// Polls every entry once, waiting at most `timeout`. Returns the
+/// number of ready entries; `Ok(0)` on timeout or signal
+/// interruption (the caller's loop re-enters either way).
+pub fn poll(entries: &mut [Entry], timeout: Duration) -> io::Result<usize> {
+    let mut fds: Vec<sys::PollFd> = entries
+        .iter()
+        .map(|e| sys::PollFd {
+            fd: e.fd,
+            events: (if e.interest.readable { sys::POLLIN } else { 0 })
+                | (if e.interest.writable { sys::POLLOUT } else { 0 }),
+            revents: 0,
+        })
+        .collect();
+    let timeout_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+    let ready = match sys::poll_fds(&mut fds, timeout_ms) {
+        Ok(n) => n,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+        Err(e) => return Err(e),
+    };
+    for (entry, fd) in entries.iter_mut().zip(&fds) {
+        entry.readiness = Readiness {
+            readable: fd.revents & (sys::POLLIN | sys::POLLHUP) != 0,
+            writable: fd.revents & sys::POLLOUT != 0,
+            failed: fd.revents & (sys::POLLERR | sys::POLLNVAL | sys::POLLHUP) != 0,
+        };
+    }
+    Ok(ready)
+}
+
+/// The receiving half of a shard's wakeup channel; its fd joins the
+/// shard's poll set with read interest.
+#[derive(Debug)]
+pub struct WakeChannel {
+    rx: UdpSocket,
+}
+
+/// The sending half: any thread can [`wake`](Waker::wake) the owning
+/// shard out of `poll`.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UdpSocket,
+}
+
+impl WakeChannel {
+    /// Builds a connected loopback wake pair.
+    pub fn new() -> io::Result<(Waker, WakeChannel)> {
+        let rx = UdpSocket::bind("127.0.0.1:0")?;
+        rx.set_nonblocking(true)?;
+        let tx = UdpSocket::bind("127.0.0.1:0")?;
+        tx.connect(rx.local_addr()?)?;
+        Ok((Waker { tx }, WakeChannel { rx }))
+    }
+
+    /// The fd to include in the poll set.
+    pub fn fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Discards every pending wakeup datagram.
+    pub fn drain(&self) {
+        let mut scratch = [0u8; 64];
+        while self.rx.recv(&mut scratch).is_ok() {}
+    }
+}
+
+impl Waker {
+    /// Wakes the owning shard; best-effort and never blocking.
+    pub fn wake(&self) {
+        let _ = self.tx.send(&[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_times_out_with_no_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut entries = [Entry::new(listener.as_raw_fd(), Interest::READ)];
+        let n = poll(&mut entries, Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0);
+        assert!(!entries[0].readiness.readable);
+    }
+
+    #[test]
+    fn poll_sees_pending_accept_and_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+
+        let mut entries = [Entry::new(listener.as_raw_fd(), Interest::READ)];
+        let n = poll(&mut entries, Duration::from_millis(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(entries[0].readiness.readable, "pending accept is readable");
+
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"x").unwrap();
+        let mut entries = [
+            Entry::new(server_side.as_raw_fd(), Interest::READ),
+            Entry::new(client.as_raw_fd(), Interest::WRITE),
+        ];
+        let n = poll(&mut entries, Duration::from_millis(1000)).unwrap();
+        assert!(n >= 1);
+        assert!(entries[0].readiness.readable, "byte pending");
+        assert!(entries[1].readiness.writable, "idle socket writable");
+    }
+
+    #[test]
+    fn waker_wakes_the_channel() {
+        let (waker, channel) = WakeChannel::new().unwrap();
+        waker.wake();
+        let mut entries = [Entry::new(channel.fd(), Interest::READ)];
+        let n = poll(&mut entries, Duration::from_millis(1000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(entries[0].readiness.readable);
+        channel.drain();
+        let n = poll(&mut entries, Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0, "drained channel is quiet");
+    }
+}

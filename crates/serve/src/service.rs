@@ -316,26 +316,40 @@ impl SweepService {
             results[i] = Some(result);
         }
 
-        let cells: Vec<String> = request
-            .configs
-            .iter()
-            .zip(&results)
-            .map(|(config, result)| {
-                let result = result.as_ref().expect("every cell resolved");
-                cell_json(config, result)
-            })
+        let resolved: Vec<SimResult> = results
+            .into_iter()
+            .map(|r| r.expect("every cell resolved"))
             .collect();
-        let body = Object::new()
-            .str("workload", &request.workload)
-            .u64("seed", request.seed)
-            .u64("branches", source.conditionals() as u64)
-            .u64("warmup", request.warmup as u64)
-            .u64("engine", u64::from(bpred_sim::ENGINE_VERSION))
-            .str("source_id", &source_id)
-            .raw("cells", &array(cells))
-            .build();
+        let body = sweep_body(request, source.conditionals(), &source_id, &resolved);
         Ok((body, provenance))
     }
+}
+
+/// Renders the deterministic JSON body for an answered sweep. Public
+/// so the load harness (`bench_serve`) can compute the expected body
+/// from direct engine results and assert bit-identity against what
+/// the server returned.
+pub fn sweep_body(
+    request: &SweepRequest,
+    conditionals: usize,
+    source_id: &str,
+    results: &[SimResult],
+) -> String {
+    let cells: Vec<String> = request
+        .configs
+        .iter()
+        .zip(results)
+        .map(|(config, result)| cell_json(config, result))
+        .collect();
+    Object::new()
+        .str("workload", &request.workload)
+        .u64("seed", request.seed)
+        .u64("branches", conditionals as u64)
+        .u64("warmup", request.warmup as u64)
+        .u64("engine", u64::from(bpred_sim::ENGINE_VERSION))
+        .str("source_id", source_id)
+        .raw("cells", &array(cells))
+        .build()
 }
 
 fn cell_json(config: &PredictorConfig, result: &SimResult) -> String {

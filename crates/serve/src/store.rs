@@ -51,6 +51,105 @@ const INDEX_FILE: &str = "index.log";
 const OBJECTS_DIR: &str = "objects";
 const TMP_DIR: &str = "tmp";
 
+/// Stripes in the in-memory index lock: one per first hex digit of
+/// the digest, so concurrent hits on different cells almost never
+/// contend on the same mutex.
+const INDEX_STRIPES: usize = 16;
+
+/// The in-memory digest → size index, striped by the digest's first
+/// hex nibble. Each stripe is an independent mutex; whole-index
+/// operations (len, snapshot, replace) visit the stripes one at a
+/// time and never hold two stripe locks at once.
+#[derive(Debug)]
+struct StripedIndex {
+    stripes: [Mutex<HashMap<String, u64>>; INDEX_STRIPES],
+}
+
+impl StripedIndex {
+    fn new() -> StripedIndex {
+        StripedIndex {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn stripe(&self, digest: &str) -> std::sync::MutexGuard<'_, HashMap<String, u64>> {
+        let nibble = digest
+            .as_bytes()
+            .first()
+            .map_or(0, |b| (*b as char).to_digit(16).unwrap_or(0) as usize);
+        // A poisoned stripe only means a writer panicked mid-update of
+        // the in-memory map; the map itself is still consistent
+        // (single-statement updates), so recover it.
+        self.stripes[nibble % INDEX_STRIPES]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn contains(&self, digest: &str) -> bool {
+        self.stripe(digest).contains_key(digest)
+    }
+
+    /// Inserts and reports whether the digest was new.
+    fn insert(&self, digest: &str, len: u64) -> bool {
+        self.stripe(digest).insert(digest.to_owned(), len).is_none()
+    }
+
+    fn remove(&self, digest: &str) {
+        self.stripe(digest).remove(digest);
+    }
+
+    fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// A point-in-time copy of the whole index (not atomic across
+    /// stripes; callers tolerate concurrent churn).
+    fn snapshot(&self) -> HashMap<String, u64> {
+        let mut map = HashMap::with_capacity(self.len());
+        for stripe in &self.stripes {
+            map.extend(
+                stripe
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .map(|(d, &l)| (d.clone(), l)),
+            );
+        }
+        map
+    }
+
+    /// Replaces the entire index contents.
+    fn replace(&self, map: HashMap<String, u64>) {
+        let mut split: Vec<HashMap<String, u64>> =
+            (0..INDEX_STRIPES).map(|_| HashMap::new()).collect();
+        for (digest, len) in map {
+            let nibble = digest
+                .as_bytes()
+                .first()
+                .map_or(0, |b| (*b as char).to_digit(16).unwrap_or(0) as usize);
+            split[nibble % INDEX_STRIPES].insert(digest, len);
+        }
+        for (stripe, fresh) in self.stripes.iter().zip(split) {
+            *stripe.lock().unwrap_or_else(|e| e.into_inner()) = fresh;
+        }
+    }
+}
+
 /// What a [`ResultStore::gc`] pass did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcReport {
@@ -71,8 +170,12 @@ pub struct GcReport {
 #[derive(Debug)]
 pub struct ResultStore {
     root: PathBuf,
-    /// digest → object size in bytes.
-    index: Mutex<HashMap<String, u64>>,
+    /// digest → object size in bytes, striped so concurrent hits on
+    /// different cells don't serialize on one lock.
+    index: StripedIndex,
+    /// Serializes appends to the index journal (the on-disk log is a
+    /// single file regardless of striping).
+    journal: Mutex<()>,
     flight: Flight<SimResult>,
 }
 
@@ -86,13 +189,14 @@ impl ResultStore {
         fs::create_dir_all(root.join(OBJECTS_DIR))?;
         fs::create_dir_all(root.join(TMP_DIR))?;
         let store = ResultStore {
-            index: Mutex::new(HashMap::new()),
+            index: StripedIndex::new(),
+            journal: Mutex::new(()),
             flight: Flight::new(),
             root,
         };
         let loaded = store.load_index().unwrap_or(None);
         match loaded {
-            Some(map) => *store.lock_index() = map,
+            Some(map) => store.index.replace(map),
             None => store.rebuild_index()?,
         }
         Ok(store)
@@ -105,24 +209,17 @@ impl ResultStore {
 
     /// Number of cached cells.
     pub fn len(&self) -> usize {
-        self.lock_index().len()
+        self.index.len()
     }
 
     /// Returns `true` when no cells are cached.
     pub fn is_empty(&self) -> bool {
-        self.lock_index().is_empty()
+        self.index.len() == 0
     }
 
     /// Total bytes of cached objects (per the index).
     pub fn total_bytes(&self) -> u64 {
-        self.lock_index().values().sum()
-    }
-
-    fn lock_index(&self) -> std::sync::MutexGuard<'_, HashMap<String, u64>> {
-        // A poisoned index only means a writer panicked mid-update of
-        // the in-memory map; the map itself is still consistent
-        // (single-statement updates), so recover it.
-        self.index.lock().unwrap_or_else(|e| e.into_inner())
+        self.index.total_bytes()
     }
 
     fn object_path(&self, digest: &str) -> PathBuf {
@@ -192,7 +289,7 @@ impl ResultStore {
             }
         }
         self.write_compacted_index(&map)?;
-        *self.lock_index() = map;
+        self.index.replace(map);
         Ok(())
     }
 
@@ -206,6 +303,7 @@ impl ResultStore {
     }
 
     fn append_index_line(&self, line: &str) -> io::Result<()> {
+        let _journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -226,7 +324,7 @@ impl ResultStore {
     /// by recomputation).
     pub fn get(&self, key: &CellKey) -> Option<SimResult> {
         let digest = key.digest();
-        if !self.lock_index().contains_key(&digest) {
+        if !self.index.contains(&digest) {
             return None;
         }
         let path = self.object_path(&digest);
@@ -248,7 +346,7 @@ impl ResultStore {
     }
 
     fn forget(&self, digest: &str) {
-        self.lock_index().remove(digest);
+        self.index.remove(digest);
         let _ = self.append_index_line(&format!("-\t{digest}\n"));
     }
 
@@ -263,10 +361,7 @@ impl ResultStore {
         let tmp = self.tmp_path(&digest);
         fs::write(&tmp, &bytes)?;
         fs::rename(&tmp, &path)?;
-        let fresh = self
-            .lock_index()
-            .insert(digest.clone(), bytes.len() as u64)
-            .is_none();
+        let fresh = self.index.insert(&digest, bytes.len() as u64);
         if fresh {
             self.append_index_line(&format!("+\t{digest}\t{}\n", bytes.len()))?;
         }
@@ -305,11 +400,7 @@ impl ResultStore {
     /// Evicts oldest-modified objects until the store holds at most
     /// `max_bytes`, then compacts the index journal.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
-        let snapshot: Vec<(String, u64)> = self
-            .lock_index()
-            .iter()
-            .map(|(d, &l)| (d.clone(), l))
-            .collect();
+        let snapshot: Vec<(String, u64)> = self.index.snapshot().into_iter().collect();
         let mut aged: Vec<(SystemTime, String, u64)> = Vec::with_capacity(snapshot.len());
         let mut total: u64 = 0;
         for (digest, len) in snapshot {
@@ -327,12 +418,12 @@ impl ResultStore {
                 break;
             }
             let _ = fs::remove_file(self.object_path(digest));
-            self.lock_index().remove(digest);
+            self.index.remove(digest);
             total -= len;
             report.evicted += 1;
             report.freed_bytes += len;
         }
-        let map = self.lock_index().clone();
+        let map = self.index.snapshot();
         report.kept = map.len();
         report.kept_bytes = map.values().sum();
         self.write_compacted_index(&map)?;

@@ -1,0 +1,173 @@
+//! Property fuzz for the incremental HTTP/1.1 parser: arbitrary byte
+//! noise never panics, valid requests round-trip under any read-chunk
+//! split (including folding and body boundaries landing mid-chunk),
+//! and prefix feeding is monotone — `Incomplete` until the full
+//! request, then the same parse as one-shot.
+
+use bpred_serve::http::{parse_request, Parsed, Request};
+use proptest::prelude::*;
+
+/// A string drawn from `alphabet`, `min..max` chars (the vendored
+/// proptest subset has no regex strategies).
+fn chars_of(alphabet: &'static str, min: usize, max: usize) -> impl Strategy<Value = String> {
+    let letters: Vec<char> = alphabet.chars().collect();
+    prop::collection::vec(prop::sample::select(letters), min..max)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const ALNUM: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+const QUERYISH: &str = "abcdefghijklmnopqrstuvwxyz0123456789%+.=-";
+
+/// Reference one-shot parse, as (method, path, query, body,
+/// keep_alive, consumed).
+fn parse_ok(buf: &[u8]) -> Option<(Request, usize)> {
+    match parse_request(buf) {
+        Parsed::Request(request, consumed) => Some((request, consumed)),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: parse returns Incomplete/Error/Request but
+    /// never panics, and consumed never exceeds the buffer.
+    #[test]
+    fn arbitrary_noise_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        match parse_request(&bytes) {
+            Parsed::Request(_, consumed) => prop_assert!(consumed <= bytes.len()),
+            Parsed::Incomplete | Parsed::Error(_) => {}
+        }
+    }
+
+    /// Noise appended after a valid request never changes the first
+    /// parse (pipelining safety).
+    #[test]
+    fn trailing_noise_does_not_change_the_first_parse(
+        path_seg in chars_of(LOWER, 1, 12),
+        param in chars_of(LOWER, 1, 8),
+        value in chars_of(QUERYISH, 0, 16),
+        noise in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let head = format!("GET /{path_seg}?{param}={value} HTTP/1.1\r\nHost: x\r\n\r\n");
+        let (want, consumed) = parse_ok(head.as_bytes()).expect("valid request parses");
+        prop_assert_eq!(consumed, head.len());
+
+        let mut buf = head.clone().into_bytes();
+        buf.extend_from_slice(&noise);
+        let (got, consumed2) = parse_ok(&buf).expect("still parses with a pipelined tail");
+        prop_assert_eq!(consumed2, consumed);
+        prop_assert_eq!(got.method, want.method);
+        prop_assert_eq!(got.path, want.path);
+        prop_assert_eq!(got.query, want.query);
+        prop_assert_eq!(got.keep_alive, want.keep_alive);
+    }
+
+    /// Incremental feeding: every strict prefix of a valid request is
+    /// Incomplete (never an error, never a short parse), and the full
+    /// buffer parses identically no matter how it arrived.
+    #[test]
+    fn prefix_feeding_is_monotone(
+        path_seg in chars_of(LOWER, 1, 10),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        keep_alive in any::<bool>(),
+    ) {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut full = format!(
+            "POST /{path_seg} HTTP/1.1\r\nHost: x\r\nConnection: {connection}\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        let head_len = full.len();
+        full.extend_from_slice(&body);
+
+        for cut in 0..full.len() {
+            match parse_request(&full[..cut]) {
+                Parsed::Incomplete => {}
+                Parsed::Request(_, consumed) => {
+                    // A strict prefix may only parse if the request
+                    // was already complete at the cut (cannot happen:
+                    // content-length pins the end).
+                    prop_assert!(consumed <= cut);
+                    prop_assert!(cut >= head_len + body.len());
+                }
+                Parsed::Error(e) => prop_assert!(false, "prefix {cut} errored: {e:?}"),
+            }
+        }
+        let (request, consumed) = parse_ok(&full).expect("full request parses");
+        prop_assert_eq!(consumed, full.len());
+        prop_assert_eq!(request.method, "POST");
+        prop_assert_eq!(request.path, format!("/{path_seg}"));
+        prop_assert_eq!(request.body, body);
+        prop_assert_eq!(request.keep_alive, keep_alive);
+    }
+
+    /// Folded (obs-fold) headers parse identically however the fold
+    /// is split, and never panic.
+    #[test]
+    fn folded_headers_survive_any_split(
+        first in chars_of(ALNUM, 1, 16),
+        second in chars_of(ALNUM, 1, 16),
+        ws in prop::sample::select(vec![" ", "\t", "   "]),
+    ) {
+        let head = format!(
+            "GET /x HTTP/1.1\r\nHost: x\r\nX-Fold: {first}\r\n{ws}{second}\r\n\r\n"
+        );
+        let (request, consumed) = parse_ok(head.as_bytes()).expect("folded header parses");
+        prop_assert_eq!(consumed, head.len());
+        prop_assert_eq!(request.path, "/x");
+        // Every strict prefix stays Incomplete.
+        for cut in 0..head.len() {
+            prop_assert!(
+                matches!(parse_request(head.as_bytes()[..cut].as_ref()), Parsed::Incomplete),
+                "prefix {cut} must be incomplete"
+            );
+        }
+    }
+
+    /// Chunked arrival: reassembling a valid request from arbitrary
+    /// split points always yields the same parse as one-shot.
+    #[test]
+    fn chunk_boundaries_do_not_change_the_parse(
+        query_val in chars_of(QUERYISH, 0, 24),
+        body in proptest::collection::vec(any::<u8>(), 0..48),
+        splits in proptest::collection::vec(1usize..64, 0..6),
+    ) {
+        let mut full = format!(
+            "POST /sweep?q={query_val} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        full.extend_from_slice(&body);
+
+        let (want, want_consumed) = parse_ok(&full).expect("valid request");
+
+        // Feed in chunks at the given split points, parsing after
+        // every chunk exactly as the server's read loop does.
+        let mut buf: Vec<u8> = Vec::new();
+        let mut offset = 0usize;
+        let mut outcome = None;
+        for &s in &splits {
+            let end = (offset + s).min(full.len());
+            buf.extend_from_slice(&full[offset..end]);
+            offset = end;
+            match parse_request(&buf) {
+                Parsed::Incomplete => {}
+                Parsed::Request(r, c) => { outcome = Some((r, c)); break; }
+                Parsed::Error(e) => prop_assert!(false, "chunked feed errored: {e:?}"),
+            }
+        }
+        if outcome.is_none() {
+            buf.extend_from_slice(&full[offset..]);
+            outcome = parse_ok(&buf);
+        }
+        let (got, consumed) = outcome.expect("reassembled request parses");
+        prop_assert_eq!(consumed, want_consumed);
+        prop_assert_eq!(got.method, want.method);
+        prop_assert_eq!(got.path, want.path);
+        prop_assert_eq!(got.query, want.query);
+        prop_assert_eq!(got.body, want.body);
+        prop_assert_eq!(got.keep_alive, want.keep_alive);
+    }
+}

@@ -24,6 +24,7 @@ fn start(cache: Option<PathBuf>) -> ServerHandle {
         workers: 4,
         cache_dir: cache,
         max_branches: 2_000_000,
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }
@@ -223,6 +224,11 @@ fn metrics_exposition_is_well_formed() {
         "bpred_batch_seconds_bucket{le=\"+Inf\"}",
         "bpred_batch_seconds_sum",
         "bpred_batch_seconds_count",
+        "bpred_serve_requests_total{status=\"200\"}",
+        "bpred_serve_requests_total{status=\"429\"}",
+        "bpred_serve_connections_open",
+        "bpred_serve_shed_total",
+        "bpred_serve_queue_depth",
     ] {
         assert!(text.contains(series), "missing series {series}");
     }

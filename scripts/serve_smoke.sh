@@ -69,4 +69,20 @@ cmp "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json" \
 [[ "$RECORDS_WARM" -eq "$RECORDS_COLD" ]] \
     || { echo "FAIL: warm request replayed records ($RECORDS_COLD -> $RECORDS_WARM)"; exit 1; }
 
+# The event-driven serve layer's metrics surface: per-status request
+# counts, the connection gauge, the shed counter, and the queue gauge
+# must all be present in the exposition.
+METRICS=$(curl -fsS "$BASE/metrics")
+for series in \
+    'bpred_serve_requests_total{status="200"}' \
+    'bpred_serve_requests_total{status="429"}' \
+    'bpred_serve_connections_open' \
+    'bpred_serve_shed_total' \
+    'bpred_serve_queue_depth'; do
+    echo "$METRICS" | grep -qF "$series" \
+        || { echo "FAIL: /metrics missing series $series"; exit 1; }
+done
+OK_COUNT=$(echo "$METRICS" | grep -F 'bpred_serve_requests_total{status="200"}' | awk '{ print $2 }')
+[[ "$OK_COUNT" -gt 0 ]] || { echo "FAIL: no 200s counted in bpred_serve_requests_total"; exit 1; }
+
 echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM records=$RECORDS_WARM ${PAIRS_LINE})"
