@@ -34,8 +34,10 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bpred_serve::peers::PeerSet;
 use bpred_serve::server::{Server, ServerConfig};
 use bpred_serve::service::{sweep_body, SweepRequest};
+use bpred_serve::store::{Backend, StoreOptions};
 use bpred_sim::cache::run_configs_keyed;
 use bpred_sim::Simulator;
 use bpred_workloads::{suite, WorkloadSource};
@@ -229,6 +231,108 @@ fn run_scenario(
     }
 }
 
+/// One store-tier scenario's measured numbers.
+struct StorePass {
+    scenario: &'static str,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Drives every target `repeats` times over one keep-alive
+/// connection and returns the percentiles of the per-request
+/// latencies (bit-identity asserted inside [`request`]).
+fn store_pass(
+    addr: SocketAddr,
+    scenario: &'static str,
+    targets: &[Target],
+    repeats: usize,
+) -> StorePass {
+    let mut conn: Option<BufReader<TcpStream>> = None;
+    let mut latencies = Vec::with_capacity(targets.len() * repeats);
+    for _ in 0..repeats {
+        for target in targets {
+            let (latency, _) = request(addr, &mut conn, target, true);
+            latencies.push(latency.as_secs_f64() * 1e3);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let percentile = |p: f64| latencies[((latencies.len() as f64 - 1.0) * p).round() as usize];
+    StorePass {
+        scenario,
+        requests: latencies.len(),
+        p50_ms: percentile(0.50),
+        p99_ms: percentile(0.99),
+    }
+}
+
+fn store_options(backend: Backend, peers: Option<PeerSet>) -> StoreOptions {
+    StoreOptions {
+        backend,
+        hot_bytes: 64 << 20,
+        seal_bytes: 8 << 20,
+        peers,
+        auto_migrate: true,
+    }
+}
+
+fn start_node(cache_dir: &std::path::Path, options: StoreOptions) -> bpred_serve::ServerHandle {
+    let _ = std::fs::remove_dir_all(cache_dir);
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        cache_dir: Some(cache_dir.to_path_buf()),
+        store: options,
+        ..ServerConfig::default()
+    })
+    .expect("store-bench node starts")
+}
+
+/// Store-tier comparison: cold compute into pack segments, repeat
+/// hits served by the hot tier, the same repeats against the flat
+/// object-tree backend, and a cold node warming itself entirely over
+/// the peer protocol. Returns the passes plus the peer-warm cell
+/// accounting `(cells, peer_cells)`.
+fn run_store_scenarios(
+    warm: &[Target],
+    repeats: usize,
+    scratch: &std::path::Path,
+) -> (Vec<StorePass>, usize, u64) {
+    let mut passes = Vec::new();
+
+    // Packed backend: first pass computes every cell (cold), repeat
+    // passes must be answered from the in-memory hot tier.
+    let packed_dir = scratch.join("packed");
+    let packed = start_node(&packed_dir, store_options(Backend::Packed, None));
+    passes.push(store_pass(packed.addr(), "pack_cold", warm, 1));
+    passes.push(store_pass(packed.addr(), "hot_warm", warm, repeats));
+
+    // Flat backend (the previous one-file-per-object layout): same
+    // warm repeats, but every hit opens and reads a file.
+    let flat_dir = scratch.join("flat");
+    let flat = start_node(&flat_dir, store_options(Backend::Flat, None));
+    store_pass(flat.addr(), "flat_prime", warm, 1);
+    passes.push(store_pass(flat.addr(), "flat_warm", warm, repeats));
+    flat.shutdown();
+
+    // Peer warm: a cold node whose only source of cells is the warm
+    // packed node — every cell must arrive by digest fetch.
+    let peer_dir = scratch.join("peer");
+    let peers = PeerSet::from_list(&packed.addr().to_string()).expect("peer list");
+    let cold_node = start_node(&peer_dir, store_options(Backend::Packed, Some(peers)));
+    passes.push(store_pass(cold_node.addr(), "peer_warm", warm, 1));
+    let store = cold_node.store().expect("node has a store");
+    let cells = store.len();
+    let peer_cells = store
+        .stats()
+        .peer_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    cold_node.shutdown();
+    packed.shutdown();
+
+    let _ = std::fs::remove_dir_all(scratch);
+    (passes, cells, peer_cells)
+}
+
 fn json_escape(text: &str) -> String {
     text.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -332,6 +436,48 @@ fn main() -> ExitCode {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // Store-tier comparison on the warm pool: cold pack writes, hot
+    // repeats, flat-backend repeats, and a two-node peer warm-up.
+    let store_scratch =
+        std::env::temp_dir().join(format!("bpred-bench-store-{}", std::process::id()));
+    let store_repeats = if quick { 8 } else { 32 };
+    let (store_passes, peer_total, peer_cells) =
+        run_store_scenarios(&warm, store_repeats, &store_scratch);
+    for pass in &store_passes {
+        eprintln!(
+            "store {:<10} {:>4} reqs  p50 {:>7.3} ms  p99 {:>7.3} ms",
+            pass.scenario, pass.requests, pass.p50_ms, pass.p99_ms
+        );
+    }
+    let peer_fraction = if peer_total == 0 {
+        0.0
+    } else {
+        peer_cells as f64 / peer_total as f64
+    };
+    eprintln!(
+        "store peer_warm    {peer_cells}/{peer_total} cells arrived via peer fetch ({:.0}%)",
+        peer_fraction * 100.0
+    );
+    if peer_fraction < 0.9 {
+        eprintln!("error: peer warm-up below 90% — the peer tier is not pulling its weight");
+        return ExitCode::FAILURE;
+    }
+    let hot_p50 = store_passes
+        .iter()
+        .find(|p| p.scenario == "hot_warm")
+        .map(|p| p.p50_ms)
+        .unwrap_or(f64::INFINITY);
+    let flat_p50 = store_passes
+        .iter()
+        .find(|p| p.scenario == "flat_warm")
+        .map(|p| p.p50_ms)
+        .unwrap_or(0.0);
+    if hot_p50 > flat_p50 {
+        eprintln!(
+            "warning: hot-tier warm p50 ({hot_p50:.3} ms) did not beat the flat store ({flat_p50:.3} ms)"
+        );
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"serve_latency\",");
@@ -365,7 +511,24 @@ fn main() -> ExitCode {
             m.mode, m.concurrency, m.requests, m.sheds, m.rps, m.p50_ms, m.p99_ms
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"store\": {{");
+    let _ = writeln!(json, "    \"warm_repeats\": {store_repeats},");
+    let _ = writeln!(json, "    \"scenarios\": [");
+    for (i, pass) in store_passes.iter().enumerate() {
+        let comma = if i + 1 == store_passes.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"scenario\": \"{}\", \"requests\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{comma}",
+            pass.scenario, pass.requests, pass.p50_ms, pass.p99_ms
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"peer_warm\": {{\"cells\": {peer_total}, \"peer_cells\": {peer_cells}, \"peer_fraction\": {peer_fraction:.3}}}"
+    );
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -1,8 +1,11 @@
-//! `bpred-serve` binary: the sweep service over HTTP.
+//! `bpred-serve` binary: the sweep service over HTTP, plus store
+//! maintenance subcommands.
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--cache-dir DIR] [--shards N] [--workers N]
-//!       [--queue N] [--max-branches N]
+//!       [--queue N] [--max-branches N] [--peers HOST:PORT,...]
+//! serve store migrate DIR     pack a legacy flat object tree into segments
+//! serve store stats DIR       print tier sizes and counts
 //! ```
 //!
 //! `--cache-dir` defaults to `BPRED_CACHE_DIR` when set; with neither,
@@ -11,30 +14,118 @@
 //!
 //! Env knobs (flags win): `BPRED_SERVE_QUEUE` (compute queue depth),
 //! `BPRED_SERVE_TIMEOUT_MS` (read/write timeout),
-//! `BPRED_SERVE_IDLE_MS` (keep-alive idle timeout).
+//! `BPRED_SERVE_IDLE_MS` (keep-alive idle timeout),
+//! `BPRED_SERVE_PEERS` (peer nodes for cell exchange),
+//! `BPRED_STORE_HOT_BYTES` / `BPRED_STORE_SEAL_BYTES` /
+//! `BPRED_STORE_BACKEND` (store tuning).
 
 use std::process::ExitCode;
 
+use bpred_serve::peers::PeerSet;
 use bpred_serve::server::{Server, ServerConfig};
+use bpred_serve::store::{self, Backend, ResultStore, StoreOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--cache-dir DIR] [--shards N] [--workers N]\n\
-         \x20            [--queue N] [--max-branches N]\n\
+         \x20            [--queue N] [--max-branches N] [--peers HOST:PORT,...]\n\
+         \x20      serve store migrate DIR\n\
+         \x20      serve store stats DIR\n\
          \n\
          endpoints:\n\
          \x20 GET /healthz\n\
          \x20 GET /metrics\n\
          \x20 GET /sweep?workload=<name>&configs=<cfg>;<cfg>[&seed=N][&branches=N][&warmup=N]\n\
+         \x20 GET /cell/<digest>   (peer cell exchange)\n\
+         \x20 PUT /cell/<digest>\n\
          \n\
          defaults: --addr 127.0.0.1:8199, --shards 2, --workers 4, --max-branches 2000000,\n\
-         --queue $BPRED_SERVE_QUEUE (64), --cache-dir $BPRED_CACHE_DIR (unset: uncached);\n\
-         timeouts via BPRED_SERVE_TIMEOUT_MS (10000) and BPRED_SERVE_IDLE_MS (30000)"
+         --queue $BPRED_SERVE_QUEUE (64), --cache-dir $BPRED_CACHE_DIR (unset: uncached),\n\
+         --peers $BPRED_SERVE_PEERS (unset: no peer fetch);\n\
+         timeouts via BPRED_SERVE_TIMEOUT_MS (10000) and BPRED_SERVE_IDLE_MS (30000);\n\
+         store tuning via BPRED_STORE_HOT_BYTES, BPRED_STORE_SEAL_BYTES, BPRED_STORE_BACKEND"
     );
     std::process::exit(2);
 }
 
+/// `serve store migrate DIR` — pack a legacy flat tree into segments.
+fn store_migrate(dir: &str) -> ExitCode {
+    // Opening the packed backend migrates any `objects/` tree it
+    // finds; all this subcommand adds is the report.
+    let options = StoreOptions {
+        backend: Backend::Packed,
+        ..StoreOptions::from_env()
+    };
+    match ResultStore::open_with(dir, options) {
+        Ok(store) => {
+            match store.migration() {
+                Some(report) => println!(
+                    "migrated {} objects ({} bytes) into pack segments, skipped {} corrupt",
+                    report.migrated, report.bytes, report.skipped
+                ),
+                None => println!("no legacy objects/ tree; store is already packed"),
+            }
+            println!(
+                "store now holds {} cells in {} segments ({} payload bytes)",
+                store.len(),
+                store.segments(),
+                store.total_bytes()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot open store at {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `serve store stats DIR` — sizes and counts per tier, read-only
+/// with respect to the legacy tree (no auto-migration).
+fn store_stats(dir: &str) -> ExitCode {
+    let options = StoreOptions {
+        backend: Backend::Packed,
+        auto_migrate: false,
+        ..StoreOptions::from_env()
+    };
+    match ResultStore::open_with(dir, options) {
+        Ok(store) => {
+            println!("engine version : {}", store::engine_version());
+            println!("cells          : {}", store.len());
+            println!("segments       : {}", store.segments());
+            println!("payload bytes  : {}", store.total_bytes());
+            let legacy = std::path::Path::new(dir).join("objects");
+            if legacy.is_dir() {
+                let objects: usize = std::fs::read_dir(&legacy)
+                    .map(|fans| {
+                        fans.filter_map(|f| f.ok())
+                            .filter_map(|f| std::fs::read_dir(f.path()).ok())
+                            .map(|files| files.count())
+                            .sum()
+                    })
+                    .unwrap_or(0);
+                println!("legacy objects : {objects} (run `serve store migrate {dir}`)");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot open store at {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("store") {
+        return match (args.get(1).map(String::as_str), args.get(2)) {
+            (Some("migrate"), Some(dir)) if args.len() == 3 => store_migrate(dir),
+            (Some("stats"), Some(dir)) if args.len() == 3 => store_stats(dir),
+            _ => usage(),
+        };
+    }
+
     let mut config = ServerConfig {
         addr: "127.0.0.1:8199".to_owned(),
         ..ServerConfig::default()
@@ -53,12 +144,19 @@ fn main() -> ExitCode {
         })
     }
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => config.addr = value(&args, &mut i, "--addr"),
             "--cache-dir" => config.cache_dir = Some(value(&args, &mut i, "--cache-dir").into()),
+            "--peers" => {
+                let list = value(&args, &mut i, "--peers");
+                config.store.peers = PeerSet::from_list(&list);
+                if config.store.peers.is_none() {
+                    eprintln!("error: --peers needs a comma-separated host:port list");
+                    return ExitCode::from(2);
+                }
+            }
             "--workers" => {
                 config.workers = match value(&args, &mut i, "--workers").parse() {
                     Ok(n) if n > 0 => n,
@@ -109,10 +207,18 @@ fn main() -> ExitCode {
         .as_ref()
         .map(|d| format!("result store at {}", d.display()))
         .unwrap_or_else(|| "uncached (set BPRED_CACHE_DIR or --cache-dir)".to_owned());
+    let peer_note = config
+        .store
+        .peers
+        .as_ref()
+        .map(|p| format!("peers: {}", p.addrs().join(", ")));
     match Server::start(config) {
         Ok(handle) => {
             println!("bpred-serve listening on http://{}", handle.addr());
             println!("{cache_note}");
+            if let Some(note) = peer_note {
+                println!("{note}");
+            }
             // Serve until killed.
             loop {
                 std::thread::park();

@@ -160,6 +160,21 @@ pub fn encode(canonical_key: &str, result: &SimResult) -> Vec<u8> {
 /// Decodes a stored object, verifying the checksum and that its
 /// embedded canonical key equals `expect_key`.
 pub fn decode(bytes: &[u8], expect_key: &str) -> Result<SimResult, CodecError> {
+    let (stored_key, result) = decode_verified(bytes)?;
+    if stored_key != expect_key {
+        return Err(CodecError::KeyMismatch { stored: stored_key });
+    }
+    Ok(result)
+}
+
+/// Decodes a stored object, verifying the checksum and structure but
+/// accepting whatever canonical key it embeds — the key is returned
+/// alongside the result so the caller can judge identity itself.
+///
+/// This is how a peer-pushed object is validated: the store checks
+/// that the digest of the returned key matches the content address
+/// the object claims to answer, without knowing the key in advance.
+pub fn decode_verified(bytes: &[u8]) -> Result<(String, SimResult), CodecError> {
     if bytes.len() < MAGIC.len() + 4 + 8 {
         return Err(CodecError::Truncated);
     }
@@ -207,17 +222,17 @@ pub fn decode(bytes: &[u8], expect_key: &str) -> Result<SimResult, CodecError> {
     if !buf.is_empty() {
         return Err(CodecError::TrailingBytes);
     }
-    if stored_key != expect_key {
-        return Err(CodecError::KeyMismatch { stored: stored_key });
-    }
-    Ok(SimResult {
-        predictor,
-        state_bits,
-        conditionals,
-        mispredictions,
-        alias,
-        bht,
-    })
+    Ok((
+        stored_key,
+        SimResult {
+            predictor,
+            state_bits,
+            conditionals,
+            mispredictions,
+            alias,
+            bht,
+        },
+    ))
 }
 
 #[cfg(test)]

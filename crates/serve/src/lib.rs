@@ -5,13 +5,16 @@
 //! reruns. This crate makes that structure operational with two
 //! layers:
 //!
-//! * **[`store`]** — a content-addressed on-disk cache of
+//! * **[`store`]** — a tiered content-addressed cache of
 //!   [`SimResult`](bpred_sim::SimResult)s, keyed by the stable digest
 //!   of a sweep cell's [`CellKey`](bpred_sim::CellKey) (workload
 //!   stream identity × predictor configuration × warmup × engine
-//!   version). Writes are atomic, loads verify checksums and embedded
-//!   keys, and an index file makes startup O(entries) without a full
-//!   object scan. [`ResultStore`] implements
+//!   version). Reads fall through a sharded in-memory **hot tier**
+//!   ([`hot`]), checksummed append-only **pack segments** with a
+//!   persistent page-aligned index ([`pack`]), and optional **peer
+//!   nodes** fetched by digest over HTTP ([`peers`]); every tier's
+//!   bytes are verified (checksum + embedded canonical key) before
+//!   being believed. [`ResultStore`] implements
 //!   [`ResultCache`](bpred_sim::ResultCache), so installing one via
 //!   [`install_from_env`] transparently memoises every keyed sweep in
 //!   the process (the `bpred-bench` binaries do this when
@@ -51,15 +54,21 @@
 
 pub mod codec;
 pub mod flight;
+pub mod hot;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod pack;
+pub mod peers;
 pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod store;
 
 pub use metrics::Metrics;
+pub use peers::PeerSet;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{sweep_body, SweepRequest, SweepService};
-pub use store::{install_from_env, GcReport, ResultStore};
+pub use store::{
+    install_from_env, Backend, GcReport, MigrateReport, ResultStore, StoreOptions, StoreStats,
+};

@@ -8,7 +8,10 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+use crate::store::StoreStats;
 
 /// Upper bounds (seconds) of the batch-latency histogram buckets; a
 /// `+Inf` bucket is implicit.
@@ -80,6 +83,9 @@ pub struct Metrics {
     pub inflight_batches: AtomicU64,
     /// Batch wall-clock latency.
     pub batch_latency: Histogram,
+    /// Per-tier store counters, attached when the server opens its
+    /// result store; the store series render as zeros until then.
+    store: OnceLock<Arc<StoreStats>>,
 }
 
 impl Metrics {
@@ -96,6 +102,12 @@ impl Metrics {
     /// Adds `n` to a counter.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Shares the result store's per-tier counters with this
+    /// exposition (idempotent; the first attachment wins).
+    pub fn attach_store(&self, stats: Arc<StoreStats>) {
+        let _ = self.store.set(stats);
     }
 
     /// Counts one response by its status code.
@@ -214,6 +226,40 @@ impl Metrics {
             "bpred_serve_queue_depth {}",
             self.queue_depth.load(Ordering::Relaxed)
         );
+
+        // Tiered result store: per-tier hit counters plus the
+        // segment-count and hot-tier-size gauges. Rendered (as
+        // zeros) even before a store is attached so the exposition
+        // schema is stable.
+        let store = self.store.get();
+        let tier =
+            |f: fn(&StoreStats) -> &AtomicU64| store.map_or(0, |s| f(s).load(Ordering::Relaxed));
+        let _ = writeln!(
+            out,
+            "# HELP bpred_store_hits_total Cells answered, by store tier"
+        );
+        let _ = writeln!(out, "# TYPE bpred_store_hits_total counter");
+        let _ = writeln!(
+            out,
+            "bpred_store_hits_total{{tier=\"hot\"}} {}",
+            tier(|s| &s.hot_hits)
+        );
+        let _ = writeln!(
+            out,
+            "bpred_store_hits_total{{tier=\"pack\"}} {}",
+            tier(|s| &s.pack_hits)
+        );
+        let _ = writeln!(
+            out,
+            "bpred_store_hits_total{{tier=\"peer\"}} {}",
+            tier(|s| &s.peer_hits)
+        );
+        let _ = writeln!(out, "# HELP bpred_store_segments Pack segments on disk");
+        let _ = writeln!(out, "# TYPE bpred_store_segments gauge");
+        let _ = writeln!(out, "bpred_store_segments {}", tier(|s| &s.segments));
+        let _ = writeln!(out, "# HELP bpred_store_hot_bytes Hot-tier resident bytes");
+        let _ = writeln!(out, "# TYPE bpred_store_hot_bytes gauge");
+        let _ = writeln!(out, "bpred_store_hot_bytes {}", tier(|s| &s.hot_bytes));
 
         // Engine-side counter: lane-records replayed through the
         // chunked sweep pipeline, process-wide (so it covers every
@@ -371,6 +417,29 @@ mod tests {
             .parse()
             .expect("numeric value");
         assert!(value > 0.0, "{line}");
+    }
+
+    #[test]
+    fn store_series_render_zeroed_then_attached() {
+        let m = Metrics::new();
+        let text = m.render_prometheus();
+        assert!(text.contains("bpred_store_hits_total{tier=\"hot\"} 0"));
+        assert!(text.contains("bpred_store_hits_total{tier=\"pack\"} 0"));
+        assert!(text.contains("bpred_store_hits_total{tier=\"peer\"} 0"));
+        assert!(text.contains("bpred_store_segments 0"));
+        assert!(text.contains("bpred_store_hot_bytes 0"));
+
+        let stats = Arc::new(StoreStats::default());
+        stats.hot_hits.fetch_add(3, Ordering::Relaxed);
+        stats.peer_hits.fetch_add(1, Ordering::Relaxed);
+        stats.segments.store(2, Ordering::Relaxed);
+        stats.hot_bytes.store(4096, Ordering::Relaxed);
+        m.attach_store(stats);
+        let text = m.render_prometheus();
+        assert!(text.contains("bpred_store_hits_total{tier=\"hot\"} 3"));
+        assert!(text.contains("bpred_store_hits_total{tier=\"peer\"} 1"));
+        assert!(text.contains("bpred_store_segments 2"));
+        assert!(text.contains("bpred_store_hot_bytes 4096"));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Peer cell-exchange: fetch missing cells by digest from other
+//! serve nodes before computing them.
+//!
+//! A node configured with `BPRED_SERVE_PEERS=host:port,host:port`
+//! asks each peer in turn for `GET /cell/<digest>` when a cell misses
+//! both local tiers; the first `200 OK` wins. Peer bytes are never
+//! trusted blindly — the store decodes them against the *expected*
+//! canonical key (checksum plus embedded-key check), so a confused or
+//! malicious peer can only cause a miss, never a wrong answer. This
+//! keeps every read bit-identical to a local recomputation.
+//!
+//! The client is deliberately plain: one blocking connection per
+//! fetch with short connect/IO timeouts, `Connection: close`, no
+//! pooling — a peer fetch replaces a full simulation, so a millisecond
+//! of handshake noise is irrelevant, and a dead peer costs one bounded
+//! timeout before the node falls back to computing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default per-peer connect timeout.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(1000);
+/// Default per-peer read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_millis(5000);
+/// Largest cell object a peer may hand us.
+const MAX_PEER_BODY: usize = 1 << 20;
+
+/// The set of peer nodes cells may be fetched from.
+#[derive(Debug, Clone)]
+pub struct PeerSet {
+    peers: Vec<String>,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl PeerSet {
+    /// Parses a comma-separated `host:port` list (the
+    /// `BPRED_SERVE_PEERS` format). Whitespace around entries is
+    /// ignored; `None` when the list has no usable entries.
+    pub fn from_list(list: &str) -> Option<PeerSet> {
+        let peers: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if peers.is_empty() {
+            return None;
+        }
+        Some(PeerSet {
+            peers,
+            connect_timeout: CONNECT_TIMEOUT,
+            io_timeout: IO_TIMEOUT,
+        })
+    }
+
+    /// The configured peer addresses.
+    pub fn addrs(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Asks each peer for the cell stored under `digest_hex`;
+    /// returns the first `200 OK` body. Any network or protocol
+    /// failure just moves on to the next peer.
+    pub fn fetch(&self, digest_hex: &str) -> Option<Vec<u8>> {
+        for peer in &self.peers {
+            if let Some(body) = self.fetch_one(peer, digest_hex) {
+                return Some(body);
+            }
+        }
+        None
+    }
+
+    fn fetch_one(&self, peer: &str, digest_hex: &str) -> Option<Vec<u8>> {
+        let request =
+            format!("GET /cell/{digest_hex} HTTP/1.1\r\nHost: {peer}\r\nConnection: close\r\n\r\n");
+        let (status, body) = self.exchange(peer, request.as_bytes())?;
+        (status == 200).then_some(body)
+    }
+
+    /// Offers the object for `digest_hex` to every peer (best
+    /// effort); returns how many accepted it.
+    pub fn push(&self, digest_hex: &str, payload: &[u8]) -> usize {
+        let mut accepted = 0;
+        for peer in &self.peers {
+            let mut request = format!(
+                "PUT /cell/{digest_hex} HTTP/1.1\r\nHost: {peer}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                payload.len()
+            )
+            .into_bytes();
+            request.extend_from_slice(payload);
+            if matches!(self.exchange(peer, &request), Some((200, _))) {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// One request/response round trip with `peer`. `None` on any
+    /// connect, IO, or parse failure.
+    fn exchange(&self, peer: &str, request: &[u8]) -> Option<(u16, Vec<u8>)> {
+        let addr: SocketAddr = peer.to_socket_addrs().ok()?.next()?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout).ok()?;
+        stream.set_read_timeout(Some(self.io_timeout)).ok()?;
+        stream.set_write_timeout(Some(self.io_timeout)).ok()?;
+        stream.write_all(request).ok()?;
+        // Connection: close — read until EOF, bounded.
+        let mut response = Vec::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    response.extend_from_slice(&buf[..n]);
+                    if response.len() > MAX_PEER_BODY + 8192 {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+        parse_response(&response)
+    }
+}
+
+/// Splits a raw HTTP/1.1 response into (status, body), honouring
+/// Content-Length when present (trailing bytes are ignored).
+fn parse_response(raw: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok();
+        }
+    }
+    let body = &raw[head_end..];
+    let body = match content_length {
+        Some(len) if len <= body.len() => &body[..len],
+        Some(_) => return None, // truncated
+        None => body,
+    };
+    if body.len() > MAX_PEER_BODY {
+        return None;
+    }
+    Some((status, body.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_list_parses_and_skips_blanks() {
+        let set = PeerSet::from_list(" 127.0.0.1:9000 ,, localhost:9001 ").unwrap();
+        assert_eq!(set.addrs(), ["127.0.0.1:9000", "localhost:9001"]);
+        assert!(PeerSet::from_list("").is_none());
+        assert!(PeerSet::from_list(" , ,").is_none());
+    }
+
+    #[test]
+    fn response_parsing_honours_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhelloTRAILING";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"hello");
+
+        let raw = b"HTTP/1.1 404 Not Found\r\n\r\n";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.is_empty());
+
+        // Truncated body vs declared length is a failure, not a
+        // short read silently passed to the codec.
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nhalf";
+        assert!(parse_response(raw).is_none());
+    }
+
+    #[test]
+    fn fetch_from_unreachable_peer_is_a_clean_miss() {
+        // Port 1 on localhost: connection refused immediately.
+        let set = PeerSet::from_list("127.0.0.1:1").unwrap();
+        assert!(set.fetch("0123456789abcdef0123456789abcdef").is_none());
+        assert_eq!(set.push("0123456789abcdef0123456789abcdef", b"x"), 0);
+    }
+}

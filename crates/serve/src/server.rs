@@ -32,12 +32,21 @@
 //!
 //! Routes:
 //!
-//! | method & path    | response                                   |
-//! |------------------|--------------------------------------------|
-//! | `GET /healthz`   | `200 ok`                                   |
-//! | `GET /metrics`   | Prometheus text exposition                 |
-//! | `GET /sweep?…`   | sweep JSON (parameters in the query)       |
-//! | `POST /sweep`    | sweep JSON (parameters form-encoded body)  |
+//! | method & path       | response                                    |
+//! |---------------------|---------------------------------------------|
+//! | `GET /healthz`      | `200 ok`                                    |
+//! | `GET /metrics`      | Prometheus text exposition                  |
+//! | `GET /sweep?…`      | sweep JSON (parameters in the query)        |
+//! | `POST /sweep`       | sweep JSON (parameters form-encoded body)   |
+//! | `GET /cell/<digest>`| raw stored cell object (peer exchange)      |
+//! | `PUT /cell/<digest>`| store a verified cell object (peer exchange)|
+//!
+//! The `/cell` routes are the peer protocol: a node configured with
+//! `BPRED_SERVE_PEERS` fetches cells it misses from its peers by
+//! digest before computing them. GETs answer from local tiers only
+//! (never recursing into this node's own peers), and PUTs verify the
+//! object's checksum and that its embedded key hashes to the digest
+//! before storing — peers can prime a cache but never poison it.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,7 +61,7 @@ use crate::http::{self, parse_request, Parsed, Request};
 use crate::metrics::Metrics;
 use crate::reactor::{self, Entry, Interest, WakeChannel, Waker};
 use crate::service::{SweepRequest, SweepService};
-use crate::store::ResultStore;
+use crate::store::{ResultStore, StoreOptions};
 
 /// Server construction parameters.
 ///
@@ -81,6 +90,10 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Idle keep-alive connections are closed after this window.
     pub idle_timeout: Duration,
+    /// Result-store tuning (tiers, seal threshold, peers); the
+    /// default honours the `BPRED_STORE_*` / `BPRED_SERVE_PEERS`
+    /// environment.
+    pub store: StoreOptions,
 }
 
 fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
@@ -110,6 +123,7 @@ impl Default for ServerConfig {
             read_timeout: timeout,
             write_timeout: timeout,
             idle_timeout: Duration::from_millis(env_parse("BPRED_SERVE_IDLE_MS").unwrap_or(30_000)),
+            store: StoreOptions::from_env(),
         }
     }
 }
@@ -161,10 +175,13 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let store = match &config.cache_dir {
-            Some(dir) => Some(Arc::new(ResultStore::open(dir)?)),
+            Some(dir) => Some(Arc::new(ResultStore::open_with(dir, config.store.clone())?)),
             None => None,
         };
         let metrics = Arc::new(Metrics::new());
+        if let Some(store) = &store {
+            metrics.attach_store(store.stats());
+        }
         let service = Arc::new(SweepService::new(
             store.clone(),
             metrics.clone(),
@@ -212,6 +229,7 @@ impl Server {
                 mailboxes: mailboxes.clone(),
                 jobs: job_tx.clone(),
                 metrics: metrics.clone(),
+                store: store.clone(),
                 read_timeout: config.read_timeout,
                 write_timeout: config.write_timeout,
                 idle_timeout: config.idle_timeout,
@@ -388,6 +406,7 @@ struct Shard {
     mailboxes: Arc<Vec<Mailbox>>,
     jobs: SyncSender<Job>,
     metrics: Arc<Metrics>,
+    store: Option<Arc<ResultStore>>,
     read_timeout: Duration,
     write_timeout: Duration,
     idle_timeout: Duration,
@@ -688,6 +707,90 @@ impl Shard {
                         keep_alive,
                     ),
                 ))
+            }
+            // Peer cell exchange: raw stored objects by digest,
+            // answered inline (tier reads are a map probe or one
+            // small pread — far cheaper than a sweep).
+            ("GET", path) if path.starts_with("/cell/") => {
+                let digest = &path["/cell/".len()..];
+                Some(
+                    match self.store.as_deref().and_then(|s| s.get_raw(digest)) {
+                        Some(bytes) => (
+                            200,
+                            http::response(
+                                200,
+                                "application/octet-stream",
+                                &[],
+                                &bytes,
+                                keep_alive,
+                            ),
+                        ),
+                        None => {
+                            let digest_ok =
+                                digest.len() == 32 && digest.bytes().all(|b| b.is_ascii_hexdigit());
+                            let (status, message): (u16, &[u8]) = if self.store.is_none() {
+                                (404, b"no result store\n")
+                            } else if !digest_ok {
+                                (400, b"digest must be 32 hex digits\n")
+                            } else {
+                                (404, b"cell not stored here\n")
+                            };
+                            if status == 400 {
+                                Metrics::inc(&self.metrics.bad_requests);
+                            }
+                            (
+                                status,
+                                http::response(
+                                    status,
+                                    "text/plain; charset=utf-8",
+                                    &[],
+                                    message,
+                                    keep_alive,
+                                ),
+                            )
+                        }
+                    },
+                )
+            }
+            ("PUT", path) if path.starts_with("/cell/") => {
+                let digest = &path["/cell/".len()..];
+                Some(match self.store.as_deref() {
+                    None => (
+                        404,
+                        http::response(
+                            404,
+                            "text/plain; charset=utf-8",
+                            &[],
+                            b"no result store\n",
+                            keep_alive,
+                        ),
+                    ),
+                    Some(store) => match store.put_raw(digest, &request.body) {
+                        Ok(()) => (
+                            200,
+                            http::response(
+                                200,
+                                "text/plain; charset=utf-8",
+                                &[],
+                                b"stored\n",
+                                keep_alive,
+                            ),
+                        ),
+                        Err(message) => {
+                            Metrics::inc(&self.metrics.bad_requests);
+                            (
+                                400,
+                                http::response(
+                                    400,
+                                    "text/plain; charset=utf-8",
+                                    &[],
+                                    format!("{message}\n").as_bytes(),
+                                    keep_alive,
+                                ),
+                            )
+                        }
+                    },
+                })
             }
             ("GET", "/sweep") | ("POST", "/sweep") => {
                 let params = if request.method == "POST" {

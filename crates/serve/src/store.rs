@@ -1,32 +1,33 @@
-//! Content-addressed on-disk result store.
+//! Tiered content-addressed result store.
 //!
 //! Every sweep cell — one `(workload stream, predictor config,
 //! warmup, engine version)` tuple — is pure and deterministic, so its
 //! [`SimResult`] can be stored under the stable digest of its
 //! [`CellKey`] and reused forever (until [`ENGINE_VERSION`] changes,
-//! which changes every key). The store is a directory:
+//! which changes every key). Reads fall through three tiers:
 //!
-//! ```text
-//! <root>/objects/<aa>/<digest>.bin   one encoded result per cell
-//! <root>/index.log                   append-only journal of the set
-//! <root>/tmp/                        staging for atomic writes
-//! ```
+//! 1. **hot** — a sharded, byte-bounded in-memory tier of decoded
+//!    results ([`crate::hot`]); repeat hits never touch the
+//!    filesystem.
+//! 2. **pack** — checksummed append-only pack segments with a
+//!    persistent page-aligned index ([`crate::pack`]); replaces the
+//!    PR 3 one-file-per-object layout.
+//! 3. **peer** — other serve nodes named in `BPRED_SERVE_PEERS`,
+//!    asked by digest over `GET /cell/<digest>` ([`crate::peers`])
+//!    before the cell is recomputed.
 //!
-//! where `<aa>` is the first two hex digits of the 32-digit digest
-//! (fan-out keeps directories small) and each object is the
-//! [`codec`](crate::codec) encoding — embedded canonical key plus
-//! checksum, so loads verify both integrity and identity.
+//! Whatever the tier, bytes are decoded by the [`codec`] — checksum
+//! plus embedded-canonical-key verification — so every answer is
+//! bit-identical to a local `run_configs_keyed` recomputation; a
+//! corrupt object (or a lying peer) is a miss, never a wrong number.
+//! Concurrent compute for the same cell stays single-flighted via
+//! [`crate::flight`].
 //!
-//! *Durability model.* Writes go to `tmp/` under a unique name and
-//! `rename(2)` into place, so readers never observe half-written
-//! objects. The index is an append-only log (`+\t<digest>\t<bytes>`
-//! on insert, `-\t<digest>` on removal); a malformed or missing log
-//! is rebuilt by scanning `objects/`, so the log is an optimisation,
-//! never the source of truth. A corrupt object detected at `get` is
-//! deleted and reported as a miss — the cell simply recomputes.
-//!
-//! *Eviction.* [`ResultStore::gc`] trims the store to a byte budget,
-//! oldest-modified objects first, and compacts the log.
+//! The legacy flat layout (`objects/<aa>/<digest>.bin`) survives two
+//! ways: opening a packed store over a directory that still has an
+//! `objects/` tree migrates it into segments automatically (also
+//! exposed as `serve store migrate`), and [`Backend::Flat`] keeps the
+//! old per-file read/write path alive for comparison benchmarks.
 //!
 //! The store implements [`ResultCache`], so
 //! [`bpred_sim::cache::install`]ing one memoises every keyed sweep in
@@ -34,7 +35,7 @@
 
 use std::collections::HashMap;
 use std::fs;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::process;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,162 +44,190 @@ use std::time::SystemTime;
 
 use bpred_sim::cache::{CellKey, ResultCache};
 use bpred_sim::{SimResult, ENGINE_VERSION};
+use bpred_trace::fnv;
 
 use crate::codec;
 use crate::flight::{Flight, Join};
+use crate::hot::HotTier;
+use crate::pack::PackStore;
+use crate::peers::PeerSet;
 
-const INDEX_FILE: &str = "index.log";
 const OBJECTS_DIR: &str = "objects";
+const LEGACY_INDEX_FILE: &str = "index.log";
 const TMP_DIR: &str = "tmp";
 
-/// Stripes in the in-memory index lock: one per first hex digit of
-/// the digest, so concurrent hits on different cells almost never
-/// contend on the same mutex.
-const INDEX_STRIPES: usize = 16;
-
-/// The in-memory digest → size index, striped by the digest's first
-/// hex nibble. Each stripe is an independent mutex; whole-index
-/// operations (len, snapshot, replace) visit the stripes one at a
-/// time and never hold two stripe locks at once.
-#[derive(Debug)]
-struct StripedIndex {
-    stripes: [Mutex<HashMap<String, u64>>; INDEX_STRIPES],
+/// Which disk layout backs the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pack segments + hot tier + peers (the default).
+    #[default]
+    Packed,
+    /// The legacy PR 3/PR 7 one-file-per-object layout; no hot tier,
+    /// no peers. Kept for migration sources and benchmarks.
+    Flat,
 }
 
-impl StripedIndex {
-    fn new() -> StripedIndex {
-        StripedIndex {
-            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+/// Tuning for [`ResultStore::open_with`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Disk layout.
+    pub backend: Backend,
+    /// Hot-tier byte budget; 0 disables the tier.
+    pub hot_bytes: u64,
+    /// Active pack segment seal threshold in bytes.
+    pub seal_bytes: u64,
+    /// Peers to fetch missing cells from (packed backend only).
+    pub peers: Option<PeerSet>,
+    /// Migrate a legacy `objects/` tree into segments at open.
+    pub auto_migrate: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            backend: Backend::Packed,
+            hot_bytes: 64 << 20,
+            seal_bytes: 8 << 20,
+            peers: None,
+            auto_migrate: true,
         }
     }
+}
 
-    fn stripe(&self, digest: &str) -> std::sync::MutexGuard<'_, HashMap<String, u64>> {
-        let nibble = digest
-            .as_bytes()
-            .first()
-            .map_or(0, |b| (*b as char).to_digit(16).unwrap_or(0) as usize);
-        // A poisoned stripe only means a writer panicked mid-update of
-        // the in-memory map; the map itself is still consistent
-        // (single-statement updates), so recover it.
-        self.stripes[nibble % INDEX_STRIPES]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn contains(&self, digest: &str) -> bool {
-        self.stripe(digest).contains_key(digest)
-    }
-
-    /// Inserts and reports whether the digest was new.
-    fn insert(&self, digest: &str, len: u64) -> bool {
-        self.stripe(digest).insert(digest.to_owned(), len).is_none()
-    }
-
-    fn remove(&self, digest: &str) {
-        self.stripe(digest).remove(digest);
-    }
-
-    fn len(&self) -> usize {
-        self.stripes
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
-            .sum()
-    }
-
-    fn total_bytes(&self) -> u64 {
-        self.stripes
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .values()
-                    .sum::<u64>()
-            })
-            .sum()
-    }
-
-    /// A point-in-time copy of the whole index (not atomic across
-    /// stripes; callers tolerate concurrent churn).
-    fn snapshot(&self) -> HashMap<String, u64> {
-        let mut map = HashMap::with_capacity(self.len());
-        for stripe in &self.stripes {
-            map.extend(
-                stripe
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .iter()
-                    .map(|(d, &l)| (d.clone(), l)),
-            );
+impl StoreOptions {
+    /// Defaults overridden by the environment:
+    /// `BPRED_STORE_BACKEND` (`packed`|`flat`), `BPRED_STORE_HOT_BYTES`,
+    /// `BPRED_STORE_SEAL_BYTES`, and `BPRED_SERVE_PEERS`.
+    pub fn from_env() -> StoreOptions {
+        let mut options = StoreOptions::default();
+        if let Ok(backend) = std::env::var("BPRED_STORE_BACKEND") {
+            if backend.eq_ignore_ascii_case("flat") {
+                options.backend = Backend::Flat;
+            }
         }
-        map
+        if let Some(v) = env_u64("BPRED_STORE_HOT_BYTES") {
+            options.hot_bytes = v;
+        }
+        if let Some(v) = env_u64("BPRED_STORE_SEAL_BYTES") {
+            options.seal_bytes = v;
+        }
+        if let Ok(list) = std::env::var("BPRED_SERVE_PEERS") {
+            options.peers = PeerSet::from_list(&list);
+        }
+        options
     }
+}
 
-    /// Replaces the entire index contents.
-    fn replace(&self, map: HashMap<String, u64>) {
-        let mut split: Vec<HashMap<String, u64>> =
-            (0..INDEX_STRIPES).map(|_| HashMap::new()).collect();
-        for (digest, len) in map {
-            let nibble = digest
-                .as_bytes()
-                .first()
-                .map_or(0, |b| (*b as char).to_digit(16).unwrap_or(0) as usize);
-            split[nibble % INDEX_STRIPES].insert(digest, len);
-        }
-        for (stripe, fresh) in self.stripes.iter().zip(split) {
-            *stripe.lock().unwrap_or_else(|e| e.into_inner()) = fresh;
-        }
-    }
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Per-tier hit counters and size gauges, exported on `/metrics` as
+/// `bpred_store_hits_total{tier=…}`, `bpred_store_segments`, and
+/// `bpred_store_hot_bytes`.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Cells answered from the in-memory hot tier.
+    pub hot_hits: AtomicU64,
+    /// Cells answered from disk (pack segments, or the flat tree).
+    pub pack_hits: AtomicU64,
+    /// Cells answered by a peer fetch.
+    pub peer_hits: AtomicU64,
+    /// Segments on disk (gauge).
+    pub segments: AtomicU64,
+    /// Hot-tier resident bytes (gauge).
+    pub hot_bytes: AtomicU64,
 }
 
 /// What a [`ResultStore::gc`] pass did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcReport {
-    /// Objects removed.
+    /// Cells removed.
     pub evicted: usize,
     /// Bytes freed.
     pub freed_bytes: u64,
-    /// Objects remaining.
+    /// Cells remaining.
     pub kept: usize,
-    /// Bytes remaining.
+    /// Bytes remaining (segment file bytes for the packed backend,
+    /// object bytes for the flat one).
     pub kept_bytes: u64,
 }
 
-/// A content-addressed on-disk cache of simulation results.
+/// What migrating a legacy flat tree into pack segments did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrateReport {
+    /// Objects packed into segments.
+    pub migrated: usize,
+    /// Corrupt or misnamed objects dropped.
+    pub skipped: usize,
+    /// Payload bytes migrated.
+    pub bytes: u64,
+}
+
+// PackStore is boxed: its striped index makes it far larger than
+// FlatStore, and ResultStore lives behind an Arc anyway.
+#[derive(Debug)]
+enum Disk {
+    Packed(Box<PackStore>),
+    Flat(FlatStore),
+}
+
+/// A tiered content-addressed cache of simulation results.
 ///
-/// Cheaply cloneable via [`Arc`]; all methods take `&self` and are
+/// Cheaply shareable via [`Arc`]; all methods take `&self` and are
 /// safe to call from many threads.
 #[derive(Debug)]
 pub struct ResultStore {
     root: PathBuf,
-    /// digest → object size in bytes, striped so concurrent hits on
-    /// different cells don't serialize on one lock.
-    index: StripedIndex,
-    /// Serializes appends to the index journal (the on-disk log is a
-    /// single file regardless of striping).
-    journal: Mutex<()>,
+    disk: Disk,
+    hot: HotTier,
+    peers: Option<PeerSet>,
+    stats: Arc<StoreStats>,
     flight: Flight<SimResult>,
+    migration: Option<MigrateReport>,
 }
 
 impl ResultStore {
+    /// Opens (creating if needed) the store rooted at `root` with
+    /// [`StoreOptions::from_env`].
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        ResultStore::open_with(root, StoreOptions::from_env())
+    }
+
     /// Opens (creating if needed) the store rooted at `root`.
     ///
-    /// Reads the index journal; if it is missing or malformed the
-    /// store rebuilds it from the objects on disk.
-    pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
+    /// With the packed backend, a leftover partial active segment is
+    /// recovered, a missing or corrupt persistent index is rebuilt by
+    /// scanning segments, and (unless `auto_migrate` is off) a legacy
+    /// flat `objects/` tree is packed into segments first.
+    pub fn open_with(root: impl Into<PathBuf>, options: StoreOptions) -> io::Result<ResultStore> {
         let root = root.into();
-        fs::create_dir_all(root.join(OBJECTS_DIR))?;
         fs::create_dir_all(root.join(TMP_DIR))?;
-        let store = ResultStore {
-            index: StripedIndex::new(),
-            journal: Mutex::new(()),
-            flight: Flight::new(),
-            root,
+        let mut migration = None;
+        let (disk, hot, peers) = match options.backend {
+            Backend::Packed => {
+                let pack = PackStore::open(&root, options.seal_bytes)?;
+                if options.auto_migrate && root.join(OBJECTS_DIR).is_dir() {
+                    migration = Some(migrate_flat_tree(&root, &pack)?);
+                }
+                (
+                    Disk::Packed(Box::new(pack)),
+                    HotTier::new(options.hot_bytes),
+                    options.peers,
+                )
+            }
+            Backend::Flat => (Disk::Flat(FlatStore::open(&root)?), HotTier::new(0), None),
         };
-        let loaded = store.load_index().unwrap_or(None);
-        match loaded {
-            Some(map) => store.index.replace(map),
-            None => store.rebuild_index()?,
-        }
+        let store = ResultStore {
+            root,
+            disk,
+            hot,
+            peers,
+            stats: Arc::new(StoreStats::default()),
+            flight: Flight::new(),
+            migration,
+        };
+        store.refresh_gauges();
         Ok(store)
     }
 
@@ -207,164 +236,176 @@ impl ResultStore {
         &self.root
     }
 
-    /// Number of cached cells.
+    /// Which disk layout is in use.
+    pub fn backend(&self) -> Backend {
+        match self.disk {
+            Disk::Packed(_) => Backend::Packed,
+            Disk::Flat(_) => Backend::Flat,
+        }
+    }
+
+    /// Per-tier hit counters and gauges, shared with `/metrics`.
+    pub fn stats(&self) -> Arc<StoreStats> {
+        self.stats.clone()
+    }
+
+    /// The migration performed at open, if any.
+    pub fn migration(&self) -> Option<MigrateReport> {
+        self.migration
+    }
+
+    /// Number of cached cells on disk.
     pub fn len(&self) -> usize {
-        self.index.len()
+        match &self.disk {
+            Disk::Packed(pack) => pack.len(),
+            Disk::Flat(flat) => flat.len(),
+        }
     }
 
     /// Returns `true` when no cells are cached.
     pub fn is_empty(&self) -> bool {
-        self.index.len() == 0
+        self.len() == 0
     }
 
-    /// Total bytes of cached objects (per the index).
+    /// Total payload bytes of cached objects.
     pub fn total_bytes(&self) -> u64 {
-        self.index.total_bytes()
+        match &self.disk {
+            Disk::Packed(pack) => pack.payload_bytes(),
+            Disk::Flat(flat) => flat.total_bytes(),
+        }
     }
 
-    fn object_path(&self, digest: &str) -> PathBuf {
-        let fan = &digest[..2.min(digest.len())];
-        self.root
-            .join(OBJECTS_DIR)
-            .join(fan)
-            .join(format!("{digest}.bin"))
+    /// Segments on disk (1 for the flat backend's single tree).
+    pub fn segments(&self) -> usize {
+        match &self.disk {
+            Disk::Packed(pack) => pack.segments(),
+            Disk::Flat(_) => 1,
+        }
     }
 
-    /// Parses the index journal; `Ok(None)` means absent-or-malformed
-    /// (rebuild), `Err` means the file could not be read at all.
-    fn load_index(&self) -> io::Result<Option<HashMap<String, u64>>> {
-        let text = match fs::read_to_string(self.root.join(INDEX_FILE)) {
-            Ok(text) => text,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        let mut map = HashMap::new();
-        for line in text.lines() {
-            if line.is_empty() {
-                continue;
-            }
-            let mut fields = line.split('\t');
-            let valid = match (fields.next(), fields.next(), fields.next(), fields.next()) {
-                (Some("+"), Some(digest), Some(len), None) => {
-                    if let (true, Ok(len)) = (digest_ok(digest), len.parse::<u64>()) {
-                        map.insert(digest.to_owned(), len);
-                        true
-                    } else {
-                        false
+    /// Cells resident in the hot tier.
+    pub fn hot_len(&self) -> usize {
+        self.hot.len()
+    }
+
+    fn refresh_gauges(&self) {
+        self.stats
+            .segments
+            .store(self.segments() as u64, Ordering::Relaxed);
+        self.stats
+            .hot_bytes
+            .store(self.hot.bytes(), Ordering::Relaxed);
+    }
+
+    /// Looks up the result for `key`, trying hot → pack → peers.
+    /// `None` on a miss; a corrupt object is dropped (the cell heals
+    /// by recomputation), and peer bytes are verified against the
+    /// expected canonical key before being believed.
+    pub fn get(&self, key: &CellKey) -> Option<SimResult> {
+        let canonical = key.canonical();
+        let hex = key.digest();
+        match &self.disk {
+            Disk::Flat(flat) => {
+                let bytes = flat.get(&hex)?;
+                match codec::decode(&bytes, &canonical) {
+                    Ok(result) => {
+                        self.stats.pack_hits.fetch_add(1, Ordering::Relaxed);
+                        Some(result)
+                    }
+                    Err(_) => {
+                        flat.remove(&hex);
+                        None
                     }
                 }
-                (Some("-"), Some(digest), None, None) => {
-                    map.remove(digest);
-                    digest_ok(digest)
+            }
+            Disk::Packed(pack) => {
+                let digest = parse_digest(&hex)?;
+                if let Some(result) = self.hot.get(digest) {
+                    self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(result);
                 }
-                _ => false,
-            };
-            if !valid {
-                // Torn append or hand-edited log: distrust the whole
-                // journal and rescan the objects instead.
-                return Ok(None);
+                if let Some(bytes) = pack.get(digest) {
+                    match codec::decode(&bytes, &canonical) {
+                        Ok(result) => {
+                            self.hot.put(digest, &result, bytes.len());
+                            self.stats.pack_hits.fetch_add(1, Ordering::Relaxed);
+                            self.refresh_gauges();
+                            return Some(result);
+                        }
+                        // Corrupt on disk: drop it, but still give
+                        // the peer tier a chance below.
+                        Err(_) => pack.forget(digest),
+                    }
+                }
+                let peers = self.peers.as_ref()?;
+                let bytes = peers.fetch(&hex)?;
+                match codec::decode(&bytes, &canonical) {
+                    Ok(result) => {
+                        let _ = pack.put(digest, &bytes);
+                        self.hot.put(digest, &result, bytes.len());
+                        self.stats.peer_hits.fetch_add(1, Ordering::Relaxed);
+                        self.refresh_gauges();
+                        Some(result)
+                    }
+                    Err(_) => None,
+                }
             }
         }
-        Ok(Some(map))
     }
 
-    /// Rescans `objects/` and rewrites the journal to match.
-    fn rebuild_index(&self) -> io::Result<()> {
-        let mut map = HashMap::new();
-        let objects = self.root.join(OBJECTS_DIR);
-        for fan in fs::read_dir(&objects)? {
-            let fan = fan?;
-            if !fan.file_type()?.is_dir() {
-                continue;
-            }
-            for entry in fs::read_dir(fan.path())? {
-                let entry = entry?;
-                let name = entry.file_name();
-                let Some(digest) = name.to_str().and_then(|n| n.strip_suffix(".bin")) else {
-                    continue;
-                };
-                if digest_ok(digest) {
-                    map.insert(digest.to_owned(), entry.metadata()?.len());
-                }
+    /// Stores the result for `key` durably (pack append or flat
+    /// object write) and, for the packed backend, in the hot tier.
+    pub fn put(&self, key: &CellKey, result: &SimResult) -> io::Result<()> {
+        let bytes = codec::encode(&key.canonical(), result);
+        let hex = key.digest();
+        match &self.disk {
+            Disk::Flat(flat) => flat.put(&hex, &bytes)?,
+            Disk::Packed(pack) => {
+                let digest = parse_digest(&hex)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "bad digest"))?;
+                pack.put(digest, &bytes)?;
+                self.hot.put(digest, result, bytes.len());
             }
         }
-        self.write_compacted_index(&map)?;
-        self.index.replace(map);
+        self.refresh_gauges();
         Ok(())
     }
 
-    fn write_compacted_index(&self, map: &HashMap<String, u64>) -> io::Result<()> {
-        let mut lines: Vec<String> = map.iter().map(|(d, l)| format!("+\t{d}\t{l}\n")).collect();
-        lines.sort(); // deterministic journal for same content
-        let text: String = lines.concat();
-        let tmp = self.tmp_path("index");
-        fs::write(&tmp, text)?;
-        fs::rename(&tmp, self.root.join(INDEX_FILE))
-    }
-
-    fn append_index_line(&self, line: &str) -> io::Result<()> {
-        let _journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
-        let mut file = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.root.join(INDEX_FILE))?;
-        file.write_all(line.as_bytes())
-    }
-
-    fn tmp_path(&self, tag: &str) -> PathBuf {
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        self.root
-            .join(TMP_DIR)
-            .join(format!("{tag}.{}.{n}", process::id()))
-    }
-
-    /// Looks up the result for `key`; `None` on miss *or* on a
-    /// corrupt/mismatched object (which is deleted so the cell heals
-    /// by recomputation).
-    pub fn get(&self, key: &CellKey) -> Option<SimResult> {
-        let digest = key.digest();
-        if !self.index.contains(&digest) {
+    /// Reads the raw stored object for `digest_hex` from the *local*
+    /// tiers only — this is what `GET /cell/<digest>` serves, so two
+    /// peers asking each other can never loop.
+    pub fn get_raw(&self, digest_hex: &str) -> Option<Vec<u8>> {
+        if !digest_ok(digest_hex) {
             return None;
         }
-        let path = self.object_path(&digest);
-        let bytes = match fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(_) => {
-                self.forget(&digest);
-                return None;
-            }
-        };
-        match codec::decode(&bytes, &key.canonical()) {
-            Ok(result) => Some(result),
-            Err(_) => {
-                let _ = fs::remove_file(&path);
-                self.forget(&digest);
-                None
-            }
+        match &self.disk {
+            Disk::Packed(pack) => pack.get(parse_digest(digest_hex)?),
+            Disk::Flat(flat) => flat.get(digest_hex),
         }
     }
 
-    fn forget(&self, digest: &str) {
-        self.index.remove(digest);
-        let _ = self.append_index_line(&format!("-\t{digest}\n"));
-    }
-
-    /// Stores the result for `key` atomically (write-to-temp, rename).
-    pub fn put(&self, key: &CellKey, result: &SimResult) -> io::Result<()> {
-        let digest = key.digest();
-        let bytes = codec::encode(&key.canonical(), result);
-        let path = self.object_path(&digest);
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
+    /// Accepts a raw object for `digest_hex` (the `PUT /cell/…`
+    /// handler). The bytes must decode cleanly and their embedded
+    /// canonical key must hash to `digest_hex`; anything else is
+    /// rejected, so a peer can prime caches but never poison them.
+    pub fn put_raw(&self, digest_hex: &str, bytes: &[u8]) -> Result<(), String> {
+        if !digest_ok(digest_hex) {
+            return Err("digest must be 32 hex digits".to_owned());
         }
-        let tmp = self.tmp_path(&digest);
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, &path)?;
-        let fresh = self.index.insert(&digest, bytes.len() as u64);
-        if fresh {
-            self.append_index_line(&format!("+\t{digest}\t{}\n", bytes.len()))?;
+        let (stored_key, result) =
+            codec::decode_verified(bytes).map_err(|e| format!("bad object: {e}"))?;
+        if fnv::fnv128_hex(stored_key.as_bytes()) != digest_hex {
+            return Err("object key does not hash to the given digest".to_owned());
         }
+        match &self.disk {
+            Disk::Packed(pack) => {
+                let digest = parse_digest(digest_hex).expect("digest_ok checked");
+                pack.put(digest, bytes).map_err(|e| e.to_string())?;
+                self.hot.put(digest, &result, bytes.len());
+            }
+            Disk::Flat(flat) => flat.put(digest_hex, bytes).map_err(|e| e.to_string())?,
+        }
+        self.refresh_gauges();
         Ok(())
     }
 
@@ -397,10 +438,179 @@ impl ResultStore {
         }
     }
 
-    /// Evicts oldest-modified objects until the store holds at most
-    /// `max_bytes`, then compacts the index journal.
+    /// Trims the store to at most `max_bytes` on disk.
+    ///
+    /// Packed backend: whole sealed segments are dropped oldest
+    /// generation first and mostly-dead ones compacted; the active
+    /// segment is never touched, so a cell being written concurrently
+    /// can never be collected. Flat backend: legacy oldest-mtime
+    /// eviction.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
-        let snapshot: Vec<(String, u64)> = self.index.snapshot().into_iter().collect();
+        let report = match &self.disk {
+            Disk::Packed(pack) => {
+                let r = pack.gc(max_bytes)?;
+                GcReport {
+                    evicted: r.evicted,
+                    freed_bytes: r.freed_bytes,
+                    kept: r.kept,
+                    kept_bytes: r.kept_bytes,
+                }
+            }
+            Disk::Flat(flat) => flat.gc(max_bytes)?,
+        };
+        self.refresh_gauges();
+        Ok(report)
+    }
+}
+
+fn digest_ok(digest: &str) -> bool {
+    digest.len() == 32 && digest.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+fn parse_digest(hex: &str) -> Option<u128> {
+    if !digest_ok(hex) {
+        return None;
+    }
+    u128::from_str_radix(hex, 16).ok()
+}
+
+/// Packs every valid object of a legacy flat `objects/` tree into the
+/// segment store, then removes the tree (and the old journal).
+/// Corrupt or misnamed objects are dropped — they were unreadable in
+/// the old layout too.
+fn migrate_flat_tree(root: &Path, pack: &PackStore) -> io::Result<MigrateReport> {
+    let mut report = MigrateReport::default();
+    let objects = root.join(OBJECTS_DIR);
+    for fan in fs::read_dir(&objects)? {
+        let fan = fan?;
+        if !fan.file_type()?.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(fan.path())? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(hex) = name.to_str().and_then(|n| n.strip_suffix(".bin")) else {
+                continue;
+            };
+            let Some(digest) = parse_digest(hex) else {
+                report.skipped += 1;
+                let _ = fs::remove_file(entry.path());
+                continue;
+            };
+            let bytes = fs::read(entry.path())?;
+            let valid = codec::decode_verified(&bytes)
+                .map(|(key, _)| fnv::fnv128_hex(key.as_bytes()) == hex)
+                .unwrap_or(false);
+            if valid {
+                pack.put(digest, &bytes)?;
+                report.migrated += 1;
+                report.bytes += bytes.len() as u64;
+            } else {
+                report.skipped += 1;
+            }
+            let _ = fs::remove_file(entry.path());
+        }
+        let _ = fs::remove_dir(fan.path());
+    }
+    let _ = fs::remove_dir(&objects);
+    let _ = fs::remove_file(root.join(LEGACY_INDEX_FILE));
+    pack.seal_active()?;
+    Ok(report)
+}
+
+/// The legacy one-file-per-object layout
+/// (`objects/<aa>/<digest>.bin`), kept as a named backend for
+/// migration sources and benchmark baselines. No journal — the tree
+/// is scanned at open.
+#[derive(Debug)]
+struct FlatStore {
+    root: PathBuf,
+    index: Mutex<HashMap<String, u64>>,
+}
+
+impl FlatStore {
+    fn open(root: &Path) -> io::Result<FlatStore> {
+        fs::create_dir_all(root.join(OBJECTS_DIR))?;
+        let mut index = HashMap::new();
+        for fan in fs::read_dir(root.join(OBJECTS_DIR))? {
+            let fan = fan?;
+            if !fan.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in fs::read_dir(fan.path())? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let Some(digest) = name.to_str().and_then(|n| n.strip_suffix(".bin")) else {
+                    continue;
+                };
+                if digest_ok(digest) {
+                    index.insert(digest.to_owned(), entry.metadata()?.len());
+                }
+            }
+        }
+        Ok(FlatStore {
+            root: root.to_owned(),
+            index: Mutex::new(index),
+        })
+    }
+
+    fn object_path(&self, digest: &str) -> PathBuf {
+        self.root
+            .join(OBJECTS_DIR)
+            .join(&digest[..2])
+            .join(format!("{digest}.bin"))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, u64>> {
+        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.lock().values().sum()
+    }
+
+    fn get(&self, digest: &str) -> Option<Vec<u8>> {
+        if !self.lock().contains_key(digest) {
+            return None;
+        }
+        match fs::read(self.object_path(digest)) {
+            Ok(bytes) => Some(bytes),
+            Err(_) => {
+                self.lock().remove(digest);
+                None
+            }
+        }
+    }
+
+    fn remove(&self, digest: &str) {
+        let _ = fs::remove_file(self.object_path(digest));
+        self.lock().remove(digest);
+    }
+
+    fn put(&self, digest: &str, bytes: &[u8]) -> io::Result<()> {
+        let path = self.object_path(digest);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .root
+            .join(TMP_DIR)
+            .join(format!("{digest}.{}.{n}", process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        self.lock().insert(digest.to_owned(), bytes.len() as u64);
+        Ok(())
+    }
+
+    fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let snapshot: Vec<(String, u64)> =
+            self.lock().iter().map(|(d, &l)| (d.clone(), l)).collect();
         let mut aged: Vec<(SystemTime, String, u64)> = Vec::with_capacity(snapshot.len());
         let mut total: u64 = 0;
         for (digest, len) in snapshot {
@@ -417,22 +627,16 @@ impl ResultStore {
             if total <= max_bytes {
                 break;
             }
-            let _ = fs::remove_file(self.object_path(digest));
-            self.index.remove(digest);
+            self.remove(digest);
             total -= len;
             report.evicted += 1;
             report.freed_bytes += len;
         }
-        let map = self.index.snapshot();
+        let map = self.lock();
         report.kept = map.len();
         report.kept_bytes = map.values().sum();
-        self.write_compacted_index(&map)?;
         Ok(report)
     }
-}
-
-fn digest_ok(digest: &str) -> bool {
-    digest.len() == 32 && digest.bytes().all(|b| b.is_ascii_hexdigit())
 }
 
 impl ResultCache for ResultStore {
@@ -447,7 +651,8 @@ impl ResultCache for ResultStore {
 }
 
 /// When `BPRED_CACHE_DIR` is set and non-empty, opens the store
-/// rooted there and installs it as the process-wide result cache for
+/// rooted there (honouring the `BPRED_STORE_*` / `BPRED_SERVE_PEERS`
+/// environment) and installs it as the process-wide result cache for
 /// keyed sweeps (see [`bpred_sim::cache`]). Returns the installed
 /// store, or `None` when the variable is unset/empty or the store
 /// cannot be opened (a warning is printed; simulation proceeds

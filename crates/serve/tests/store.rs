@@ -1,9 +1,9 @@
-//! Result-store integration tests: codec properties, on-disk
-//! round-trips, corruption recovery, concurrent single-flight, and
-//! eviction.
+//! Result-store integration tests: codec properties, tiered
+//! round-trips, crash recovery, migration, peer-object validation,
+//! concurrent single-flight, and eviction.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -12,7 +12,7 @@ use proptest::prelude::*;
 
 use bpred_core::{AliasStats, BhtStats, PredictorConfig};
 use bpred_serve::codec;
-use bpred_serve::store::ResultStore;
+use bpred_serve::store::{Backend, ResultStore, StoreOptions};
 use bpred_sim::cache::CellKey;
 use bpred_sim::{SimResult, Simulator};
 
@@ -50,6 +50,32 @@ fn result(mispredictions: u64) -> SimResult {
         }),
         bht: None,
     }
+}
+
+/// A packed store with explicit tier tuning (no env influence).
+fn packed(dir: &Path, hot_bytes: u64, seal_bytes: u64) -> ResultStore {
+    ResultStore::open_with(
+        dir,
+        StoreOptions {
+            backend: Backend::Packed,
+            hot_bytes,
+            seal_bytes,
+            peers: None,
+            auto_migrate: true,
+        },
+    )
+    .unwrap()
+}
+
+fn flat(dir: &Path) -> ResultStore {
+    ResultStore::open_with(
+        dir,
+        StoreOptions {
+            backend: Backend::Flat,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap()
 }
 
 // ------------------------------------------------------------ codec
@@ -99,12 +125,17 @@ proptest! {
     ) {
         let key = format!("cell-v2|{tail}");
         let bytes = codec::encode(&key, &result);
-        prop_assert_eq!(codec::decode(&bytes, &key).unwrap(), result);
+        prop_assert_eq!(codec::decode(&bytes, &key).unwrap(), result.clone());
+        // The self-describing decode agrees and returns the key.
+        let (stored_key, verified) = codec::decode_verified(&bytes).unwrap();
+        prop_assert_eq!(stored_key, key);
+        prop_assert_eq!(verified, result);
     }
 
     #[test]
     fn codec_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
         let _ = codec::decode(&bytes, "cell-v2|x|gshare:h=1,c=0|w0");
+        let _ = codec::decode_verified(&bytes);
     }
 
     #[test]
@@ -122,15 +153,15 @@ fn put_get_round_trips_across_reopen() {
     let dir = scratch("roundtrip");
     let k = key("rt");
     {
-        let store = ResultStore::open(&dir).unwrap();
+        let store = packed(&dir, 1 << 20, 1 << 20);
         assert!(store.is_empty());
         assert_eq!(store.get(&k), None);
         store.put(&k, &result(123)).unwrap();
         assert_eq!(store.get(&k), Some(result(123)));
         assert_eq!(store.len(), 1);
     }
-    // A new process would see the same state via the index.
-    let store = ResultStore::open(&dir).unwrap();
+    // A new process would see the same state via the segments.
+    let store = packed(&dir, 1 << 20, 1 << 20);
     assert_eq!(store.len(), 1);
     assert_eq!(store.get(&k), Some(result(123)));
     assert!(store.total_bytes() > 0);
@@ -139,7 +170,7 @@ fn put_get_round_trips_across_reopen() {
 #[test]
 fn distinct_keys_store_distinct_results() {
     let dir = scratch("distinct");
-    let store = ResultStore::open(&dir).unwrap();
+    let store = packed(&dir, 1 << 20, 1 << 20);
     for i in 0..20u64 {
         store.put(&key(&format!("k{i}")), &result(i)).unwrap();
     }
@@ -152,7 +183,7 @@ fn distinct_keys_store_distinct_results() {
 #[test]
 fn overwriting_a_key_keeps_one_entry() {
     let dir = scratch("overwrite");
-    let store = ResultStore::open(&dir).unwrap();
+    let store = packed(&dir, 1 << 20, 1 << 20);
     let k = key("ow");
     store.put(&k, &result(1)).unwrap();
     store.put(&k, &result(2)).unwrap();
@@ -161,102 +192,174 @@ fn overwriting_a_key_keeps_one_entry() {
 }
 
 #[test]
-fn corrupt_index_log_recovers_by_rescan() {
-    let dir = scratch("badindex");
-    let k = key("bi");
+fn hot_tier_answers_repeat_hits_without_the_filesystem() {
+    let dir = scratch("hot");
+    let store = packed(&dir, 1 << 20, 1 << 20);
+    let k = key("hot");
+    store.put(&k, &result(5)).unwrap();
+    let stats = store.stats();
+
+    // Nuke the disk tier behind the store's back: a hot-tier hit
+    // must still answer, proving the filesystem was not consulted.
+    fs::remove_dir_all(dir.join("packs")).unwrap();
+    assert_eq!(store.get(&k), Some(result(5)));
+    assert_eq!(stats.hot_hits.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.pack_hits.load(Ordering::Relaxed), 0);
+    assert!(stats.hot_bytes.load(Ordering::Relaxed) > 0);
+}
+
+#[test]
+fn disabled_hot_tier_reads_from_pack_and_promotes_nothing() {
+    let dir = scratch("nohot");
+    let store = packed(&dir, 0, 1 << 20);
+    let k = key("nh");
+    store.put(&k, &result(6)).unwrap();
+    let stats = store.stats();
+    assert_eq!(store.get(&k), Some(result(6)));
+    assert_eq!(store.get(&k), Some(result(6)));
+    assert_eq!(stats.hot_hits.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.pack_hits.load(Ordering::Relaxed), 2);
+    assert_eq!(store.hot_len(), 0);
+}
+
+#[test]
+fn torn_active_tail_recovers_prefix_and_heals() {
+    let dir = scratch("torn");
     {
-        let store = ResultStore::open(&dir).unwrap();
-        store.put(&k, &result(7)).unwrap();
+        let store = packed(&dir, 0, 1 << 20);
+        for i in 0..8u64 {
+            store.put(&key(&format!("t{i}")), &result(i)).unwrap();
+        }
     }
-    // Torn final append: garbage tail line.
-    let index = dir.join("index.log");
-    let mut text = fs::read_to_string(&index).unwrap();
-    text.push_str("+\tnot-a-digest");
-    fs::write(&index, text).unwrap();
+    // Tear the (sole) active segment: half a frame of garbage.
+    let packs = dir.join("packs");
+    let active = fs::read_dir(&packs)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().starts_with("active-"))
+        .expect("active segment present")
+        .path();
+    let mut bytes = fs::read(&active).unwrap();
+    bytes.extend_from_slice(b"BPCL\xde\xad\xbe\xef torn frame");
+    fs::write(&active, &bytes).unwrap();
 
-    let store = ResultStore::open(&dir).unwrap();
-    assert_eq!(store.len(), 1, "rescan found the object");
-    assert_eq!(store.get(&k), Some(result(7)));
+    let store = packed(&dir, 0, 1 << 20);
+    assert_eq!(store.len(), 8, "prefix survives the torn tail");
+    for i in 0..8u64 {
+        assert_eq!(store.get(&key(&format!("t{i}"))), Some(result(i)));
+    }
+    // The store keeps working after recovery.
+    store.put(&key("t-new"), &result(99)).unwrap();
+    assert_eq!(store.get(&key("t-new")), Some(result(99)));
 }
 
 #[test]
-fn missing_index_log_recovers_by_rescan() {
-    let dir = scratch("noindex");
-    let k = key("ni");
+fn persistent_index_is_an_optimisation_not_the_truth() {
+    let dir = scratch("pidx");
     {
-        let store = ResultStore::open(&dir).unwrap();
-        store.put(&k, &result(9)).unwrap();
+        let store = packed(&dir, 0, 256); // tiny seal: many sealed segments
+        for i in 0..12u64 {
+            store.put(&key(&format!("p{i}")), &result(i)).unwrap();
+        }
     }
-    fs::remove_file(dir.join("index.log")).unwrap();
-    let store = ResultStore::open(&dir).unwrap();
-    assert_eq!(store.get(&k), Some(result(9)));
+    let index = dir.join("packs").join("index.bin");
+    assert!(index.exists(), "sealing wrote the persistent index");
+
+    // Missing index: rebuilt by scanning segments.
+    fs::remove_file(&index).unwrap();
+    {
+        let store = packed(&dir, 0, 256);
+        assert_eq!(store.len(), 12);
+        assert_eq!(store.get(&key("p3")), Some(result(3)));
+    }
+
+    // Corrupt index: detected by checksum, rebuilt the same way.
+    let mut bytes = fs::read(&index).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    fs::write(&index, &bytes).unwrap();
+    let store = packed(&dir, 0, 256);
+    assert_eq!(store.len(), 12);
+    assert_eq!(store.get(&key("p7")), Some(result(7)));
 }
 
 #[test]
-fn truncated_object_is_a_miss_and_heals() {
-    let dir = scratch("truncobj");
-    let store = ResultStore::open(&dir).unwrap();
-    let k = key("to");
-    store.put(&k, &result(11)).unwrap();
-
-    // Truncate the object file behind the store's back.
-    let digest = k.digest();
-    let path = dir
-        .join("objects")
-        .join(&digest[..2])
-        .join(format!("{digest}.bin"));
-    let bytes = fs::read(&path).unwrap();
-    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-
-    assert_eq!(store.get(&k), None, "corrupt object reads as a miss");
-    assert!(!path.exists(), "corrupt object was deleted");
-    assert_eq!(store.len(), 0);
-
-    // The cell heals by re-putting.
-    store.put(&k, &result(11)).unwrap();
-    assert_eq!(store.get(&k), Some(result(11)));
-}
-
-#[test]
-fn wrong_key_object_is_rejected() {
-    let dir = scratch("wrongkey");
-    let store = ResultStore::open(&dir).unwrap();
-    let a = key("a");
-    let b = key("b");
-    store.put(&a, &result(1)).unwrap();
-
-    // Plant a's object under b's digest (a digest-collision stand-in).
-    let digest_a = a.digest();
-    let digest_b = b.digest();
-    let path_a = dir
-        .join("objects")
-        .join(&digest_a[..2])
-        .join(format!("{digest_a}.bin"));
-    let path_b = dir
-        .join("objects")
-        .join(&digest_b[..2])
-        .join(format!("{digest_b}.bin"));
-    fs::create_dir_all(path_b.parent().unwrap()).unwrap();
-    fs::copy(&path_a, &path_b).unwrap();
+fn migration_packs_a_legacy_flat_tree() {
+    let dir = scratch("migrate");
+    {
+        let legacy = flat(&dir);
+        for i in 0..10u64 {
+            legacy.put(&key(&format!("m{i}")), &result(i)).unwrap();
+        }
+        assert_eq!(legacy.len(), 10);
+    }
+    // Plant one corrupt object: it must be skipped, not migrated.
+    let corrupt = dir.join("objects").join("00");
+    fs::create_dir_all(&corrupt).unwrap();
     fs::write(
-        dir.join("index.log"),
-        format!(
-            "+\t{digest_a}\t{len}\n+\t{digest_b}\t{len}\n",
-            len = fs::metadata(&path_a).unwrap().len()
-        ),
+        corrupt.join("00000000000000000000000000000000.bin"),
+        b"not a result object",
     )
     .unwrap();
 
-    let store = ResultStore::open(&dir).unwrap();
-    assert_eq!(store.get(&a), Some(result(1)));
-    assert_eq!(store.get(&b), None, "embedded key mismatch is a miss");
+    let store = packed(&dir, 1 << 20, 1 << 20);
+    let report = store.migration().expect("migration ran");
+    assert_eq!(report.migrated, 10);
+    assert_eq!(report.skipped, 1);
+    assert!(report.bytes > 0);
+    assert!(!dir.join("objects").exists(), "legacy tree removed");
+    assert!(!dir.join("index.log").exists(), "legacy journal removed");
+    for i in 0..10u64 {
+        assert_eq!(store.get(&key(&format!("m{i}"))), Some(result(i)));
+    }
+
+    // Re-opening does not migrate again.
     drop(store);
+    let store = packed(&dir, 1 << 20, 1 << 20);
+    assert!(store.migration().is_none());
+    assert_eq!(store.len(), 10);
+}
+
+#[test]
+fn raw_object_exchange_validates_digests() {
+    let dir = scratch("raw");
+    let store = packed(&dir, 1 << 20, 1 << 20);
+    let a = key("a");
+    let b = key("b");
+    let bytes_a = codec::encode(&a.canonical(), &result(1));
+
+    // A peer-pushed object must hash to the digest it claims.
+    assert!(store.put_raw(&b.digest(), &bytes_a).is_err());
+    assert!(store.put_raw("zz", &bytes_a).is_err());
+    assert!(store.put_raw(&a.digest(), b"garbage").is_err());
+    assert_eq!(store.len(), 0);
+
+    store.put_raw(&a.digest(), &bytes_a).unwrap();
+    assert_eq!(store.get(&a), Some(result(1)));
+    assert_eq!(store.get_raw(&a.digest()).unwrap(), bytes_a);
+    assert_eq!(store.get_raw(&b.digest()), None);
+}
+
+#[test]
+fn flat_backend_round_trips_and_gcs() {
+    let dir = scratch("flatrt");
+    let store = flat(&dir);
+    for i in 0..10u64 {
+        store.put(&key(&format!("f{i}")), &result(i)).unwrap();
+    }
+    assert_eq!(store.len(), 10);
+    assert_eq!(store.get(&key("f4")), Some(result(4)));
+    let budget = store.total_bytes() / 2;
+    let report = store.gc(budget).unwrap();
+    assert!(report.evicted > 0);
+    assert!(report.kept_bytes <= budget);
+    assert_eq!(report.kept, store.len());
 }
 
 #[test]
 fn concurrent_writers_compute_once() {
     let dir = scratch("flight");
-    let store = Arc::new(ResultStore::open(&dir).unwrap());
+    let store = Arc::new(packed(&dir, 1 << 20, 1 << 20));
     let computes = Arc::new(AtomicUsize::new(0));
     let k = key("cw");
 
@@ -286,30 +389,41 @@ fn concurrent_writers_compute_once() {
 }
 
 #[test]
-fn gc_trims_to_budget_and_survives_reopen() {
+fn gc_drops_sealed_segments_but_never_the_active_one() {
     let dir = scratch("gc");
-    let store = ResultStore::open(&dir).unwrap();
-    for i in 0..10u64 {
+    let store = packed(&dir, 0, 256); // tiny seal: every few puts roll
+    for i in 0..20u64 {
         store.put(&key(&format!("gc{i}")), &result(i)).unwrap();
     }
-    let before = store.total_bytes();
-    assert_eq!(store.len(), 10);
+    assert!(store.segments() > 3);
 
-    let budget = before / 2;
+    // Learn the current on-disk footprint from a no-op pass.
+    let full = store.gc(u64::MAX).unwrap();
+    assert_eq!(full.evicted, 0);
+    assert_eq!(full.kept, 20);
+
+    let budget = full.kept_bytes / 2;
     let report = store.gc(budget).unwrap();
     assert!(report.evicted > 0);
-    assert!(report.kept_bytes <= budget);
+    assert!(report.freed_bytes > 0);
+    assert!(report.kept_bytes <= budget, "{report:?} vs budget {budget}");
     assert_eq!(report.kept, store.len());
-    assert_eq!(report.kept + report.evicted, 10);
+    assert_eq!(report.kept + report.evicted, 20);
 
-    // Reopen agrees with the compacted index.
+    // Survivors read back correctly, and a reopen agrees.
     drop(store);
-    let store = ResultStore::open(&dir).unwrap();
+    let store = packed(&dir, 0, 256);
     assert_eq!(store.len(), report.kept);
-    assert!(store.total_bytes() <= budget);
+    for i in 0..20u64 {
+        if let Some(r) = store.get(&key(&format!("gc{i}"))) {
+            assert_eq!(r, result(i));
+        }
+    }
 
-    // gc with room to spare is a no-op.
-    let report2 = store.gc(u64::MAX).unwrap();
-    assert_eq!(report2.evicted, 0);
-    assert_eq!(report2.kept, report.kept);
+    // A cell written *during* GC accounting can never be collected:
+    // it lands in the active segment, which GC skips by construction.
+    let fresh = key("gc-during");
+    store.put(&fresh, &result(777)).unwrap();
+    let _ = store.gc(0).unwrap();
+    assert_eq!(store.get(&fresh), Some(result(777)));
 }

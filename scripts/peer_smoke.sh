@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Two-node peer-exchange smoke test over real sockets.
+#
+# Starts node A on a scratch store and computes a sweep; starts node
+# B on an EMPTY store with `--peers` pointing at A, and issues the
+# identical sweep. The contract:
+#   * B's response is bit-identical to A's,
+#   * B never re-entered the simulation engine (miss counter parked),
+#   * every one of B's cells arrived over the peer protocol
+#     (bpred_store_hits_total{tier="peer"} == cell count),
+#   * a repeat on B is a local hot-tier hit, not another fetch.
+#
+# Usage: scripts/peer_smoke.sh [port_a] [port_b]   (default 8197 8196)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_A="${1:-8197}"
+PORT_B="${2:-8196}"
+BASE_A="http://127.0.0.1:$PORT_A"
+BASE_B="http://127.0.0.1:$PORT_B"
+DIR_A=$(mktemp -d)
+DIR_B=$(mktemp -d)
+PID_A=""
+PID_B=""
+
+cleanup() {
+    [[ -n "$PID_A" ]] && kill "$PID_A" 2>/dev/null || true
+    [[ -n "$PID_B" ]] && kill "$PID_B" 2>/dev/null || true
+    rm -rf "$DIR_A" "$DIR_B"
+}
+trap cleanup EXIT
+
+cargo build --release -q -p bpred-serve --bin serve
+
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: $1 never became healthy"
+    exit 1
+}
+
+# Exact-series scrape: the first field is the full series name
+# (labels included), so HELP/TYPE comment lines never match.
+scrape() { curl -fsS "$1/metrics" | awk -v m="$2" '$1 == m { print $2 }'; }
+
+./target/release/serve --addr "127.0.0.1:$PORT_A" --cache-dir "$DIR_A" &
+PID_A=$!
+wait_healthy "$BASE_A"
+
+SWEEP="sweep?workload=espresso&branches=50000&configs=gshare:h=8,c=2;gas:h=8,c=2;bimodal:a=10"
+CELLS=3
+
+# Node A computes the sweep cold.
+curl -fsS "$BASE_A/$SWEEP" -o "$DIR_A/a.json"
+MISSES_A=$(scrape "$BASE_A" bpred_cache_misses_total)
+[[ "$MISSES_A" -eq "$CELLS" ]] || { echo "FAIL: node A computed $MISSES_A cells, wanted $CELLS"; exit 1; }
+
+# Node B starts empty, with A as its only peer.
+./target/release/serve --addr "127.0.0.1:$PORT_B" --cache-dir "$DIR_B" \
+    --peers "127.0.0.1:$PORT_A" &
+PID_B=$!
+wait_healthy "$BASE_B"
+
+curl -fsS "$BASE_B/$SWEEP" -o "$DIR_B/b.json"
+
+cmp "$DIR_A/a.json" "$DIR_B/b.json" \
+    || { echo "FAIL: node B's response differs from node A's"; exit 1; }
+
+MISSES_B=$(scrape "$BASE_B" bpred_cache_misses_total)
+PEER_B=$(scrape "$BASE_B" 'bpred_store_hits_total{tier="peer"}')
+[[ "$MISSES_B" -eq 0 ]] || { echo "FAIL: node B simulated $MISSES_B cells instead of fetching"; exit 1; }
+[[ "$PEER_B" -eq "$CELLS" ]] \
+    || { echo "FAIL: only $PEER_B of $CELLS cells arrived via peer fetch"; exit 1; }
+
+# A repeat on B stays local: the peer counter is parked, the hot
+# tier answers.
+curl -fsS "$BASE_B/$SWEEP" -o "$DIR_B/b2.json"
+cmp "$DIR_B/b.json" "$DIR_B/b2.json" \
+    || { echo "FAIL: node B's repeat response differs"; exit 1; }
+PEER_B2=$(scrape "$BASE_B" 'bpred_store_hits_total{tier="peer"}')
+HOT_B2=$(scrape "$BASE_B" 'bpred_store_hits_total{tier="hot"}')
+[[ "$PEER_B2" -eq "$PEER_B" ]] || { echo "FAIL: repeat on B re-fetched from the peer"; exit 1; }
+[[ "$HOT_B2" -ge "$CELLS" ]] || { echo "FAIL: repeat on B bypassed the hot tier"; exit 1; }
+
+echo "OK: node B warmed entirely over the peer protocol ($PEER_B/$CELLS cells, misses=$MISSES_B, repeat hot hits=$HOT_B2)"

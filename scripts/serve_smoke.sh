@@ -70,19 +70,33 @@ cmp "$CACHE_DIR/cold.json" "$CACHE_DIR/warm.json" \
     || { echo "FAIL: warm request replayed records ($RECORDS_COLD -> $RECORDS_WARM)"; exit 1; }
 
 # The event-driven serve layer's metrics surface: per-status request
-# counts, the connection gauge, the shed counter, and the queue gauge
-# must all be present in the exposition.
+# counts, the connection gauge, the shed counter, the queue gauge,
+# and the tiered-store series must all be present in the exposition.
 METRICS=$(curl -fsS "$BASE/metrics")
 for series in \
     'bpred_serve_requests_total{status="200"}' \
     'bpred_serve_requests_total{status="429"}' \
     'bpred_serve_connections_open' \
     'bpred_serve_shed_total' \
-    'bpred_serve_queue_depth'; do
+    'bpred_serve_queue_depth' \
+    'bpred_store_hits_total{tier="hot"}' \
+    'bpred_store_hits_total{tier="pack"}' \
+    'bpred_store_hits_total{tier="peer"}' \
+    'bpred_store_segments' \
+    'bpred_store_hot_bytes'; do
     echo "$METRICS" | grep -qF "$series" \
         || { echo "FAIL: /metrics missing series $series"; exit 1; }
 done
 OK_COUNT=$(echo "$METRICS" | grep -F 'bpred_serve_requests_total{status="200"}' | awk '{ print $2 }')
 [[ "$OK_COUNT" -gt 0 ]] || { echo "FAIL: no 200s counted in bpred_serve_requests_total"; exit 1; }
+
+# The warm sweep was answered by the in-memory hot tier (no peers
+# are configured, so that counter stays parked at zero).
+HOT_HITS=$(echo "$METRICS" | grep -F 'bpred_store_hits_total{tier="hot"}' | awk '{ print $2 }')
+PEER_HITS=$(echo "$METRICS" | grep -F 'bpred_store_hits_total{tier="peer"}' | awk '{ print $2 }')
+SEGMENTS=$(scrape bpred_store_segments)
+[[ "$HOT_HITS" -gt 0 ]] || { echo "FAIL: warm sweep bypassed the hot tier"; exit 1; }
+[[ "$PEER_HITS" -eq 0 ]] || { echo "FAIL: peer hits counted with no peers configured"; exit 1; }
+[[ "$SEGMENTS" -ge 1 ]] || { echo "FAIL: no pack segments after a cached sweep"; exit 1; }
 
 echo "OK: sweep served, cache hit bit-identical (hits=$HITS_WARM misses=$MISSES_WARM records=$RECORDS_WARM ${PAIRS_LINE})"

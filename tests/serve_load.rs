@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use bpred_serve::server::{Server, ServerConfig};
 use bpred_serve::service::{sweep_body, SweepRequest};
-use bpred_serve::store::ResultStore;
+use bpred_serve::store::{Backend, ResultStore, StoreOptions};
 use bpred_sim::cache::{run_configs_keyed, CellKey};
 use bpred_sim::Simulator;
 use bpred_workloads::{suite, WorkloadSource};
@@ -320,14 +320,26 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Concurrent hit/miss storms over arbitrary key sets leave the
-    /// striped store index exactly consistent with the objects.
+    /// tiered store exactly consistent with the objects — with the
+    /// seal threshold squeezed so segments roll over mid-storm, and
+    /// the hot tier ranging from disabled through tiny (evicting
+    /// constantly) to roomy.
     #[test]
     fn striped_index_survives_concurrent_storms(
         seeds in proptest::collection::vec(0u64..50, 4..24),
         threads in 2usize..6,
+        hot_bytes in prop_oneof![Just(0u64), Just(1u64 << 10), Just(1u64 << 20)],
     ) {
-        let dir = scratch(&format!("storm-{threads}-{}", seeds.len()));
-        let store = Arc::new(ResultStore::open(&dir).expect("open"));
+        let dir = scratch(&format!("storm-{threads}-{}-{hot_bytes}", seeds.len()));
+        let options = StoreOptions {
+            backend: Backend::Packed,
+            hot_bytes,
+            // ~2 cells per segment: every storm crosses many seals.
+            seal_bytes: 512,
+            peers: None,
+            auto_migrate: true,
+        };
+        let store = Arc::new(ResultStore::open_with(&dir, options.clone()).expect("open"));
         let model = suite::by_name("espresso").expect("espresso exists");
         let simulator = Simulator::new();
 
@@ -359,11 +371,17 @@ proptest! {
             h.join().expect("storm thread survived");
         }
 
-        // Index agrees with itself and with a fresh reopen (journal
-        // replay): distinct seeds → distinct digests, each exactly once.
+        // The tiers agree with each other and with a fresh reopen
+        // (segment rescan): distinct seeds → distinct digests, each
+        // exactly once, regardless of how many seals and hot-tier
+        // evictions the storm crossed.
         let distinct: std::collections::HashSet<u64> = seeds.iter().copied().collect();
         prop_assert_eq!(store.len(), distinct.len());
-        let reopened = ResultStore::open(&dir).expect("reopen");
+        prop_assert!(store.segments() >= 1);
+        if hot_bytes == 0 {
+            prop_assert_eq!(store.hot_len(), 0, "disabled hot tier stays empty");
+        }
+        let reopened = ResultStore::open_with(&dir, options).expect("reopen");
         prop_assert_eq!(reopened.len(), store.len());
         prop_assert_eq!(reopened.total_bytes(), store.total_bytes());
         let _ = fs::remove_dir_all(&dir);
