@@ -27,8 +27,14 @@
 //!   `portable-simd`.
 //!
 //! Every mode produces bit-identical results (asserted here on every
-//! run); only wall-clock differs. `--quick` shrinks the trace and rep
-//! count for CI smoke use.
+//! run); only wall-clock differs. Families cover the Direct shapes
+//! (gshare/GAs/address-indexed), the statics, and the table-walk-plan
+//! families (PAs/SAs/agree/bi-mode/gskew). A grouped-mode row whose
+//! sweep actually ran lanes on the scalar tier is recorded as
+//! `"mode": "scalar-fallback"` instead of a misleading grouped
+//! number. `--quick` shrinks the trace and rep count for CI smoke use
+//! and additionally asserts that every family reports a non-fallback
+//! multilane row.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -45,10 +51,13 @@ struct Family {
     configs: Vec<PredictorConfig>,
 }
 
-/// A measured (family × mode) cell.
+/// A measured (family × mode) cell. `mode` is the requested dispatch
+/// mode, rewritten to `"scalar-fallback"` when a nominally-grouped
+/// measurement actually ran lanes on the scalar tier — a fallback row
+/// must not masquerade as a grouped number.
 struct Measurement {
     family: &'static str,
-    mode: &'static str,
+    mode: String,
     lanes: usize,
     pairs_per_sec: f64,
 }
@@ -93,15 +102,53 @@ fn families() -> Vec<Family> {
                 PredictorConfig::Btfn,
             ],
         },
-        // No grouped tier exists for per-address-history schemes: this
-        // family pins the expectation that the scalar fallback keeps
-        // them at baseline speed under every mode.
+        // The table-walk-plan families: per-address/per-set history
+        // schemes and the dealiased predictors, grouped since the plan
+        // refactor (previously pinned to the scalar fallback).
         Family {
             name: "pas",
             configs: (2..6u32)
                 .map(|history_bits| PredictorConfig::PasInfinite {
                     history_bits,
                     col_bits: 2,
+                })
+                .collect(),
+        },
+        Family {
+            name: "sas",
+            configs: (2..6u32)
+                .map(|history_bits| PredictorConfig::Sas {
+                    history_bits,
+                    set_bits: 4,
+                    col_bits: 2,
+                })
+                .collect(),
+        },
+        Family {
+            name: "agree",
+            configs: (4..12u32)
+                .map(|index_bits| PredictorConfig::Agree {
+                    history_bits: index_bits.min(8),
+                    index_bits,
+                })
+                .collect(),
+        },
+        Family {
+            name: "bimode",
+            configs: (4..12u32)
+                .map(|direction_bits| PredictorConfig::BiMode {
+                    history_bits: direction_bits.min(8),
+                    direction_bits,
+                    choice_bits: direction_bits,
+                })
+                .collect(),
+        },
+        Family {
+            name: "gskew",
+            configs: (4..12u32)
+                .map(|bank_bits| PredictorConfig::Gskew {
+                    history_bits: bank_bits.min(10),
+                    bank_bits,
                 })
                 .collect(),
         },
@@ -228,8 +275,17 @@ fn main() -> ExitCode {
                     family.name
                 ),
             }
+            // A grouped-mode row that actually ran lanes on the scalar
+            // tier is not a grouped number: mark it instead of
+            // recording a misleading rate.
+            let fell_back = force_scalar.is_none() && bpred_sim::replay_scalar_lanes() > 0;
+            let mode = if fell_back {
+                "scalar-fallback".to_owned()
+            } else {
+                mode.to_owned()
+            };
             eprintln!(
-                "{:<16} {:<10} {:>2} lanes  {:>7.1} M pairs/s",
+                "{:<16} {:<16} {:>2} lanes  {:>7.1} M pairs/s",
                 family.name,
                 mode,
                 family.configs.len(),
@@ -245,6 +301,25 @@ fn main() -> ExitCode {
     }
     std::env::remove_var("BPRED_FORCE_SCALAR");
     std::env::remove_var("BPRED_GROUP_STEP");
+
+    // Schema assertion (CI smoke runs `--quick`): every family in
+    // this table is groupable, so each must report a non-fallback
+    // multilane row. A family silently landing on the scalar tier is
+    // a dispatch regression, not a slow day.
+    if quick {
+        for family in measurements
+            .iter()
+            .map(|m| m.family)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            assert!(
+                measurements
+                    .iter()
+                    .any(|m| m.family == family && m.mode == "multilane"),
+                "groupable family {family} reported no non-fallback multilane mode"
+            );
+        }
+    }
 
     // The headline numbers: the acceptance sweep's scalar baseline vs
     // the full multilane tier.

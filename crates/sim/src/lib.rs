@@ -81,8 +81,8 @@ mod surface;
 mod sweep;
 
 pub use batch::{
-    records_replayed_total, replay_pairs_per_sec, run_batched, run_batched_chunked,
-    run_batched_default, run_batched_per_shard, DEFAULT_SHARD_SIZE,
+    records_replayed_total, replay_pairs_per_sec, replay_scalar_lanes, run_batched,
+    run_batched_chunked, run_batched_default, run_batched_per_shard, DEFAULT_SHARD_SIZE,
 };
 pub use cache::{run_configs_keyed, CellKey, ResultCache, ENGINE_VERSION};
 pub use cost::CpiModel;

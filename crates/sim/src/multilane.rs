@@ -11,46 +11,66 @@
 //!   BTFN have no state, so whole chunks collapse into popcounts over
 //!   the [`TraceChunk`] metadata words (sixteen records per `u64` op)
 //!   and one branchless pass over the pc/target columns.
-//! * **Lane groups** — the global-history family (address-indexed,
-//!   GAg/GAs, gshare) shares one monomorphic loop over a SWAR-decoded
-//!   conditional stream: the chunk metadata is reduced to a dense
-//!   `(pc, taken)` conditional list once (sixteen records per `u64`
-//!   nibble op), and up to [`cell::PACKED_LANES`] lanes step their
-//!   packed cells through a shared arena. The default *fused* step is
-//!   lane-major with all lane parameters and accumulators
-//!   register-resident; two record-major variants are kept behind
+//! * **Lane groups** — every configuration whose lookup reduces to a
+//!   [`WalkPlan`] (a first-level history read, one to three counter
+//!   reads over a shared arena, and a combine/update rule) shares a
+//!   monomorphic loop with the other lanes of the same [`PlanKind`]:
+//!   the chunk metadata is reduced to a dense `(pc, taken)`
+//!   conditional list once (sixteen records per `u64` nibble op), and
+//!   up to [`cell::PACKED_LANES`] lanes step their packed cells
+//!   through a shared arena. The original global-history family
+//!   (address-indexed, GAg/GAs, gshare) runs the single-read *fused*
+//!   loop of [`GlobalGroup`], lane-major with all lane parameters and
+//!   accumulators register-resident; PAg/PAs (perfect or finite
+//!   first level) and SAg/SAs add a per-address/per-set history read
+//!   in front of the same counter step ([`TwoLevelGroup`]); agree,
+//!   bi-mode and gskew run their dealiased combine rules
+//!   ([`AgreeGroup`], [`BiModeGroup`], [`GskewGroup`]). Two
+//!   record-major variants of the single-read loop are kept behind
 //!   `BPRED_GROUP_STEP` — one stepping every gathered counter in a
 //!   single [`cell::step_packed`] word op, one stepping per lane —
 //!   to decompose where the speedup comes from. With the
-//!   off-by-default `portable-simd` feature the group instead runs
-//!   eight lanes per `std::simd` gather/scatter vector.
-//! * **Scalar fallback** — every other scheme (and everything when
-//!   `BPRED_FORCE_SCALAR` is set) replays through the hoisted
+//!   off-by-default `portable-simd` feature the single-read group
+//!   instead runs eight lanes per `std::simd` gather/scatter vector.
+//! * **Scalar fallback** — every scheme without a plan (and everything
+//!   when `BPRED_FORCE_SCALAR` is set) replays through the hoisted
 //!   [`ReplayCore`] dispatch unchanged. The scalar kernel remains the
 //!   oracle: multilane results are bit-identical by construction and
 //!   by test (`tests/multilane.rs` at the workspace root).
 //!
-//! Lane grouping never straddles kernel variants: a group holds only
-//! configurations whose per-record transition is the unified
-//! `row = (hist ^ ((word >> col_bits) & xor_mask)) & row_mask` form,
-//! so one monomorphic loop serves the whole group.
+//! Lane grouping never straddles plan kinds: a group holds only
+//! configurations whose per-record transition is structurally
+//! identical (same first-level shape, same read count, same combine
+//! rule), so one monomorphic loop serves the whole group.
 //!
 //! # Environment knobs
 //!
 //! * `BPRED_FORCE_SCALAR` — any value other than empty/`0` pins every
 //!   lane to the scalar tier (the determinism suite runs under this in
 //!   CI).
-//! * `BPRED_GROUP_STEP=scalar` — lane groups go record-major and step
-//!   counters one lane at a time (isolates the grouping + decode-once
-//!   win); `BPRED_GROUP_STEP=swar` — record-major with the packed
-//!   [`cell::step_packed`] counter step (isolates the packed step).
-//!   Any other value selects the fused lane-major default. Used to
-//!   decompose the speedup in EXPERIMENTS.md.
+//! * `BPRED_GROUP_STEP=scalar` — single-read lane groups go
+//!   record-major and step counters one lane at a time (isolates the
+//!   grouping + decode-once win); `BPRED_GROUP_STEP=swar` —
+//!   record-major with the packed [`cell::step_packed`] counter step
+//!   (isolates the packed step). Any other value selects the fused
+//!   lane-major default. Used to decompose the speedup in
+//!   EXPERIMENTS.md.
+//! * `BPRED_GROUP_PREFETCH` — any value other than empty/`0` runs the
+//!   single-read fused loop in a blocked two-phase form: a short
+//!   address-generation pass touches the upcoming arena slots (the
+//!   known hot gather) before the counter read-modify-write pass
+//!   consumes them.
 //!
-//! Neither knob changes results, only the code path that computes
+//! None of the knobs changes results, only the code path that computes
 //! them.
 
-use bpred_core::{cell, AliasStats, PredictorConfig, PredictorKernel, TwoBitCounter};
+use std::collections::HashMap;
+
+use bpred_core::{
+    cell, reset_pattern, AliasStats, BhtStats, HistoryTable, IndexFn, Level1Read, PlanKind,
+    PredictorConfig, PredictorKernel, SetAssocBht, TableRead, TwoBitCounter, WalkPlan,
+    SKEW_BANK_MULTIPLIERS,
+};
 use bpred_trace::{Outcome, TraceChunk, TraceSource};
 
 use crate::{ReplayCore, SimResult, Simulator};
@@ -63,6 +83,12 @@ type Lane = ReplayCore<PredictorKernel>;
 /// metadata word.
 const NIBBLE_LO: u64 = 0x1111_1111_1111_1111;
 
+/// Records per block of the two-phase prefetch form of the fused loop
+/// (`BPRED_GROUP_PREFETCH`): long enough to cover the load latency the
+/// touch pass hides, short enough that the touched lines are still
+/// resident when the read-modify-write pass consumes them.
+const PREFETCH_WINDOW: usize = 16;
+
 /// `bits` low ones (0 for `bits == 0`); widths here are at most
 /// [`bpred_core::TableGeometry::MAX_TOTAL_BITS`].
 #[inline]
@@ -70,9 +96,41 @@ fn low_mask(bits: u32) -> u64 {
     (1u64 << bits) - 1
 }
 
+/// `bits` low ones for any width `0..=64` — [`low_mask`] is enough
+/// for table geometries (≤ 30 bits), but gskew history registers may
+/// be up to 64 bits wide.
+#[inline]
+fn wide_low_mask(bits: u32) -> u64 {
+    match bits {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// The value a lane's history register equals exactly when its
+/// pattern is all-taken, or the `u64::MAX` sentinel when the register
+/// is absent/zero-width (the register then never leaves zero, which
+/// cannot reach the sentinel; a genuine 64-bit all-ones history *is*
+/// the sentinel value, consistently).
+#[inline]
+fn all_taken_reference(history_bits: u32) -> u64 {
+    if history_bits > 0 {
+        wide_low_mask(history_bits)
+    } else {
+        u64::MAX
+    }
+}
+
 /// Whether `BPRED_FORCE_SCALAR` pins every lane to the scalar tier.
 fn force_scalar() -> bool {
     matches!(std::env::var("BPRED_FORCE_SCALAR"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Whether `BPRED_GROUP_PREFETCH` selects the blocked two-phase fused
+/// loop with arena-slot prefetch (module docs).
+fn group_prefetch() -> bool {
+    matches!(std::env::var("BPRED_GROUP_PREFETCH"), Ok(v) if !v.is_empty() && v != "0")
 }
 
 /// Counter-step strategy inside a lane group (see the module docs).
@@ -324,10 +382,15 @@ struct GlobalGroup {
     /// `portable-simd`.
     #[cfg_attr(feature = "portable-simd", allow(dead_code))]
     step: GroupStep,
+    /// Whether the fused loop runs its blocked two-phase prefetch form
+    /// (`BPRED_GROUP_PREFETCH`). Inert for the record-major and SIMD
+    /// paths.
+    #[cfg_attr(feature = "portable-simd", allow(dead_code))]
+    prefetch: bool,
 }
 
 impl GlobalGroup {
-    fn new(mut specs: Vec<GroupSpec>, step: GroupStep) -> Self {
+    fn new(mut specs: Vec<GroupSpec>, step: GroupStep, prefetch: bool) -> Self {
         debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
         // Descending size order: every earlier region is a multiple of
         // each later size, so each base is aligned to its lane's size
@@ -353,6 +416,7 @@ impl GlobalGroup {
             arena: Vec::new(),
             arena_mask: 0,
             step,
+            prefetch,
         };
         let mut next_base = 0u64;
         for spec in specs {
@@ -396,6 +460,7 @@ impl GlobalGroup {
         }
         #[cfg(not(feature = "portable-simd"))]
         match self.step {
+            GroupStep::Fused if self.prefetch => self.replay_fused_prefetch(stream, seen, warmup),
             GroupStep::Fused => self.replay_fused(stream, seen, warmup),
             GroupStep::RecordSwar => {
                 self.replay_record_major(stream, seen, warmup, |group, w, t, tk, s| {
@@ -468,6 +533,75 @@ impl GlobalGroup {
                 let inc = ((bits < 3) as u64) & taken;
                 let dec = ((bits > 0) as u64) & (1 - taken);
                 arena[slot] = (tag << 2) | (bits + inc - dec);
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    /// The fused loop in blocked two-phase form
+    /// (`BPRED_GROUP_PREFETCH`): per window of [`PREFETCH_WINDOW`]
+    /// records, an address-generation pass runs the (arena-independent)
+    /// index and history recurrence, touches each upcoming arena slot —
+    /// the gather is the loop's one data-dependent load — and parks
+    /// `(slot << 1) | all_taken` in scratch; the second pass then
+    /// performs the identical counter read-modify-write and scoring.
+    /// Bit-identical to [`replay_fused`](Self::replay_fused) (the
+    /// in-window touch reads are value-discarded, and the RMW pass is
+    /// sequential).
+    #[cfg_attr(feature = "portable-simd", allow(dead_code))]
+    fn replay_fused_prefetch(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.hist.len() {
+            let col_shift = self.col_shift[lane];
+            let xor_mask = self.xor_mask[lane];
+            let row_mask = self.row_mask[lane];
+            let col_mask = self.col_mask[lane];
+            let base = self.base[lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            let mut scratch = [0u64; PREFETCH_WINDOW];
+            let mut start = 0usize;
+            while start < stream.len() {
+                let end = stream.len().min(start + PREFETCH_WINDOW);
+                let block = &stream[start..end];
+                let mut h = hist;
+                for (j, &packed) in block.iter().enumerate() {
+                    let taken = packed & 1;
+                    let word = packed >> 3;
+                    let row = (h ^ ((word >> col_shift) & xor_mask)) & row_mask;
+                    let idx = (row << col_shift) | (word & col_mask);
+                    let slot = ((base | idx) as usize) & mask;
+                    scratch[j] = ((slot as u64) << 1) | ((h == all_taken_ref) as u64);
+                    // Safe-code prefetch: pull the cell's line now, drop
+                    // the value.
+                    std::hint::black_box(arena[slot]);
+                    h = ((h << 1) | taken) & hist_mask;
+                }
+                for (j, &packed) in block.iter().enumerate() {
+                    let scored = (seen + (start + j) as u64 >= warmup) as u64;
+                    let taken = packed & 1;
+                    let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                    let slot = (scratch[j] >> 1) as usize;
+                    let all_taken = scratch[j] & 1;
+                    let cell_word = arena[slot];
+                    let owner = cell_word >> 2;
+                    let bits = cell_word & 0b11;
+                    let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                    conflicts += conflict;
+                    harmless += conflict & all_taken;
+                    wrong += scored & ((bits >= 2) as u64 ^ taken);
+                    let inc = ((bits < 3) as u64) & taken;
+                    let dec = ((bits > 0) as u64) & (1 - taken);
+                    arena[slot] = (tag << 2) | (bits + inc - dec);
+                }
+                hist = h;
+                start = end;
             }
             self.hist[lane] = hist;
             self.conflicts[lane] += conflicts;
@@ -606,6 +740,787 @@ impl GlobalGroup {
     }
 }
 
+/// One groupable lane beyond the single-read family: its result slot,
+/// the display name and *static* state cost captured from the kernel
+/// at build time (dynamic per-branch state — perfect-BHT histories,
+/// agree bias bits — is added at finish from the shared distinct-pc
+/// count), and its [`WalkPlan`].
+struct PlanSpec {
+    index: usize,
+    name: String,
+    state_bits: u64,
+    plan: WalkPlan,
+}
+
+/// Places power-of-two regions into one arena: regions are assigned
+/// bases in descending size order (ties by original position), so each
+/// base is aligned to its own region's size and `base | idx` is exact
+/// addition, exactly as [`GlobalGroup::new`] lays out its lanes.
+/// Returns the bases in original order plus the (power-of-two) arena
+/// length.
+fn place_regions(sizes: &[u64]) -> (Vec<u64>, usize) {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut bases = vec![0u64; sizes.len()];
+    let mut next = 0u64;
+    for i in order {
+        bases[i] = next;
+        next += sizes[i];
+    }
+    (bases, next.next_power_of_two().max(1) as usize)
+}
+
+/// A fresh arena of `len` packed cells in the workspace default
+/// counter state (weakly taken), shared by every group kind.
+fn fresh_arena(len: usize) -> Vec<u64> {
+    vec![cell::fresh(TwoBitCounter::default().state().bits()); len]
+}
+
+/// Splits groupable specs into group-sized chunks, preserving order:
+/// the first [`cell::PACKED_LANES`] lanes form the first group, and so
+/// on (the same first-k policy [`LaneSet::new`] always used).
+fn split_at_lane_limit<T>(mut specs: Vec<T>) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    while !specs.is_empty() {
+        let rest = specs.split_off(specs.len().min(cell::PACKED_LANES));
+        out.push(std::mem::replace(&mut specs, rest));
+    }
+    out
+}
+
+/// The first-level row source of a [`TwoLevelGroup`] — the part of a
+/// per-address/per-set plan that differs between PAs(inf), finite PAs
+/// and SAs while the counter step stays shared.
+///
+/// The protocol per conditional record mirrors the scalar
+/// [`RowSelector`](bpred_core::RowSelector): one
+/// [`row`](RowSource::row) before the counter read-modify-write, one
+/// [`advance`](RowSource::advance) after it.
+trait RowSource {
+    /// Whether [`row`](RowSource::row)/[`advance`](RowSource::advance)
+    /// consume the dense per-record branch ids the [`LaneSet`]
+    /// pre-pass assigns (first-appearance order over the conditional
+    /// stream).
+    const NEEDS_IDS: bool;
+
+    /// The history pattern selecting this record's row.
+    fn row(&mut self, lane: usize, pc: u64, id: u32) -> u64;
+
+    /// Shifts the outcome into the first level after the counter step.
+    fn advance(&mut self, lane: usize, pc: u64, id: u32, row: u64, taken: u64);
+
+    /// First-level access statistics, when the scheme reports them
+    /// (`seen` is the shared conditional count — one lookup each).
+    fn bht_stats(&self, lane: usize, seen: u64) -> Option<BhtStats>;
+
+    /// Dynamic first-level state to add to the lane's static cost at
+    /// finish (`distinct` is the shared distinct-conditional-pc
+    /// count).
+    fn extra_state_bits(&self, lane: usize, distinct: u64) -> u64;
+}
+
+/// Unbounded per-address histories ([`bpred_core::PerfectBht`]):
+/// id-indexed dense vectors instead of hash lookups, grown lazily in
+/// first-appearance order — ids are assigned sequentially, so a new id
+/// always equals the vector's length, exactly when the scalar table
+/// would insert the reset pattern.
+#[derive(Debug)]
+struct PerfectRows {
+    widths: Vec<u32>,
+    masks: Vec<u64>,
+    hists: Vec<Vec<u64>>,
+}
+
+impl PerfectRows {
+    fn new(specs: &[PlanSpec]) -> Self {
+        let widths: Vec<u32> = specs.iter().map(|s| s.plan.history_bits).collect();
+        PerfectRows {
+            masks: widths.iter().map(|&w| wide_low_mask(w)).collect(),
+            hists: specs.iter().map(|_| Vec::new()).collect(),
+            widths,
+        }
+    }
+}
+
+impl RowSource for PerfectRows {
+    const NEEDS_IDS: bool = true;
+
+    #[inline]
+    fn row(&mut self, lane: usize, _pc: u64, id: u32) -> u64 {
+        let v = &mut self.hists[lane];
+        if id as usize == v.len() {
+            v.push(reset_pattern(self.widths[lane]));
+        }
+        v[id as usize]
+    }
+
+    #[inline]
+    fn advance(&mut self, lane: usize, _pc: u64, id: u32, row: u64, taken: u64) {
+        // Width-0 masks to zero, matching the scalar no-op record.
+        self.hists[lane][id as usize] = ((row << 1) | taken) & self.masks[lane];
+    }
+
+    fn bht_stats(&self, _lane: usize, seen: u64) -> Option<BhtStats> {
+        Some(BhtStats {
+            accesses: seen,
+            misses: 0,
+        })
+    }
+
+    fn extra_state_bits(&self, lane: usize, distinct: u64) -> u64 {
+        distinct * u64::from(self.widths[lane])
+    }
+}
+
+/// Finite tagged per-address histories: each lane embeds the real
+/// [`SetAssocBht`] and drives it through the same lookup/record calls
+/// the scalar selector makes, so LRU clocks, evictions and miss
+/// statistics are exact by construction.
+#[derive(Debug)]
+struct FiniteRows {
+    bhts: Vec<SetAssocBht>,
+}
+
+impl FiniteRows {
+    fn new(specs: &[PlanSpec]) -> Self {
+        FiniteRows {
+            bhts: specs
+                .iter()
+                .map(|s| match s.plan.level1 {
+                    Level1Read::SetAssocBht { entries, ways } => {
+                        SetAssocBht::new(entries, ways, s.plan.history_bits)
+                    }
+                    ref other => unreachable!("finite rows from {other:?}"),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl RowSource for FiniteRows {
+    const NEEDS_IDS: bool = false;
+
+    #[inline]
+    fn row(&mut self, lane: usize, pc: u64, _id: u32) -> u64 {
+        self.bhts[lane].lookup(pc)
+    }
+
+    #[inline]
+    fn advance(&mut self, lane: usize, pc: u64, _id: u32, _row: u64, taken: u64) {
+        self.bhts[lane].record(pc, Outcome::from_bit(taken));
+    }
+
+    fn bht_stats(&self, lane: usize, _seen: u64) -> Option<BhtStats> {
+        Some(self.bhts[lane].stats())
+    }
+
+    fn extra_state_bits(&self, _lane: usize, _distinct: u64) -> u64 {
+        0 // entries x width is static, already in the kernel's cost
+    }
+}
+
+/// Per-set histories ([`bpred_core::SetSelector`]): a flat register
+/// file per lane indexed by low word-address bits. Registers start at
+/// zero (not the reset pattern — set registers are never "missing").
+#[derive(Debug)]
+struct SetRows {
+    set_masks: Vec<u64>,
+    width_masks: Vec<u64>,
+    sets: Vec<Vec<u64>>,
+}
+
+impl SetRows {
+    fn new(specs: &[PlanSpec]) -> Self {
+        let mut rows = SetRows {
+            set_masks: Vec::with_capacity(specs.len()),
+            width_masks: Vec::with_capacity(specs.len()),
+            sets: Vec::with_capacity(specs.len()),
+        };
+        for spec in specs {
+            let set_bits = match spec.plan.level1 {
+                Level1Read::SetHistories { set_bits } => set_bits,
+                ref other => unreachable!("set rows from {other:?}"),
+            };
+            rows.set_masks.push(wide_low_mask(set_bits));
+            rows.width_masks.push(wide_low_mask(spec.plan.history_bits));
+            rows.sets.push(vec![0u64; 1usize << set_bits]);
+        }
+        rows
+    }
+}
+
+impl RowSource for SetRows {
+    const NEEDS_IDS: bool = false;
+
+    #[inline]
+    fn row(&mut self, lane: usize, pc: u64, _id: u32) -> u64 {
+        self.sets[lane][((pc >> 2) & self.set_masks[lane]) as usize]
+    }
+
+    #[inline]
+    fn advance(&mut self, lane: usize, pc: u64, _id: u32, row: u64, taken: u64) {
+        let set = ((pc >> 2) & self.set_masks[lane]) as usize;
+        self.sets[lane][set] = ((row << 1) | taken) & self.width_masks[lane];
+    }
+
+    fn bht_stats(&self, _lane: usize, _seen: u64) -> Option<BhtStats> {
+        None
+    }
+
+    fn extra_state_bits(&self, _lane: usize, _distinct: u64) -> u64 {
+        0 // 2^set_bits x width is static, already in the kernel's cost
+    }
+}
+
+/// A lane group for the per-address/per-set two-level plans
+/// ([`PlanKind::PerAddressPerfect`], [`PlanKind::PerAddressFinite`],
+/// [`PlanKind::PerSet`]): the [`GlobalGroup`] counter step with a
+/// [`RowSource`] first-level read in front, lane-major over the shared
+/// conditional stream.
+#[derive(Debug)]
+struct TwoLevelGroup<R> {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    all_taken_ref: Vec<u64>,
+    row_mask: Vec<u64>,
+    col_shift: Vec<u64>,
+    col_mask: Vec<u64>,
+    base: Vec<u64>,
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    rows: R,
+    arena: Vec<u64>,
+}
+
+impl<R: RowSource> TwoLevelGroup<R> {
+    fn new(specs: Vec<PlanSpec>, rows: R) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        let sizes: Vec<u64> = specs.iter().map(|s| s.plan.cells()).collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = TwoLevelGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            row_mask: Vec::with_capacity(lanes),
+            col_shift: Vec::with_capacity(lanes),
+            col_mask: Vec::with_capacity(lanes),
+            base: bases,
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            rows,
+            arena: fresh_arena(arena_len),
+        };
+        for spec in specs {
+            let read = spec.plan.reads[0];
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group
+                .all_taken_ref
+                .push(all_taken_reference(spec.plan.history_bits));
+            group.row_mask.push(wide_low_mask(read.row_bits));
+            group.col_shift.push(u64::from(read.col_bits));
+            group.col_mask.push(wide_low_mask(read.col_bits));
+        }
+        group
+    }
+
+    /// Feeds the chunk's dense conditional stream through every lane.
+    /// `ids` is the per-record dense branch-id column (read only when
+    /// the row source asks for it). Per record and lane this is the
+    /// scalar sequence select → fused counter access-train → selector
+    /// train, branch-free.
+    fn replay(&mut self, stream: &[u64], ids: &[u32], seen: u64, warmup: u64) {
+        debug_assert!(!R::NEEDS_IDS || ids.len() == stream.len());
+        for lane in 0..self.indices.len() {
+            let col_shift = self.col_shift[lane];
+            let col_mask = self.col_mask[lane];
+            let row_mask = self.row_mask[lane];
+            let base = self.base[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let rows = &mut self.rows;
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let pc = packed >> 1;
+                let word = packed >> 3;
+                let tag = pc & cell::EMPTY_OWNER;
+                let id = if R::NEEDS_IDS { ids[i] } else { 0 };
+                let row = rows.row(lane, pc, id);
+                let idx = ((row & row_mask) << col_shift) | (word & col_mask);
+                let slot = ((base | idx) as usize) & mask;
+                let cell_word = arena[slot];
+                let owner = cell_word >> 2;
+                let bits = cell_word & 0b11;
+                let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                conflicts += conflict;
+                harmless += conflict & ((row == all_taken_ref) as u64);
+                wrong += scored & ((bits >= 2) as u64 ^ taken);
+                let inc = ((bits < 3) as u64) & taken;
+                let dec = ((bits > 0) as u64) & (1 - taken);
+                arena[slot] = (tag << 2) | (bits + inc - dec);
+                rows.advance(lane, pc, id, row, taken);
+            }
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, distinct: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane] + self.rows.extra_state_bits(lane, distinct),
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                alias: Some(AliasStats {
+                    accesses: seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: self.rows.bht_stats(lane, seen),
+            });
+        }
+    }
+}
+
+/// A lane group for [`PlanKind::AgreeBias`]: counters predict
+/// *agreement* with a per-branch bias bit latched at first execution.
+/// The bias latch sequence depends only on the shared (pc, outcome)
+/// stream — identical across every agree lane — so the [`LaneSet`]
+/// pre-pass latches it once, record-major, and parks each record's
+/// pre/post-latch bias in the shared `bias_bits` column the lane-major
+/// loop here reads (a naive shared latch array would corrupt pre-latch
+/// reads once the first lane had latched).
+#[derive(Debug)]
+struct AgreeGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    hist: Vec<u64>,
+    hist_mask: Vec<u64>,
+    all_taken_ref: Vec<u64>,
+    row_mask: Vec<u64>,
+    base: Vec<u64>,
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl AgreeGroup {
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        let sizes: Vec<u64> = specs.iter().map(|s| s.plan.cells()).collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = AgreeGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            hist: vec![0; lanes],
+            hist_mask: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            row_mask: Vec::with_capacity(lanes),
+            base: bases,
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            arena: fresh_arena(arena_len),
+        };
+        for spec in specs {
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group.hist_mask.push(wide_low_mask(spec.plan.history_bits));
+            group
+                .all_taken_ref
+                .push(all_taken_reference(spec.plan.history_bits));
+            group
+                .row_mask
+                .push(wide_low_mask(spec.plan.reads[0].row_bits));
+        }
+        group
+    }
+
+    /// `bias_bits[i]` carries the shared pre-latch (bit 0) and
+    /// post-latch (bit 1) bias-is-taken flags of conditional `i`.
+    fn replay(&mut self, stream: &[u64], bias_bits: &[u8], seen: u64, warmup: u64) {
+        debug_assert_eq!(bias_bits.len(), stream.len());
+        for lane in 0..self.indices.len() {
+            let row_mask = self.row_mask[lane];
+            let base = self.base[lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let word = packed >> 3;
+                let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                let pre = u64::from(bias_bits[i] & 1);
+                let post = u64::from((bias_bits[i] >> 1) & 1);
+                let row = (hist ^ (word & row_mask)) & row_mask;
+                let slot = ((base | row) as usize) & mask;
+                let cell_word = arena[slot];
+                let owner = cell_word >> 2;
+                let bits = cell_word & 0b11;
+                let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                conflicts += conflict;
+                harmless += conflict & ((hist == all_taken_ref) as u64);
+                // Prediction: bias if the counter says "agree", its
+                // complement otherwise — an XNOR of the two bits.
+                let agree = (bits >= 2) as u64;
+                wrong += scored & ((1 ^ agree ^ pre) ^ taken);
+                // Training direction is agreement with the
+                // *post-latch* bias, not the raw outcome.
+                let agreement = 1 ^ taken ^ post;
+                let inc = ((bits < 3) as u64) & agreement;
+                let dec = ((bits > 0) as u64) & (1 - agreement);
+                arena[slot] = (tag << 2) | (bits + inc - dec);
+                hist = ((hist << 1) | taken) & hist_mask;
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, distinct: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                // One BTB-resident bias bit per distinct branch.
+                state_bits: self.state_bits[lane] + distinct,
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                alias: Some(AliasStats {
+                    accesses: seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
+/// A lane group for [`PlanKind::BiModeChoice`]: a peeked choice read
+/// steers each record to one of two direction regions; the selected
+/// counter trains toward the outcome and the choice counter trains too
+/// unless the bi-mode exception holds (choice disagreed but the
+/// selected counter was right). The choice cells are only ever peeked
+/// and retrained, so their owner tags stay empty and they contribute
+/// no alias accounting — exactly the scalar tables' split.
+#[derive(Debug)]
+struct BiModeGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    hist: Vec<u64>,
+    hist_mask: Vec<u64>,
+    all_taken_ref: Vec<u64>,
+    dir_mask: Vec<u64>,
+    choice_mask: Vec<u64>,
+    taken_base: Vec<u64>,
+    not_taken_base: Vec<u64>,
+    choice_base: Vec<u64>,
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl BiModeGroup {
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        // Three regions per lane: taken, not-taken, choice.
+        let sizes: Vec<u64> = specs
+            .iter()
+            .flat_map(|s| s.plan.reads.iter().map(TableRead::cells))
+            .collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = BiModeGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            hist: vec![0; lanes],
+            hist_mask: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            dir_mask: Vec::with_capacity(lanes),
+            choice_mask: Vec::with_capacity(lanes),
+            taken_base: Vec::with_capacity(lanes),
+            not_taken_base: Vec::with_capacity(lanes),
+            choice_base: Vec::with_capacity(lanes),
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            arena: fresh_arena(arena_len),
+        };
+        for (lane, spec) in specs.into_iter().enumerate() {
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group.hist_mask.push(wide_low_mask(spec.plan.history_bits));
+            group
+                .all_taken_ref
+                .push(all_taken_reference(spec.plan.history_bits));
+            group
+                .dir_mask
+                .push(wide_low_mask(spec.plan.reads[0].row_bits));
+            group
+                .choice_mask
+                .push(wide_low_mask(spec.plan.reads[2].col_bits));
+            group.taken_base.push(bases[3 * lane]);
+            group.not_taken_base.push(bases[3 * lane + 1]);
+            group.choice_base.push(bases[3 * lane + 2]);
+        }
+        group
+    }
+
+    fn replay(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.indices.len() {
+            let dir_mask = self.dir_mask[lane];
+            let choice_mask = self.choice_mask[lane];
+            let taken_base = self.taken_base[lane];
+            let not_taken_base = self.not_taken_base[lane];
+            let choice_base = self.choice_base[lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let word = packed >> 3;
+                let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                let row = (hist ^ (word & dir_mask)) & dir_mask;
+                let choice_slot = ((choice_base | (word & choice_mask)) as usize) & mask;
+                let choice_cell = arena[choice_slot];
+                let ch_bits = choice_cell & 0b11;
+                let use_taken = (ch_bits >= 2) as u64;
+                // Branchless region select between the two direction
+                // tables.
+                let dir_base =
+                    not_taken_base ^ ((taken_base ^ not_taken_base) & use_taken.wrapping_neg());
+                let slot = ((dir_base | row) as usize) & mask;
+                let cell_word = arena[slot];
+                let owner = cell_word >> 2;
+                let bits = cell_word & 0b11;
+                let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                conflicts += conflict;
+                harmless += conflict & ((hist == all_taken_ref) as u64);
+                let predicted = (bits >= 2) as u64;
+                wrong += scored & (predicted ^ taken);
+                // Selected direction counter trains toward the outcome.
+                let inc = ((bits < 3) as u64) & taken;
+                let dec = ((bits > 0) as u64) & (1 - taken);
+                arena[slot] = (tag << 2) | (bits + inc - dec);
+                // Choice trains toward the outcome except on the
+                // bi-mode exception; its owner (empty) is preserved —
+                // peek and retrain never tag.
+                let exception = (use_taken ^ taken) & (1 - (predicted ^ taken));
+                let train = 1 - exception;
+                let cinc = ((ch_bits < 3) as u64) & taken & train;
+                let cdec = ((ch_bits > 0) as u64) & (1 - taken) & train;
+                arena[choice_slot] = (choice_cell & !0b11u64) | (ch_bits + cinc - cdec);
+                hist = ((hist << 1) | taken) & hist_mask;
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                // Direction tables only; the choice table is peeked,
+                // never accessed, in the paper's accounting.
+                alias: Some(AliasStats {
+                    accesses: seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
+/// A lane group for [`PlanKind::SkewedMajority`]: three skewed bank
+/// reads per record, majority vote, total-update training. Each lane
+/// owns three disjoint bank regions, so the scalar
+/// access-access-access / train-train-train sequence fuses into one
+/// read-modify-write per bank.
+#[derive(Debug)]
+struct GskewGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    hist: Vec<u64>,
+    hist_mask: Vec<u64>,
+    all_taken_ref: Vec<u64>,
+    /// `64 - bank_bits`, the hash down-shift (bank_bits ≥ 1 is
+    /// guaranteed by [`WalkPlan::of`]).
+    shift: Vec<u64>,
+    bank_base: [Vec<u64>; 3],
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl GskewGroup {
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        let sizes: Vec<u64> = specs
+            .iter()
+            .flat_map(|s| s.plan.reads.iter().map(TableRead::cells))
+            .collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = GskewGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            hist: vec![0; lanes],
+            hist_mask: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            shift: Vec::with_capacity(lanes),
+            bank_base: [
+                Vec::with_capacity(lanes),
+                Vec::with_capacity(lanes),
+                Vec::with_capacity(lanes),
+            ],
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            arena: fresh_arena(arena_len),
+        };
+        for (lane, spec) in specs.into_iter().enumerate() {
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group.hist_mask.push(wide_low_mask(spec.plan.history_bits));
+            group
+                .all_taken_ref
+                .push(all_taken_reference(spec.plan.history_bits));
+            group
+                .shift
+                .push(u64::from(64 - spec.plan.reads[0].row_bits));
+            for bank in 0..3 {
+                group.bank_base[bank].push(bases[3 * lane + bank]);
+            }
+        }
+        group
+    }
+
+    fn replay(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.indices.len() {
+            let shift = self.shift[lane];
+            let base0 = self.bank_base[0][lane];
+            let base1 = self.bank_base[1][lane];
+            let base2 = self.bank_base[2][lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let word = packed >> 3;
+                let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                let key = (word << 20) ^ hist;
+                let all_taken = (hist == all_taken_ref) as u64;
+                // Unrolled banks, all three loads issued before any
+                // store: the bank regions are disjoint, but an
+                // interleaved read-modify-write would force the
+                // compiler to order every load after the previous
+                // bank's store (it cannot prove the slots don't
+                // alias). The scalar predict-all-banks-then-train-
+                // all-banks sequence is equivalent to one fused RMW
+                // per bank either way.
+                let slot0 = ((base0 | (key.wrapping_mul(SKEW_BANK_MULTIPLIERS[0]) >> shift))
+                    as usize)
+                    & mask;
+                let slot1 = ((base1 | (key.wrapping_mul(SKEW_BANK_MULTIPLIERS[1]) >> shift))
+                    as usize)
+                    & mask;
+                let slot2 = ((base2 | (key.wrapping_mul(SKEW_BANK_MULTIPLIERS[2]) >> shift))
+                    as usize)
+                    & mask;
+                let (cell0, cell1, cell2) = (arena[slot0], arena[slot1], arena[slot2]);
+                let step = |cell_word: u64| {
+                    let owner = cell_word >> 2;
+                    let bits = cell_word & 0b11;
+                    let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                    let vote = (bits >= 2) as u64;
+                    let inc = ((bits < 3) as u64) & taken;
+                    let dec = ((bits > 0) as u64) & (1 - taken);
+                    ((tag << 2) | (bits + inc - dec), conflict, vote)
+                };
+                let (next0, conflict0, vote0) = step(cell0);
+                let (next1, conflict1, vote1) = step(cell1);
+                let (next2, conflict2, vote2) = step(cell2);
+                arena[slot0] = next0;
+                arena[slot1] = next1;
+                arena[slot2] = next2;
+                let conflict = conflict0 + conflict1 + conflict2;
+                conflicts += conflict;
+                harmless += conflict & all_taken.wrapping_neg();
+                wrong += scored & ((vote0 + vote1 + vote2 >= 2) as u64 ^ taken);
+                hist = ((hist << 1) | taken) & hist_mask;
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                alias: Some(AliasStats {
+                    // Three bank accesses per conditional.
+                    accesses: 3 * seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
 /// A set of predictor lanes advancing together through one chunk
 /// stream, each on its fastest applicable dispatch tier.
 ///
@@ -645,11 +1560,30 @@ pub struct LaneSet {
     /// Conditionals scored so far (past the warmup prefix).
     scored: u64,
     groups: Vec<GlobalGroup>,
+    pas_groups: Vec<TwoLevelGroup<PerfectRows>>,
+    finite_groups: Vec<TwoLevelGroup<FiniteRows>>,
+    sas_groups: Vec<TwoLevelGroup<SetRows>>,
+    agree_groups: Vec<AgreeGroup>,
+    bimode_groups: Vec<BiModeGroup>,
+    gskew_groups: Vec<GskewGroup>,
     statics: Vec<StaticUnit>,
     scalars: Vec<(usize, Lane)>,
     /// Per-chunk scratch: the dense conditional stream shared by every
     /// lane group (`(pc << 1) | taken`, non-conditionals dropped).
     conditionals: Vec<u64>,
+    /// Persistent dense branch ids (first-appearance order), shared by
+    /// the perfect-BHT row source and the agree bias column.
+    id_map: HashMap<u64, u32>,
+    /// Per-chunk scratch: `conditionals[i]`'s dense id.
+    ids: Vec<u32>,
+    /// Shared agree bias latch per dense id: 0 unset (reads as taken,
+    /// the scalar default), 1 latched taken, 2 latched not-taken.
+    bias: Vec<u8>,
+    /// Per-chunk scratch: pre-latch (bit 0) / post-latch (bit 1)
+    /// bias-is-taken flags per conditional.
+    bias_bits: Vec<u8>,
+    needs_ids: bool,
+    needs_bias: bool,
 }
 
 impl LaneSet {
@@ -660,6 +1594,12 @@ impl LaneSet {
         let force_scalar = force_scalar();
         let step = group_step();
         let mut specs: Vec<GroupSpec> = Vec::new();
+        let mut pas_specs: Vec<PlanSpec> = Vec::new();
+        let mut finite_specs: Vec<PlanSpec> = Vec::new();
+        let mut sas_specs: Vec<PlanSpec> = Vec::new();
+        let mut agree_specs: Vec<PlanSpec> = Vec::new();
+        let mut bimode_specs: Vec<PlanSpec> = Vec::new();
+        let mut gskew_specs: Vec<PlanSpec> = Vec::new();
         let mut statics = Vec::new();
         let mut scalars = Vec::new();
         for (index, config) in configs.iter().enumerate() {
@@ -678,52 +1618,111 @@ impl LaneSet {
                 });
                 continue;
             }
-            let shape = match *config {
-                _ if force_scalar => None,
-                PredictorConfig::AddressIndexed { addr_bits } => Some((0, addr_bits, false, false)),
-                PredictorConfig::Gas {
-                    history_bits,
-                    col_bits,
-                } => Some((history_bits, col_bits, false, true)),
-                PredictorConfig::Gshare {
-                    history_bits,
-                    col_bits,
-                } => Some((history_bits, col_bits, true, true)),
-                _ => None,
+            let plan = if force_scalar {
+                None
+            } else {
+                WalkPlan::of(config)
             };
-            match shape {
-                Some((row_bits, col_bits, xor, history)) => {
+            match plan {
+                Some(plan) => {
                     // Name and state cost come from the kernel itself
                     // — the single source of the describe() rules —
                     // captured once at build and the kernel dropped.
                     let kernel = config.kernel();
-                    specs.push(GroupSpec {
-                        index,
-                        name: kernel.name(),
-                        state_bits: kernel.state_bits(),
-                        row_bits,
-                        col_bits,
-                        xor,
-                        history,
-                    });
+                    let (name, state_bits) = (kernel.name(), kernel.state_bits());
+                    if plan.kind() == PlanKind::Direct {
+                        let read = plan.reads[0];
+                        specs.push(GroupSpec {
+                            index,
+                            name,
+                            state_bits,
+                            row_bits: read.row_bits,
+                            col_bits: read.col_bits,
+                            xor: matches!(read.index, IndexFn::Unified { xor: true }),
+                            history: plan.level1 == Level1Read::GlobalHistory,
+                        });
+                    } else {
+                        let bucket = match plan.kind() {
+                            PlanKind::PerAddressPerfect => &mut pas_specs,
+                            PlanKind::PerAddressFinite => &mut finite_specs,
+                            PlanKind::PerSet => &mut sas_specs,
+                            PlanKind::AgreeBias => &mut agree_specs,
+                            PlanKind::BiModeChoice => &mut bimode_specs,
+                            PlanKind::SkewedMajority => &mut gskew_specs,
+                            PlanKind::Direct => unreachable!(),
+                        };
+                        bucket.push(PlanSpec {
+                            index,
+                            name,
+                            state_bits,
+                            plan,
+                        });
+                    }
                 }
                 None => scalars.push((index, ReplayCore::from_config(config, simulator))),
             }
         }
-        let mut groups = Vec::new();
-        while !specs.is_empty() {
-            let rest = specs.split_off(specs.len().min(cell::PACKED_LANES));
-            groups.push(GlobalGroup::new(std::mem::replace(&mut specs, rest), step));
-        }
+        let prefetch = group_prefetch();
+        let groups = split_at_lane_limit(specs)
+            .into_iter()
+            .map(|chunk| GlobalGroup::new(chunk, step, prefetch))
+            .collect();
+        let pas_groups: Vec<_> = split_at_lane_limit(pas_specs)
+            .into_iter()
+            .map(|chunk| {
+                let rows = PerfectRows::new(&chunk);
+                TwoLevelGroup::new(chunk, rows)
+            })
+            .collect();
+        let finite_groups = split_at_lane_limit(finite_specs)
+            .into_iter()
+            .map(|chunk| {
+                let rows = FiniteRows::new(&chunk);
+                TwoLevelGroup::new(chunk, rows)
+            })
+            .collect();
+        let sas_groups = split_at_lane_limit(sas_specs)
+            .into_iter()
+            .map(|chunk| {
+                let rows = SetRows::new(&chunk);
+                TwoLevelGroup::new(chunk, rows)
+            })
+            .collect();
+        let agree_groups: Vec<_> = split_at_lane_limit(agree_specs)
+            .into_iter()
+            .map(AgreeGroup::new)
+            .collect();
+        let bimode_groups = split_at_lane_limit(bimode_specs)
+            .into_iter()
+            .map(BiModeGroup::new)
+            .collect();
+        let gskew_groups = split_at_lane_limit(gskew_specs)
+            .into_iter()
+            .map(GskewGroup::new)
+            .collect();
+        let needs_ids = !pas_groups.is_empty() || !agree_groups.is_empty();
+        let needs_bias = !agree_groups.is_empty();
         LaneSet {
             len: configs.len(),
             warmup: simulator.warmup() as u64,
             seen: 0,
             scored: 0,
             groups,
+            pas_groups,
+            finite_groups,
+            sas_groups,
+            agree_groups,
+            bimode_groups,
+            gskew_groups,
             statics,
             scalars,
             conditionals: Vec::new(),
+            id_map: HashMap::new(),
+            ids: Vec::new(),
+            bias: Vec::new(),
+            bias_bits: Vec::new(),
+            needs_ids,
+            needs_bias,
         }
     }
 
@@ -747,10 +1746,62 @@ impl LaneSet {
     /// [`ReplayCore::feed`] over the same records.
     pub fn replay_chunk(&mut self, chunk: &TraceChunk) {
         let (conditionals, taken) = conditional_counts(chunk);
-        if !self.groups.is_empty() {
+        let any_groups = !self.groups.is_empty()
+            || !self.pas_groups.is_empty()
+            || !self.finite_groups.is_empty()
+            || !self.sas_groups.is_empty()
+            || !self.agree_groups.is_empty()
+            || !self.bimode_groups.is_empty()
+            || !self.gskew_groups.is_empty();
+        if any_groups {
             collect_conditionals(chunk, &mut self.conditionals);
+            if self.needs_ids {
+                // One shared pre-pass: dense ids in first-appearance
+                // order (serving the perfect-BHT allocation and the
+                // agree bias store) and, when agree lanes exist, the
+                // record-major bias latch column.
+                self.ids.clear();
+                self.bias_bits.clear();
+                for &packed in &self.conditionals {
+                    let pc = packed >> 1;
+                    let next = self.id_map.len() as u32;
+                    let id = *self.id_map.entry(pc).or_insert(next);
+                    self.ids.push(id);
+                    if self.needs_bias {
+                        let taken = (packed & 1) as u8;
+                        if id as usize == self.bias.len() {
+                            self.bias.push(0);
+                        }
+                        let b = &mut self.bias[id as usize];
+                        let pre = (*b != 2) as u8;
+                        if *b == 0 {
+                            *b = 2 - taken;
+                        }
+                        let post = (*b != 2) as u8;
+                        self.bias_bits.push(pre | (post << 1));
+                    }
+                }
+            }
             for group in &mut self.groups {
                 group.replay_conditionals(&self.conditionals, self.seen, self.warmup);
+            }
+            for group in &mut self.pas_groups {
+                group.replay(&self.conditionals, &self.ids, self.seen, self.warmup);
+            }
+            for group in &mut self.finite_groups {
+                group.replay(&self.conditionals, &self.ids, self.seen, self.warmup);
+            }
+            for group in &mut self.sas_groups {
+                group.replay(&self.conditionals, &self.ids, self.seen, self.warmup);
+            }
+            for group in &mut self.agree_groups {
+                group.replay(&self.conditionals, &self.bias_bits, self.seen, self.warmup);
+            }
+            for group in &mut self.bimode_groups {
+                group.replay(&self.conditionals, self.seen, self.warmup);
+            }
+            for group in &mut self.gskew_groups {
+                group.replay(&self.conditionals, self.seen, self.warmup);
             }
         }
         for unit in &mut self.statics {
@@ -768,7 +1819,26 @@ impl LaneSet {
     /// order.
     pub fn finish(self) -> Vec<SimResult> {
         let mut results: Vec<Option<SimResult>> = (0..self.len).map(|_| None).collect();
+        let distinct = self.id_map.len() as u64;
         for group in self.groups {
+            group.finish(self.seen, self.scored, &mut results);
+        }
+        for group in self.pas_groups {
+            group.finish(self.seen, self.scored, distinct, &mut results);
+        }
+        for group in self.finite_groups {
+            group.finish(self.seen, self.scored, distinct, &mut results);
+        }
+        for group in self.sas_groups {
+            group.finish(self.seen, self.scored, distinct, &mut results);
+        }
+        for group in self.agree_groups {
+            group.finish(self.seen, self.scored, distinct, &mut results);
+        }
+        for group in self.bimode_groups {
+            group.finish(self.seen, self.scored, &mut results);
+        }
+        for group in self.gskew_groups {
             group.finish(self.seen, self.scored, &mut results);
         }
         for unit in self.statics {
@@ -940,6 +2010,155 @@ mod tests {
         let results = replay_multilane(&configs, &trace(1_000), Simulator::new());
         assert_eq!(results[0], results[1]);
         assert_eq!(results[1], results[2]);
+    }
+
+    /// The table-walk-plan families (everything groupable beyond the
+    /// single-read Direct shape), with degenerate shapes included.
+    fn plan_configs() -> Vec<PredictorConfig> {
+        vec![
+            PredictorConfig::PasInfinite {
+                history_bits: 5,
+                col_bits: 2,
+            },
+            PredictorConfig::PasInfinite {
+                history_bits: 1,
+                col_bits: 0,
+            },
+            PredictorConfig::PasFinite {
+                history_bits: 5,
+                col_bits: 2,
+                entries: 64,
+                ways: 2,
+            },
+            PredictorConfig::PasFinite {
+                history_bits: 3,
+                col_bits: 1,
+                entries: 8,
+                ways: 8,
+            },
+            PredictorConfig::Sas {
+                history_bits: 5,
+                set_bits: 3,
+                col_bits: 2,
+            },
+            PredictorConfig::Sas {
+                history_bits: 1,
+                set_bits: 0,
+                col_bits: 0,
+            },
+            PredictorConfig::Agree {
+                history_bits: 6,
+                index_bits: 8,
+            },
+            PredictorConfig::Agree {
+                history_bits: 0,
+                index_bits: 3,
+            },
+            PredictorConfig::BiMode {
+                history_bits: 6,
+                direction_bits: 7,
+                choice_bits: 7,
+            },
+            PredictorConfig::BiMode {
+                history_bits: 0,
+                direction_bits: 2,
+                choice_bits: 0,
+            },
+            PredictorConfig::Gskew {
+                history_bits: 6,
+                bank_bits: 7,
+            },
+            PredictorConfig::Gskew {
+                history_bits: 40,
+                bank_bits: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn plan_families_replay_on_the_grouped_tier() {
+        let configs = plan_configs();
+        let lanes = LaneSet::new(&configs, Simulator::new());
+        if force_scalar() {
+            assert_eq!(lanes.scalar_lanes(), configs.len());
+        } else {
+            // Every family must land on its plan group, not the
+            // scalar fallback.
+            assert_eq!(lanes.scalar_lanes(), 0);
+            assert_eq!(lanes.pas_groups.len(), 1);
+            assert_eq!(lanes.finite_groups.len(), 1);
+            assert_eq!(lanes.sas_groups.len(), 1);
+            assert_eq!(lanes.agree_groups.len(), 1);
+            assert_eq!(lanes.bimode_groups.len(), 1);
+            assert_eq!(lanes.gskew_groups.len(), 1);
+        }
+        assert_matches_serial(&configs, &trace(3_000), Simulator::new());
+    }
+
+    #[test]
+    fn plan_families_honour_warmup() {
+        for warmup in [1, 100, 2_999, 3_000] {
+            assert_matches_serial(
+                &plan_configs(),
+                &trace(3_000),
+                Simulator::with_warmup(warmup),
+            );
+        }
+    }
+
+    #[test]
+    fn gskew_zero_bank_bits_stays_on_the_scalar_tier() {
+        // A zero-bit bank has no plan (the skew hash would shift by
+        // 64); it must classify to the scalar fallback, not a group.
+        let configs = vec![PredictorConfig::Gskew {
+            history_bits: 4,
+            bank_bits: 0,
+        }];
+        let lanes = LaneSet::new(&configs, Simulator::new());
+        assert_eq!(lanes.scalar_lanes(), 1);
+        assert!(lanes.gskew_groups.is_empty());
+    }
+
+    #[test]
+    fn duplicate_plan_configs_get_independent_lanes() {
+        let mut configs = vec![
+            PredictorConfig::Agree {
+                history_bits: 5,
+                index_bits: 7,
+            };
+            3
+        ];
+        configs.extend(vec![
+            PredictorConfig::PasInfinite {
+                history_bits: 4,
+                col_bits: 1,
+            };
+            3
+        ]);
+        let results = replay_multilane(&configs, &trace(1_200), Simulator::new());
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(results[3], results[4]);
+        assert_eq!(results[4], results[5]);
+    }
+
+    #[test]
+    fn prefetch_path_is_bit_identical() {
+        // Flip the prefetch flag directly (instead of racing the env
+        // var across test threads) and compare against the default
+        // fused path over the same chunk stream.
+        let configs = grouped_configs();
+        let t = trace(2_500);
+        let mut plain = LaneSet::new(&configs, Simulator::new());
+        let mut prefetched = LaneSet::new(&configs, Simulator::new());
+        for group in &mut prefetched.groups {
+            group.prefetch = true;
+        }
+        for chunk in t.chunks(256) {
+            plain.replay_chunk(&chunk);
+            prefetched.replay_chunk(&chunk);
+        }
+        assert_eq!(plain.finish(), prefetched.finish());
     }
 
     #[test]

@@ -7,7 +7,11 @@
 # dispatch mode (pinned scalar fallback, record-major grouping with
 # and without the packed SWAR step, and the default fused multilane
 # kernel), plus toolchain metadata. Every mode is asserted
-# bit-identical before a number is written.
+# bit-identical before a number is written. Families span the Direct
+# shapes, the statics, and the table-walk-plan families
+# (PAs/SAs/agree/bi-mode/gskew); a grouped-mode row whose sweep ran
+# lanes on the scalar tier is marked "mode": "scalar-fallback" rather
+# than recorded as a grouped number.
 #
 #   scripts/bench_replay.sh             # refresh BENCH_replay.json
 #   scripts/bench_replay.sh --quick     # small trace, 1 rep (CI smoke)

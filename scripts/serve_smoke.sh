@@ -53,6 +53,11 @@ PAIRS_RATE=$(echo "$PAIRS_LINE" | awk '{ print $2 }')
     || { echo "FAIL: cold request replayed no records (bpred_records_replayed_total)"; exit 1; }
 awk -v r="$PAIRS_RATE" 'BEGIN { exit (r > 0) ? 0 : 1 }' \
     || { echo "FAIL: throughput gauge not positive after a sweep ($PAIRS_LINE)"; exit 1; }
+# Every scheme in the sweep is groupable, so none of its lanes may
+# have degraded to the scalar fallback tier.
+SCALAR_LANES=$(scrape bpred_replay_scalar_lanes)
+[[ "$SCALAR_LANES" -eq 0 ]] \
+    || { echo "FAIL: $SCALAR_LANES lanes fell back to the scalar tier (bpred_replay_scalar_lanes)"; exit 1; }
 
 # Warm request: bit-identical, no new misses, hits advance, and no
 # further records enter the engine.
@@ -83,7 +88,8 @@ for series in \
     'bpred_store_hits_total{tier="pack"}' \
     'bpred_store_hits_total{tier="peer"}' \
     'bpred_store_segments' \
-    'bpred_store_hot_bytes'; do
+    'bpred_store_hot_bytes' \
+    'bpred_replay_scalar_lanes'; do
     echo "$METRICS" | grep -qF "$series" \
         || { echo "FAIL: /metrics missing series $series"; exit 1; }
 done

@@ -185,6 +185,118 @@ fn lane_set_streams_one_chunk_at_a_time() {
     );
 }
 
+/// One groupable configuration per table-walk-plan family beyond the
+/// single-read Direct shape (Pas perfect/finite, SAs, agree, bi-mode,
+/// gskew).
+fn plan_family_variants() -> Vec<PredictorConfig> {
+    vec![
+        PredictorConfig::PasInfinite {
+            history_bits: 6,
+            col_bits: 2,
+        },
+        PredictorConfig::PasFinite {
+            history_bits: 6,
+            col_bits: 2,
+            entries: 128,
+            ways: 4,
+        },
+        PredictorConfig::Sas {
+            history_bits: 6,
+            set_bits: 4,
+            col_bits: 2,
+        },
+        PredictorConfig::Agree {
+            history_bits: 7,
+            index_bits: 9,
+        },
+        PredictorConfig::BiMode {
+            history_bits: 7,
+            direction_bits: 8,
+            choice_bits: 8,
+        },
+        PredictorConfig::Gskew {
+            history_bits: 8,
+            bank_bits: 8,
+        },
+    ]
+}
+
+#[test]
+fn each_plan_family_matches_the_scalar_oracle_alone() {
+    // One lane at a time: a failure pins the family instead of the
+    // mix.
+    let trace = suite::espresso().scaled(6_000).trace(23);
+    for config in plan_family_variants() {
+        let configs = [config];
+        let serial = serial_reference(&configs, &trace, Simulator::new());
+        let multilane = replay_multilane(&configs, &trace, Simulator::new());
+        assert_eq!(serial, multilane, "{config}");
+    }
+}
+
+#[test]
+fn plan_families_match_with_warmups_and_chunking() {
+    let trace = suite::real_gcc().scaled(4_000).trace(31);
+    let len = trace.len();
+    let configs = plan_family_variants();
+    for warmup in [0, 1, 500, len] {
+        let simulator = Simulator::with_warmup(warmup);
+        let serial = serial_reference(&configs, &trace, simulator);
+        for chunk_len in [1, 13, len - 1, len + 1] {
+            let chunked = run_batched_chunked(&configs, &trace, simulator, 4, chunk_len);
+            assert_eq!(serial, chunked, "warmup {warmup} chunk_len {chunk_len}");
+        }
+    }
+}
+
+#[test]
+fn a_plan_group_wider_than_the_packed_lane_limit_splits_cleanly() {
+    // 41 agree lanes force a second AgreeGroup (the limit is
+    // cell::PACKED_LANES = 32), interleaved with the other plan
+    // families and a scalar-tier lane on both sides of the split.
+    let mut configs = vec![PredictorConfig::LastTime { addr_bits: 5 }];
+    configs.extend((1..=41u32).map(|n| PredictorConfig::Agree {
+        history_bits: n % 6,
+        index_bits: n % 6 + 3,
+    }));
+    configs.extend(plan_family_variants());
+    configs.push(PredictorConfig::Yags {
+        choice_bits: 6,
+        cache_bits: 5,
+        tag_bits: 6,
+    });
+    let trace = suite::sdet().scaled(4_000).trace(41);
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    let multilane = replay_multilane(&configs, &trace, Simulator::new());
+    assert_eq!(serial, multilane);
+}
+
+#[test]
+fn duplicate_plan_configurations_stay_independent() {
+    let mut configs = vec![
+        PredictorConfig::Gskew {
+            history_bits: 6,
+            bank_bits: 7,
+        };
+        3
+    ];
+    configs.extend(vec![
+        PredictorConfig::PasInfinite {
+            history_bits: 5,
+            col_bits: 2,
+        };
+        3
+    ]);
+    let trace = suite::espresso().scaled(2_000).trace(13);
+    let serial = serial_reference(&configs, &trace, Simulator::new());
+    let multilane = replay_multilane(&configs, &trace, Simulator::new());
+    assert_eq!(serial, multilane);
+    assert_eq!(multilane[0], multilane[1]);
+    assert_eq!(multilane[1], multilane[2]);
+    assert_eq!(multilane[3], multilane[4]);
+    assert_eq!(multilane[4], multilane[5]);
+}
+
 /// A small pool of branch addresses so random traces still alias.
 fn arb_record() -> impl Strategy<Value = BranchRecord> {
     (
@@ -237,6 +349,43 @@ fn arb_config() -> impl Strategy<Value = PredictorConfig> {
                 history_bits,
                 chooser_bits,
             }
+        }),
+        (
+            1u32..6,
+            0u32..3,
+            prop::sample::select(vec![(8u32, 1u32), (16, 2), (16, 16)])
+        )
+            .prop_map(|(history_bits, col_bits, (entries, ways))| {
+                PredictorConfig::PasFinite {
+                    history_bits,
+                    col_bits,
+                    entries,
+                    ways,
+                }
+            }),
+        (1u32..6, 0u32..4, 0u32..3).prop_map(|(history_bits, set_bits, col_bits)| {
+            PredictorConfig::Sas {
+                history_bits,
+                set_bits,
+                col_bits,
+            }
+        }),
+        // history <= index/direction bits is asserted by the scalar
+        // kernels; derive the history from the table shape.
+        (1u32..8, 0u32..3).prop_map(|(index_bits, h_back)| PredictorConfig::Agree {
+            history_bits: index_bits.saturating_sub(h_back),
+            index_bits,
+        }),
+        (1u32..7, 0u32..3, 0u32..6).prop_map(|(direction_bits, h_back, choice_bits)| {
+            PredictorConfig::BiMode {
+                history_bits: direction_bits.saturating_sub(h_back),
+                direction_bits,
+                choice_bits,
+            }
+        }),
+        (0u32..10, 1u32..8).prop_map(|(history_bits, bank_bits)| PredictorConfig::Gskew {
+            history_bits,
+            bank_bits,
         }),
     ]
 }
