@@ -28,13 +28,20 @@
 //!
 //! Every mode produces bit-identical results (asserted here on every
 //! run); only wall-clock differs. Families cover the Direct shapes
-//! (gshare/GAs/address-indexed), the statics, and the table-walk-plan
-//! families (PAs/SAs/agree/bi-mode/gskew). A grouped-mode row whose
+//! (gshare/GAs/address-indexed), the statics, the table-walk-plan
+//! families (PAs/SAs/agree/bi-mode/gskew), and the multi-structure
+//! plans (tournament/YAGS/path/lasttime). A grouped-mode row whose
 //! sweep actually ran lanes on the scalar tier is recorded as
 //! `"mode": "scalar-fallback"` instead of a misleading grouped
-//! number. `--quick` shrinks the trace and rep count for CI smoke use
-//! and additionally asserts that every family reports a non-fallback
-//! multilane row.
+//! number. A spill-scale scenario block re-measures the multilane
+//! tier at ~L2/~LLC/4×LLC arena footprints with chunk-level prefetch
+//! forced off vs the footprint-gated `auto` default, and every row
+//! records the prefetch choice the engine resolved. Alongside the
+//! gshare headline `speedup`, the artifact carries a
+//! `geomean_speedup` across all kernel families. `--quick` shrinks
+//! the trace and rep count for CI smoke use and additionally asserts
+//! that every family reports a non-fallback multilane row and that no
+//! row anywhere degraded to `"scalar-fallback"`.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -56,10 +63,24 @@ struct Family {
 /// measurement actually ran lanes on the scalar tier — a fallback row
 /// must not masquerade as a grouped number.
 struct Measurement {
-    family: &'static str,
+    family: String,
     mode: String,
     lanes: usize,
     pairs_per_sec: f64,
+    /// The chunk-level arena prefetch the footprint heuristic resolved
+    /// for this row: `"on"` when any fused group prefetched, `"off"`
+    /// otherwise (scalar rows have no groups, hence always `"off"`).
+    prefetch: &'static str,
+}
+
+/// The prefetch choice the engine resolved for the sweep that just
+/// ran, as recorded per row in the artifact.
+fn resolved_prefetch() -> &'static str {
+    if bpred_sim::replay_prefetch_groups() > 0 {
+        "on"
+    } else {
+        "off"
+    }
 }
 
 fn families() -> Vec<Family> {
@@ -152,6 +173,50 @@ fn families() -> Vec<Family> {
                 })
                 .collect(),
         },
+        // The multi-structure families: chooser-over-two-subplans,
+        // tagged direction caches, the path-history register feed,
+        // and the degenerate single-bit table — the last schemes off
+        // the scalar fallback.
+        Family {
+            name: "tournament",
+            configs: (4..12u32)
+                .map(|bits| PredictorConfig::Tournament {
+                    addr_bits: bits,
+                    history_bits: bits.min(10),
+                    chooser_bits: bits,
+                })
+                .collect(),
+        },
+        Family {
+            name: "yags",
+            configs: (4..12u32)
+                .map(|cache_bits| PredictorConfig::Yags {
+                    choice_bits: cache_bits,
+                    cache_bits,
+                    tag_bits: 6,
+                })
+                .collect(),
+        },
+        Family {
+            name: "path",
+            configs: (4..12u32)
+                .map(|row_bits| PredictorConfig::Path {
+                    row_bits,
+                    col_bits: 2,
+                    bits_per_target: 4,
+                })
+                .collect(),
+        },
+        Family {
+            name: "lasttime",
+            // 32 lanes: the single-bit walk is nearly free, so a
+            // narrow family would measure the shared chunk generation
+            // it amortizes rather than the kernel.
+            configs: (1..=16u32)
+                .chain(1..=16u32)
+                .map(|addr_bits| PredictorConfig::LastTime { addr_bits })
+                .collect(),
+        },
     ]
 }
 
@@ -218,6 +283,7 @@ fn main() -> ExitCode {
     }
     std::env::remove_var("BPRED_FORCE_SCALAR");
     std::env::remove_var("BPRED_GROUP_STEP");
+    std::env::remove_var("BPRED_GROUP_PREFETCH");
 
     let source = WorkloadSource::new(suite::mpeg_play().scaled(conditionals), 2);
     let records: usize = source
@@ -292,15 +358,61 @@ fn main() -> ExitCode {
                 pairs_per_sec / 1e6
             );
             measurements.push(Measurement {
-                family: family.name,
+                family: family.name.to_owned(),
                 mode,
                 lanes: family.configs.len(),
                 pairs_per_sec,
+                prefetch: resolved_prefetch(),
             });
         }
     }
     std::env::remove_var("BPRED_FORCE_SCALAR");
     std::env::remove_var("BPRED_GROUP_STEP");
+
+    // Spill-scale scenarios: identical-geometry gshare lanes sized so
+    // one fused group's shared arena lands at ~L2 (1 MiB), ~LLC
+    // (16 MiB), and 4×LLC (64 MiB) — 16 lanes × 2^(h+c) cells × 8 B.
+    // Each footprint is measured with chunk-level prefetch forced off
+    // and with the footprint-gated `auto` default, so the artifact
+    // shows where the heuristic's spill threshold earns its keep.
+    let spill_scenarios: [(&str, u32); 3] =
+        [("spill-l2", 11), ("spill-llc", 15), ("spill-4xllc", 17)];
+    for (name, history_bits) in spill_scenarios {
+        let configs = vec![
+            PredictorConfig::Gshare {
+                history_bits,
+                col_bits: 2,
+            };
+            16
+        ];
+        let mut oracle: Option<Vec<SimResult>> = None;
+        for prefetch_env in ["off", "auto"] {
+            std::env::set_var("BPRED_GROUP_PREFETCH", prefetch_env);
+            let (pairs_per_sec, results) = measure(&configs, &source, records, reps);
+            match &oracle {
+                None => oracle = Some(results),
+                Some(want) => assert_eq!(
+                    want, &results,
+                    "{name} prefetch={prefetch_env} changed sweep results"
+                ),
+            }
+            let prefetch = resolved_prefetch();
+            eprintln!(
+                "{:<16} multilane ({prefetch_env:>4} -> {prefetch:<3}) {:>2} lanes  {:>7.1} M pairs/s",
+                name,
+                configs.len(),
+                pairs_per_sec / 1e6
+            );
+            measurements.push(Measurement {
+                family: name.to_owned(),
+                mode: format!("multilane-prefetch-{prefetch_env}"),
+                lanes: configs.len(),
+                pairs_per_sec,
+                prefetch,
+            });
+        }
+    }
+    std::env::remove_var("BPRED_GROUP_PREFETCH");
 
     // Schema assertion (CI smoke runs `--quick`): every family in
     // this table is groupable, so each must report a non-fallback
@@ -309,16 +421,22 @@ fn main() -> ExitCode {
     if quick {
         for family in measurements
             .iter()
-            .map(|m| m.family)
+            .map(|m| m.family.as_str())
             .collect::<std::collections::BTreeSet<_>>()
         {
             assert!(
                 measurements
                     .iter()
-                    .any(|m| m.family == family && m.mode == "multilane"),
+                    .any(|m| m.family == family && m.mode.starts_with("multilane")),
                 "groupable family {family} reported no non-fallback multilane mode"
             );
         }
+        // Every PredictorConfig family is plan-covered now: a
+        // fallback row anywhere is a dispatch regression.
+        assert!(
+            measurements.iter().all(|m| m.mode != "scalar-fallback"),
+            "a sweep degraded to the scalar fallback tier"
+        );
     }
 
     // The headline numbers: the acceptance sweep's scalar baseline vs
@@ -334,6 +452,28 @@ fn main() -> ExitCode {
     let multilane = overall("multilane");
     let speedup = multilane / scalar;
     eprintln!("\ngshare sweep: {:.2}x over the scalar fallback", speedup);
+
+    // Geomean of multilane-over-scalar across every kernel family, so
+    // the trajectory number survives family additions instead of
+    // riding on gshare alone. Spill scenarios have no scalar rows and
+    // stay out of it.
+    let family_speedups: Vec<f64> = measurements
+        .iter()
+        .filter(|m| m.mode == "multilane")
+        .filter_map(|m| {
+            measurements
+                .iter()
+                .find(|s| s.family == m.family && s.mode == "scalar")
+                .map(|s| m.pairs_per_sec / s.pairs_per_sec)
+        })
+        .collect();
+    let geomean_speedup =
+        (family_speedups.iter().map(|s| s.ln()).sum::<f64>() / family_speedups.len() as f64).exp();
+    eprintln!(
+        "geomean over {} families: {:.2}x over the scalar fallback",
+        family_speedups.len(),
+        geomean_speedup
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -366,13 +506,14 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"scalar_pairs_per_sec\": {scalar:.0},");
     let _ = writeln!(json, "  \"multilane_pairs_per_sec\": {multilane:.0},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"geomean_speedup\": {geomean_speedup:.3},");
     let _ = writeln!(json, "  \"sweeps\": [");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"family\": \"{}\", \"mode\": \"{}\", \"lanes\": {}, \"pairs_per_sec\": {:.0}}}{comma}",
-            m.family, m.mode, m.lanes, m.pairs_per_sec
+            "    {{\"family\": \"{}\", \"mode\": \"{}\", \"lanes\": {}, \"pairs_per_sec\": {:.0}, \"prefetch\": \"{}\"}}{comma}",
+            m.family, m.mode, m.lanes, m.pairs_per_sec, m.prefetch
         );
     }
     let _ = writeln!(json, "  ]");

@@ -9,15 +9,23 @@
 //!
 //! 1. an optional **first-level read** ([`Level1Read`]) producing the
 //!    row-selection pattern — a global history register, a per-address
-//!    BHT (perfect or set-associative), or per-set history registers;
+//!    BHT (perfect or set-associative), per-set history registers, or
+//!    a path register of hashed branch targets;
 //! 2. **one to three second-level counter reads** ([`TableRead`]) over
 //!    the shared arena, each with its own index function
 //!    ([`IndexFn`]): the unified `(row ^ xor?) | col` form or gskew's
-//!    skewed multiplicative bank hashes;
+//!    skewed multiplicative bank hashes. A read with `tag_bits > 0`
+//!    probes a *tagged* direction cache (YAGS): entries carry a
+//!    partial address tag, a lookup hits only on a tag match, and a
+//!    miss on the wrong-way outcome allocates by unconditional
+//!    eviction — exactly the `yags.rs` accounting;
 //! 3. a **combine/update rule** ([`CombineRule`]): direct,
-//!    agreement-vs-bias (agree), chooser-steered (bi-mode), or
-//!    majority vote with the bi-mode/gskew partial-update policies
-//!    folded in.
+//!    agreement-vs-bias (agree), chooser-steered (bi-mode), majority
+//!    vote (gskew), chooser-over-two-subplans (tournament, each
+//!    sub-plan carrying its own optional level-1 read), tagged
+//!    exception over a choice bias (YAGS), or the degenerate
+//!    last-outcome single-bit rule (LastTime), with every family's
+//!    partial-update policy folded in.
 //!
 //! [`WalkPlan::of`] maps a [`PredictorConfig`] to its plan (or `None`
 //! for shapes the grouped tier cannot express — those lanes stay on
@@ -74,6 +82,13 @@ pub enum Level1Read {
         /// log2 of the number of history sets.
         set_bits: u32,
     },
+    /// One global path register of hashed control-transfer targets
+    /// ([`PathRegister`](crate::PathRegister)) — fed by *every*
+    /// control transfer, not just conditionals.
+    PathHistory {
+        /// Low target bits contributed per transfer.
+        bits_per_target: u32,
+    },
 }
 
 /// The index function of one second-level counter read.
@@ -103,6 +118,11 @@ pub struct TableRead {
     pub col_bits: u32,
     /// How (pattern, address) map to a counter index.
     pub index: IndexFn,
+    /// Partial-tag width for a tagged direction cache (YAGS); `0`
+    /// means an ordinary untagged counter read. A tagged read hits
+    /// only when the stored tag matches the low address bits, and
+    /// allocates by unconditionally evicting the indexed entry.
+    pub tag_bits: u32,
 }
 
 impl TableRead {
@@ -130,6 +150,30 @@ pub enum CombineRule {
     /// gskew: majority vote of three reads; every bank trains toward
     /// the outcome (total-update policy).
     Majority,
+    /// Tournament: the third read (a per-address chooser) steers
+    /// between two component sub-plans — reads 0 and 1, each with its
+    /// own optional level-1 read carried here. The selected component
+    /// is the prediction; both components train toward the outcome
+    /// and the chooser trains toward whichever component was right,
+    /// only when they disagreed.
+    ChooserOverTwo {
+        /// Level-1 read feeding the first component (read 0).
+        first_level1: Level1Read,
+        /// Level-1 read feeding the second component (read 1).
+        second_level1: Level1Read,
+    },
+    /// YAGS: read 0 is an untagged choice (bias) table; reads 1 and 2
+    /// are tagged direction caches holding the exceptions to a taken
+    /// / not-taken bias respectively. A tag hit in the
+    /// opposite-to-bias cache overrides the bias; training updates
+    /// the probed cache on a hit, allocates on a wrong-bias miss, and
+    /// skips the choice update only when a hit already captured the
+    /// anti-bias outcome.
+    TaggedException,
+    /// LastTime: the single read is a one-bit-per-entry table that
+    /// predicts the last outcome stored at the index and then stores
+    /// the new outcome.
+    LastOutcome,
 }
 
 /// The execution class of a plan: lanes in the same kind run the same
@@ -151,6 +195,14 @@ pub enum PlanKind {
     BiModeChoice,
     /// Three skewed banks with a majority vote.
     SkewedMajority,
+    /// Two component reads steered by a per-address chooser read.
+    TournamentChooser,
+    /// Untagged choice read plus two tagged direction caches.
+    TaggedChoice,
+    /// Single unified read off a global path register.
+    PathHistory,
+    /// Single one-bit read predicting the last stored outcome.
+    LastOutcome,
 }
 
 /// A lane's table-walk plan: what the fused multilane tier must do per
@@ -175,6 +227,13 @@ impl WalkPlan {
             row_bits,
             col_bits,
             index: IndexFn::Unified { xor },
+            tag_bits: 0,
+        };
+        let tagged = |row_bits: u32, tag_bits: u32| TableRead {
+            row_bits,
+            col_bits: 0,
+            index: IndexFn::Unified { xor: true },
+            tag_bits,
         };
         match *config {
             PredictorConfig::AddressIndexed { addr_bits } => Some(WalkPlan {
@@ -270,9 +329,57 @@ impl WalkPlan {
                         row_bits: bank_bits,
                         col_bits: 0,
                         index: IndexFn::Skewed { bank },
+                        tag_bits: 0,
                     })
                     .collect(),
                 combine: CombineRule::Majority,
+            }),
+            PredictorConfig::LastTime { addr_bits } => Some(WalkPlan {
+                level1: Level1Read::None,
+                history_bits: 0,
+                reads: vec![unified(0, addr_bits, false)],
+                combine: CombineRule::LastOutcome,
+            }),
+            PredictorConfig::Path {
+                row_bits,
+                col_bits,
+                bits_per_target,
+            } => Some(WalkPlan {
+                level1: Level1Read::PathHistory { bits_per_target },
+                history_bits: row_bits,
+                reads: vec![unified(row_bits, col_bits, false)],
+                combine: CombineRule::Direct,
+            }),
+            PredictorConfig::Tournament {
+                addr_bits,
+                history_bits,
+                chooser_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits,
+                reads: vec![
+                    unified(0, addr_bits, false),
+                    unified(history_bits, 0, true),
+                    unified(0, chooser_bits, false),
+                ],
+                combine: CombineRule::ChooserOverTwo {
+                    first_level1: Level1Read::None,
+                    second_level1: Level1Read::GlobalHistory,
+                },
+            }),
+            PredictorConfig::Yags {
+                choice_bits,
+                cache_bits,
+                tag_bits,
+            } => Some(WalkPlan {
+                level1: Level1Read::GlobalHistory,
+                history_bits: cache_bits,
+                reads: vec![
+                    unified(0, choice_bits, false),
+                    tagged(cache_bits, tag_bits),
+                    tagged(cache_bits, tag_bits),
+                ],
+                combine: CombineRule::TaggedException,
             }),
             _ => None,
         }
@@ -284,9 +391,13 @@ impl WalkPlan {
             (CombineRule::AgreementVsBias, _) => PlanKind::AgreeBias,
             (CombineRule::ChooserSteered, _) => PlanKind::BiModeChoice,
             (CombineRule::Majority, _) => PlanKind::SkewedMajority,
+            (CombineRule::ChooserOverTwo { .. }, _) => PlanKind::TournamentChooser,
+            (CombineRule::TaggedException, _) => PlanKind::TaggedChoice,
+            (CombineRule::LastOutcome, _) => PlanKind::LastOutcome,
             (CombineRule::Direct, Level1Read::PerfectBht) => PlanKind::PerAddressPerfect,
             (CombineRule::Direct, Level1Read::SetAssocBht { .. }) => PlanKind::PerAddressFinite,
             (CombineRule::Direct, Level1Read::SetHistories { .. }) => PlanKind::PerSet,
+            (CombineRule::Direct, Level1Read::PathHistory { .. }) => PlanKind::PathHistory,
             (CombineRule::Direct, _) => PlanKind::Direct,
         }
     }
@@ -413,25 +524,67 @@ mod tests {
     }
 
     #[test]
+    fn multi_structure_plans_describe_their_shapes() {
+        let tournament = WalkPlan::of(&PredictorConfig::Tournament {
+            addr_bits: 10,
+            history_bits: 8,
+            chooser_bits: 9,
+        })
+        .unwrap();
+        assert_eq!(tournament.kind(), PlanKind::TournamentChooser);
+        assert_eq!(tournament.reads.len(), 3);
+        assert_eq!(tournament.reads[0].index, IndexFn::Unified { xor: false });
+        assert_eq!(tournament.reads[1].index, IndexFn::Unified { xor: true });
+        assert_eq!(
+            tournament.combine,
+            CombineRule::ChooserOverTwo {
+                first_level1: Level1Read::None,
+                second_level1: Level1Read::GlobalHistory,
+            }
+        );
+        assert_eq!(tournament.cells(), (1 << 10) + (1 << 8) + (1 << 9));
+
+        let yags = WalkPlan::of(&PredictorConfig::Yags {
+            choice_bits: 10,
+            cache_bits: 8,
+            tag_bits: 6,
+        })
+        .unwrap();
+        assert_eq!(yags.kind(), PlanKind::TaggedChoice);
+        assert_eq!(yags.history_bits, 8, "YAGS history is cache-bits wide");
+        assert_eq!(yags.reads.len(), 3);
+        assert_eq!(yags.reads[0].tag_bits, 0, "the choice table is untagged");
+        for cache in &yags.reads[1..] {
+            assert_eq!(cache.tag_bits, 6);
+            assert_eq!(cache.index, IndexFn::Unified { xor: true });
+        }
+        assert_eq!(yags.cells(), (1 << 10) + (1 << 8) + (1 << 8));
+
+        let path = WalkPlan::of(&PredictorConfig::Path {
+            row_bits: 8,
+            col_bits: 2,
+            bits_per_target: 3,
+        })
+        .unwrap();
+        assert_eq!(path.kind(), PlanKind::PathHistory);
+        assert_eq!(path.level1, Level1Read::PathHistory { bits_per_target: 3 });
+        assert_eq!(path.reads.len(), 1);
+        assert_eq!(path.reads[0].index, IndexFn::Unified { xor: false });
+        assert_eq!(path.cells(), 1 << 10);
+
+        let last = WalkPlan::of(&PredictorConfig::LastTime { addr_bits: 9 }).unwrap();
+        assert_eq!(last.kind(), PlanKind::LastOutcome);
+        assert_eq!(last.level1, Level1Read::None);
+        assert_eq!(last.reads.len(), 1);
+        assert_eq!(last.cells(), 1 << 9);
+    }
+
+    #[test]
     fn ungroupable_shapes_have_no_plan() {
         for config in [
             PredictorConfig::AlwaysTaken,
-            PredictorConfig::LastTime { addr_bits: 8 },
-            PredictorConfig::Path {
-                row_bits: 8,
-                col_bits: 2,
-                bits_per_target: 2,
-            },
-            PredictorConfig::Tournament {
-                addr_bits: 8,
-                history_bits: 8,
-                chooser_bits: 8,
-            },
-            PredictorConfig::Yags {
-                choice_bits: 8,
-                cache_bits: 6,
-                tag_bits: 6,
-            },
+            PredictorConfig::AlwaysNotTaken,
+            PredictorConfig::Btfn,
             // Degenerate zero-bit gskew banks stay scalar.
             PredictorConfig::Gskew {
                 history_bits: 0,

@@ -295,6 +295,19 @@ impl Metrics {
         let _ = writeln!(out, "# TYPE bpred_replay_scalar_lanes gauge");
         let _ = writeln!(out, "bpred_replay_scalar_lanes {scalar_lanes}");
 
+        // Per-plan-family lane census of the most recent sweep, so the
+        // plan families a sweep actually dispatched to (and any lanes
+        // left on the scalar tier) are visible per label.
+        let group_lanes = bpred_sim::replay_group_lanes();
+        let _ = writeln!(
+            out,
+            "# HELP bpred_replay_group_lanes Lanes of the most recent chunked sweep per plan family"
+        );
+        let _ = writeln!(out, "# TYPE bpred_replay_group_lanes gauge");
+        for (label, lanes) in bpred_sim::LANE_TIER_LABELS.iter().zip(group_lanes) {
+            let _ = writeln!(out, "bpred_replay_group_lanes{{plan=\"{label}\"}} {lanes}");
+        }
+
         let inflight = self.inflight_batches.load(Ordering::Relaxed);
         let _ = writeln!(
             out,
@@ -446,6 +459,24 @@ mod tests {
             .parse()
             .expect("numeric value");
         let _ = value;
+    }
+
+    #[test]
+    fn group_lane_gauge_renders_every_plan_family() {
+        // One labelled series per plan-family label, all numeric.
+        let m = Metrics::new();
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE bpred_replay_group_lanes gauge"));
+        for label in bpred_sim::LANE_TIER_LABELS {
+            let prefix = format!("bpred_replay_group_lanes{{plan=\"{label}\"}} ");
+            let value: u64 = text
+                .lines()
+                .find_map(|l| l.strip_prefix(prefix.as_str()))
+                .unwrap_or_else(|| panic!("series for {label} present"))
+                .parse()
+                .expect("numeric value");
+            let _ = value;
+        }
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::time::Instant;
 use bpred_core::{PredictorConfig, PredictorKernel};
 use bpred_trace::{TraceChunk, TraceSource};
 
+use crate::multilane::LANE_TIER_LABELS;
 use crate::ring::{ChunkRing, DetachGuard, FinishGuard, RING_CAPACITY};
 use crate::{LaneSet, ReplayCore, SimResult, Simulator};
 
@@ -70,6 +71,15 @@ static REPLAY_PAIRS_PER_SEC: AtomicU64 = AtomicU64::new(0);
 /// Lanes of the last chunked sweep that fell back to the scalar
 /// replay tier (0 until a sweep runs).
 static REPLAY_SCALAR_LANES: AtomicU64 = AtomicU64::new(0);
+
+/// Per-plan-family lane counts of the last chunked sweep, indexed like
+/// [`LANE_TIER_LABELS`] (all zero until a sweep runs).
+static REPLAY_GROUP_LANES: [AtomicU64; LANE_TIER_LABELS.len()] =
+    [const { AtomicU64::new(0) }; LANE_TIER_LABELS.len()];
+
+/// Fused groups of the last chunked sweep that resolved chunk-level
+/// arena prefetch *on* (0 until a sweep runs).
+static REPLAY_PREFETCH_GROUPS: AtomicU64 = AtomicU64::new(0);
 
 /// Warns at most once per process about an unparsable `BPRED_THREADS`.
 static BPRED_THREADS_WARNING: Once = Once::new();
@@ -101,6 +111,33 @@ pub fn replay_pairs_per_sec() -> f64 {
 /// tier is observable.
 pub fn replay_scalar_lanes() -> u64 {
     REPLAY_SCALAR_LANES.load(Ordering::Relaxed)
+}
+
+/// Per-plan-family lane counts of the most recent chunked sweep,
+/// indexed like [`LANE_TIER_LABELS`] (all zero before the first
+/// sweep). Backs the `bpred_replay_group_lanes{plan=...}` gauge
+/// exported by `bpred-serve`'s `/metrics` endpoint, so the plan
+/// families a sweep actually dispatched to are observable.
+pub fn replay_group_lanes() -> [u64; LANE_TIER_LABELS.len()] {
+    std::array::from_fn(|i| REPLAY_GROUP_LANES[i].load(Ordering::Relaxed))
+}
+
+/// Number of fused groups in the most recent chunked sweep that
+/// resolved chunk-level arena prefetch *on* (see
+/// `BPRED_GROUP_PREFETCH` in [`crate::multilane`]); 0 before the first
+/// sweep. Lets benches and `/metrics` record which prefetch mode a
+/// sweep's footprint heuristic actually chose.
+pub fn replay_prefetch_groups() -> u64 {
+    REPLAY_PREFETCH_GROUPS.load(Ordering::Relaxed)
+}
+
+/// Adds one [`LaneSet`]'s tier census to the sweep-wide gauges.
+fn record_lane_census(lanes: &LaneSet) {
+    REPLAY_SCALAR_LANES.fetch_add(lanes.scalar_lanes() as u64, Ordering::Relaxed);
+    REPLAY_PREFETCH_GROUPS.fetch_add(lanes.prefetch_groups() as u64, Ordering::Relaxed);
+    for (slot, count) in REPLAY_GROUP_LANES.iter().zip(lanes.lane_tier_counts()) {
+        slot.fetch_add(count, Ordering::Relaxed);
+    }
 }
 
 /// Number of worker threads: the `BPRED_THREADS` environment override
@@ -247,6 +284,10 @@ where
     let consumers = worker_count(shard_count);
     let before = records_replayed_total();
     REPLAY_SCALAR_LANES.store(0, Ordering::Relaxed);
+    REPLAY_PREFETCH_GROUPS.store(0, Ordering::Relaxed);
+    for slot in &REPLAY_GROUP_LANES {
+        slot.store(0, Ordering::Relaxed);
+    }
     let start = Instant::now();
     let results = if consumers == 1 {
         run_chunked_inline(configs, source, simulator, chunk_len)
@@ -273,7 +314,7 @@ where
     S: TraceSource + ?Sized,
 {
     let mut lanes = LaneSet::new(configs, simulator);
-    REPLAY_SCALAR_LANES.fetch_add(lanes.scalar_lanes() as u64, Ordering::Relaxed);
+    record_lane_census(&lanes);
     // One generator pass through a single reused buffer: with no other
     // worker to share with, the whole replay runs out of one chunk's
     // worth of memory.
@@ -332,8 +373,9 @@ where
                 if shards.is_empty() {
                     return; // more workers than shards: nothing owned
                 }
-                let scalar: usize = shards.iter().map(|(_, set)| set.scalar_lanes()).sum();
-                REPLAY_SCALAR_LANES.fetch_add(scalar as u64, Ordering::Relaxed);
+                for (_, set) in &shards {
+                    record_lane_census(set);
+                }
                 let lane_count: usize = shards.iter().map(|(_, set)| set.len()).sum();
                 while let Some(chunk) = ring.next(consumer) {
                     RECORDS_REPLAYED

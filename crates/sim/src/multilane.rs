@@ -25,15 +25,26 @@
 //!   first level) and SAg/SAs add a per-address/per-set history read
 //!   in front of the same counter step ([`TwoLevelGroup`]); agree,
 //!   bi-mode and gskew run their dealiased combine rules
-//!   ([`AgreeGroup`], [`BiModeGroup`], [`GskewGroup`]). Two
+//!   ([`AgreeGroup`], [`BiModeGroup`], [`GskewGroup`]); the
+//!   multi-structure schemes run their own fused loops — tournament's
+//!   chooser over two component reads ([`TournamentGroup`]), YAGS's
+//!   tagged exception caches over a choice bias ([`TaggedGroup`]),
+//!   path-based row selection fed by every control transfer
+//!   ([`PathGroup`]), and the one-bit LastTime table
+//!   ([`LastTimeGroup`]). Groups iterate lanes in *row-blocked* order
+//!   (descending region size, ties by configuration position — the
+//!   same order the arena placer assigns bases), so consecutive lanes
+//!   of a sweep walk adjacent arena regions and same-row reads land
+//!   in neighbouring cache lines. Two
 //!   record-major variants of the single-read loop are kept behind
 //!   `BPRED_GROUP_STEP` — one stepping every gathered counter in a
 //!   single [`cell::step_packed`] word op, one stepping per lane —
 //!   to decompose where the speedup comes from. With the
 //!   off-by-default `portable-simd` feature the single-read group
 //!   instead runs eight lanes per `std::simd` gather/scatter vector.
-//! * **Scalar fallback** — every scheme without a plan (and everything
-//!   when `BPRED_FORCE_SCALAR` is set) replays through the hoisted
+//! * **Scalar fallback** — every scheme without a plan (today only
+//!   the degenerate zero-bit gskew bank, plus everything when
+//!   `BPRED_FORCE_SCALAR` is set) replays through the hoisted
 //!   [`ReplayCore`] dispatch unchanged. The scalar kernel remains the
 //!   oracle: multilane results are bit-identical by construction and
 //!   by test (`tests/multilane.rs` at the workspace root).
@@ -55,11 +66,16 @@
 //!   (isolates the packed step). Any other value selects the fused
 //!   lane-major default. Used to decompose the speedup in
 //!   EXPERIMENTS.md.
-//! * `BPRED_GROUP_PREFETCH` — any value other than empty/`0` runs the
-//!   single-read fused loop in a blocked two-phase form: a short
+//! * `BPRED_GROUP_PREFETCH=auto|on|off` — whether the single-read
+//!   fused loop runs in a blocked two-phase form: a short
 //!   address-generation pass touches the upcoming arena slots (the
 //!   known hot gather) before the counter read-modify-write pass
-//!   consumes them.
+//!   consumes them. The default `auto` turns the two-phase form on
+//!   only for groups whose arena footprint exceeds the spill
+//!   threshold (`BPRED_GROUP_PREFETCH_THRESHOLD`, bytes, default
+//!   [`PREFETCH_SPILL_BYTES`]): prefetch costs ~4% while arenas stay
+//!   cache-resident and only earns its keep once the gather misses.
+//!   `on`/`off` (or the legacy `1`/`0`) force it either way.
 //!
 //! None of the knobs changes results, only the code path that computes
 //! them.
@@ -127,10 +143,56 @@ fn force_scalar() -> bool {
     matches!(std::env::var("BPRED_FORCE_SCALAR"), Ok(v) if !v.is_empty() && v != "0")
 }
 
-/// Whether `BPRED_GROUP_PREFETCH` selects the blocked two-phase fused
-/// loop with arena-slot prefetch (module docs).
-fn group_prefetch() -> bool {
-    matches!(std::env::var("BPRED_GROUP_PREFETCH"), Ok(v) if !v.is_empty() && v != "0")
+/// Default arena-footprint threshold (bytes) above which
+/// [`PrefetchMode::Auto`] turns the two-phase prefetch form on: the
+/// point where a group's arena has outgrown a typical L2 and the
+/// gather starts missing. Overridable via
+/// `BPRED_GROUP_PREFETCH_THRESHOLD`.
+pub const PREFETCH_SPILL_BYTES: u64 = 4 << 20;
+
+/// The `BPRED_GROUP_PREFETCH` policy: whether a lane group runs the
+/// blocked two-phase fused loop with arena-slot prefetch (module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrefetchMode {
+    /// Footprint-gated: on only when the group's arena exceeds the
+    /// spill threshold. The default.
+    Auto,
+    /// Always on (legacy `1` accepted).
+    On,
+    /// Always off (legacy `0` accepted).
+    Off,
+}
+
+impl PrefetchMode {
+    /// Resolves the policy for one group given its arena footprint.
+    fn resolve(self, arena_bytes: u64, threshold: u64) -> bool {
+        match self {
+            PrefetchMode::On => true,
+            PrefetchMode::Off => false,
+            PrefetchMode::Auto => arena_bytes > threshold,
+        }
+    }
+}
+
+/// The `BPRED_GROUP_PREFETCH` knob (module docs): unset/empty/`auto`
+/// gate on arena footprint, `off`/`0` force off, anything else
+/// (including the legacy `1`) forces on.
+fn group_prefetch() -> PrefetchMode {
+    match std::env::var("BPRED_GROUP_PREFETCH").as_deref() {
+        Err(_) | Ok("") | Ok("auto") => PrefetchMode::Auto,
+        Ok("off") | Ok("0") => PrefetchMode::Off,
+        Ok(_) => PrefetchMode::On,
+    }
+}
+
+/// The spill threshold (bytes) for [`PrefetchMode::Auto`]:
+/// `BPRED_GROUP_PREFETCH_THRESHOLD` or [`PREFETCH_SPILL_BYTES`].
+fn prefetch_threshold() -> u64 {
+    std::env::var("BPRED_GROUP_PREFETCH_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(PREFETCH_SPILL_BYTES)
 }
 
 /// Counter-step strategy inside a lane group (see the module docs).
@@ -170,6 +232,25 @@ pub fn dispatch_tier() -> &'static str {
         "swar"
     }
 }
+
+/// Stable labels of every dispatch tier / plan family a lane can land
+/// on, in [`LaneSet::lane_tier_counts`] order. Exported as the
+/// `plan` label values of the `bpred_replay_group_lanes` gauge.
+pub const LANE_TIER_LABELS: [&str; 13] = [
+    "direct",
+    "pas-perfect",
+    "pas-finite",
+    "per-set",
+    "agree",
+    "bimode",
+    "gskew",
+    "tournament",
+    "yags",
+    "path",
+    "last-time",
+    "static",
+    "scalar",
+];
 
 /// Conditional/taken-conditional counts of a chunk, sixteen records
 /// per word op: a record is conditional when its three kind bits are
@@ -390,7 +471,7 @@ struct GlobalGroup {
 }
 
 impl GlobalGroup {
-    fn new(mut specs: Vec<GroupSpec>, step: GroupStep, prefetch: bool) -> Self {
+    fn new(mut specs: Vec<GroupSpec>, step: GroupStep, prefetch: PrefetchMode) -> Self {
         debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
         // Descending size order: every earlier region is a multiple of
         // each later size, so each base is aligned to its lane's size
@@ -416,7 +497,7 @@ impl GlobalGroup {
             arena: Vec::new(),
             arena_mask: 0,
             step,
-            prefetch,
+            prefetch: false,
         };
         let mut next_base = 0u64;
         for spec in specs {
@@ -446,6 +527,9 @@ impl GlobalGroup {
         let fresh = cell::fresh(TwoBitCounter::default().state().bits());
         group.arena = vec![fresh; arena_len];
         group.arena_mask = (arena_len - 1) as u64;
+        // Footprint-gate the two-phase prefetch form now that the
+        // arena size is known (8 bytes per packed cell).
+        group.prefetch = prefetch.resolve(8 * arena_len as u64, prefetch_threshold());
         group
     }
 
@@ -774,6 +858,24 @@ fn place_regions(sizes: &[u64]) -> (Vec<u64>, usize) {
 /// counter state (weakly taken), shared by every group kind.
 fn fresh_arena(len: usize) -> Vec<u64> {
     vec![cell::fresh(TwoBitCounter::default().state().bits()); len]
+}
+
+/// Row-blocked lane order: sorts plan specs by descending arena
+/// footprint (ties by configuration position) *before* group split —
+/// the exact order [`place_regions`] assigns bases in. Groups then
+/// iterate lanes in placement order, so consecutive lanes of a sweep
+/// walk adjacent arena regions and same-row reads of the shared arena
+/// land in neighbouring cache lines instead of striding the whole
+/// footprint. Pure iteration-order change: lanes are independent and
+/// results are written through `indices`, so output order (and every
+/// result bit) is unchanged.
+fn row_block_plans(specs: &mut [PlanSpec]) {
+    specs.sort_by(|a, b| {
+        b.plan
+            .cells()
+            .cmp(&a.plan.cells())
+            .then(a.index.cmp(&b.index))
+    });
 }
 
 /// Splits groupable specs into group-sized chunks, preserving order:
@@ -1521,6 +1623,677 @@ impl GskewGroup {
     }
 }
 
+/// A lane group for [`PlanKind::TournamentChooser`]: a per-address
+/// chooser read steers between two component reads — an
+/// address-indexed table (read 0) and a gshare table (read 1) — per
+/// the [`Combining`](bpred_core::Combining) kernel. Both components
+/// access-then-train exactly like the scalar [`cell::step`]; the
+/// chooser is the scalar kernel's bare counter vector, so its cells
+/// are peeked and retrained with their owner preserved (never tagged,
+/// no alias accounting) and train toward "the second component was
+/// right" only when the components disagreed.
+#[derive(Debug)]
+struct TournamentGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    hist: Vec<u64>,
+    hist_mask: Vec<u64>,
+    all_taken_ref: Vec<u64>,
+    addr_mask: Vec<u64>,
+    gshare_mask: Vec<u64>,
+    chooser_mask: Vec<u64>,
+    addr_base: Vec<u64>,
+    gshare_base: Vec<u64>,
+    chooser_base: Vec<u64>,
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl TournamentGroup {
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        // Three regions per lane: address-indexed, gshare, chooser.
+        let sizes: Vec<u64> = specs
+            .iter()
+            .flat_map(|s| s.plan.reads.iter().map(TableRead::cells))
+            .collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = TournamentGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            hist: vec![0; lanes],
+            hist_mask: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            addr_mask: Vec::with_capacity(lanes),
+            gshare_mask: Vec::with_capacity(lanes),
+            chooser_mask: Vec::with_capacity(lanes),
+            addr_base: Vec::with_capacity(lanes),
+            gshare_base: Vec::with_capacity(lanes),
+            chooser_base: Vec::with_capacity(lanes),
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            arena: fresh_arena(arena_len),
+        };
+        for (lane, spec) in specs.into_iter().enumerate() {
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group.hist_mask.push(wide_low_mask(spec.plan.history_bits));
+            group
+                .all_taken_ref
+                .push(all_taken_reference(spec.plan.history_bits));
+            group
+                .addr_mask
+                .push(wide_low_mask(spec.plan.reads[0].col_bits));
+            group
+                .gshare_mask
+                .push(wide_low_mask(spec.plan.reads[1].row_bits));
+            group
+                .chooser_mask
+                .push(wide_low_mask(spec.plan.reads[2].col_bits));
+            group.addr_base.push(bases[3 * lane]);
+            group.gshare_base.push(bases[3 * lane + 1]);
+            let chooser_base = bases[3 * lane + 2];
+            group.chooser_base.push(chooser_base);
+            // The scalar chooser starts weakly-not-taken ("trust the
+            // first component"), unlike the arena's weakly-taken
+            // default.
+            let chooser_cells = spec.plan.reads[2].cells();
+            for slot in chooser_base..chooser_base + chooser_cells {
+                group.arena[slot as usize] = cell::fresh(1);
+            }
+        }
+        group
+    }
+
+    fn replay(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.indices.len() {
+            let addr_mask = self.addr_mask[lane];
+            let gshare_mask = self.gshare_mask[lane];
+            let chooser_mask = self.chooser_mask[lane];
+            let addr_base = self.addr_base[lane];
+            let gshare_base = self.gshare_base[lane];
+            let chooser_base = self.chooser_base[lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let word = packed >> 3;
+                let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                // Component 0: address-indexed (row always zero, so
+                // never an all-taken pattern).
+                let a_slot = ((addr_base | (word & addr_mask)) as usize) & mask;
+                let a_cell = arena[a_slot];
+                let a_owner = a_cell >> 2;
+                let a_bits = a_cell & 0b11;
+                let a_conflict = ((a_owner != cell::EMPTY_OWNER) & (a_owner != tag)) as u64;
+                // Component 1: gshare (column-free — the read is
+                // `history_bits` rows wide).
+                let g_row = (hist ^ (word & gshare_mask)) & gshare_mask;
+                let g_slot = ((gshare_base | g_row) as usize) & mask;
+                let g_cell = arena[g_slot];
+                let g_owner = g_cell >> 2;
+                let g_bits = g_cell & 0b11;
+                let g_conflict = ((g_owner != cell::EMPTY_OWNER) & (g_owner != tag)) as u64;
+                conflicts += a_conflict + g_conflict;
+                harmless += g_conflict & ((hist == all_taken_ref) as u64);
+                let a_pred = (a_bits >= 2) as u64;
+                let g_pred = (g_bits >= 2) as u64;
+                let chooser_slot = ((chooser_base | (word & chooser_mask)) as usize) & mask;
+                let chooser_cell = arena[chooser_slot];
+                let ch_bits = chooser_cell & 0b11;
+                let use_second = (ch_bits >= 2) as u64;
+                let predicted = a_pred ^ ((a_pred ^ g_pred) & use_second.wrapping_neg());
+                wrong += scored & (predicted ^ taken);
+                // Chooser trains toward "the second component was
+                // right", only on disagreement; its owner (empty) is
+                // preserved — the scalar chooser is untagged.
+                let train = a_pred ^ g_pred;
+                let toward_second = 1 ^ g_pred ^ taken;
+                let cinc = ((ch_bits < 3) as u64) & toward_second & train;
+                let cdec = ((ch_bits > 0) as u64) & (1 - toward_second) & train;
+                arena[chooser_slot] = (chooser_cell & !0b11u64) | (ch_bits + cinc - cdec);
+                // Both components train toward the outcome, owner
+                // re-tagged — the scalar access-then-retrain pair,
+                // fused as in [`cell::step`].
+                let a_inc = ((a_bits < 3) as u64) & taken;
+                let a_dec = ((a_bits > 0) as u64) & (1 - taken);
+                arena[a_slot] = (tag << 2) | (a_bits + a_inc - a_dec);
+                let g_inc = ((g_bits < 3) as u64) & taken;
+                let g_dec = ((g_bits > 0) as u64) & (1 - taken);
+                arena[g_slot] = (tag << 2) | (g_bits + g_inc - g_dec);
+                hist = ((hist << 1) | taken) & hist_mask;
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                // Both components access per conditional (the scalar
+                // kernel sums its components' stats); the chooser is
+                // never an access.
+                alias: Some(AliasStats {
+                    accesses: 2 * seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
+/// A lane group for [`PlanKind::TaggedChoice`] (YAGS): an untagged
+/// choice read gives the bias; the opposite direction cache — a
+/// tagged exception store — is probed at `history ^ address`, and a
+/// tag hit overrides the bias. Training steps the probed entry on a
+/// hit, allocates (unconditional eviction, tag + weak counter) on a
+/// wrong-bias miss, and retrains the choice unless a hit already
+/// captured the anti-bias outcome — exactly the
+/// [`Yags`](bpred_core::Yags) sequence. Cache entries live in the
+/// shared arena with the partial tag in the owner bits and the
+/// `u16::MAX` empty sentinel (partial tags are at most 8 bits, so the
+/// sentinel is unreachable).
+#[derive(Debug)]
+struct TaggedGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    hist: Vec<u64>,
+    hist_mask: Vec<u64>,
+    all_taken_ref: Vec<u64>,
+    choice_mask: Vec<u64>,
+    cache_mask: Vec<u64>,
+    tag_mask: Vec<u64>,
+    choice_base: Vec<u64>,
+    taken_base: Vec<u64>,
+    not_taken_base: Vec<u64>,
+    conflicts: Vec<u64>,
+    harmless: Vec<u64>,
+    mispredictions: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl TaggedGroup {
+    /// The empty-entry tag of a direction-cache cell, matching the
+    /// scalar cache's `u16::MAX` sentinel.
+    const EMPTY_TAG: u64 = u16::MAX as u64;
+
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        // Three regions per lane: choice, taken-cache, not-taken-cache.
+        let sizes: Vec<u64> = specs
+            .iter()
+            .flat_map(|s| s.plan.reads.iter().map(TableRead::cells))
+            .collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = TaggedGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            hist: vec![0; lanes],
+            hist_mask: Vec::with_capacity(lanes),
+            all_taken_ref: Vec::with_capacity(lanes),
+            choice_mask: Vec::with_capacity(lanes),
+            cache_mask: Vec::with_capacity(lanes),
+            tag_mask: Vec::with_capacity(lanes),
+            choice_base: Vec::with_capacity(lanes),
+            taken_base: Vec::with_capacity(lanes),
+            not_taken_base: Vec::with_capacity(lanes),
+            conflicts: vec![0; lanes],
+            harmless: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            arena: fresh_arena(arena_len),
+        };
+        for (lane, spec) in specs.into_iter().enumerate() {
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group.hist_mask.push(wide_low_mask(spec.plan.history_bits));
+            group
+                .all_taken_ref
+                .push(all_taken_reference(spec.plan.history_bits));
+            group
+                .choice_mask
+                .push(wide_low_mask(spec.plan.reads[0].col_bits));
+            group
+                .cache_mask
+                .push(wide_low_mask(spec.plan.reads[1].row_bits));
+            group
+                .tag_mask
+                .push(wide_low_mask(spec.plan.reads[1].tag_bits));
+            group.choice_base.push(bases[3 * lane]);
+            let (t_base, nt_base) = (bases[3 * lane + 1], bases[3 * lane + 2]);
+            group.taken_base.push(t_base);
+            group.not_taken_base.push(nt_base);
+            // Empty cache entries: sentinel tag, weakly-taken counter
+            // in the taken cache / weakly-not-taken in the not-taken
+            // cache (the scalar caches' initial counters — never
+            // observable before an allocation overwrites them, kept
+            // identical anyway).
+            let cache_cells = spec.plan.reads[1].cells();
+            for slot in t_base..t_base + cache_cells {
+                group.arena[slot as usize] = (Self::EMPTY_TAG << 2) | 2;
+            }
+            for slot in nt_base..nt_base + cache_cells {
+                group.arena[slot as usize] = (Self::EMPTY_TAG << 2) | 1;
+            }
+        }
+        group
+    }
+
+    fn replay(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.indices.len() {
+            let choice_mask = self.choice_mask[lane];
+            let cache_mask = self.cache_mask[lane];
+            let tag_mask = self.tag_mask[lane];
+            let choice_base = self.choice_base[lane];
+            let taken_base = self.taken_base[lane];
+            let not_taken_base = self.not_taken_base[lane];
+            let hist_mask = self.hist_mask[lane];
+            let all_taken_ref = self.all_taken_ref[lane];
+            let mut hist = self.hist[lane];
+            let (mut conflicts, mut harmless, mut wrong) = (0u64, 0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            for (i, &packed) in stream.iter().enumerate() {
+                let scored = (seen + i as u64 >= warmup) as u64;
+                let taken = packed & 1;
+                let word = packed >> 3;
+                let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                let all_taken = (hist == all_taken_ref) as u64;
+                // The choice access: bias prediction plus the lane's
+                // only alias accounting (the scalar caches are
+                // uninstrumented).
+                let choice_slot = ((choice_base | (word & choice_mask)) as usize) & mask;
+                let choice_cell = arena[choice_slot];
+                let owner = choice_cell >> 2;
+                let c_bits = choice_cell & 0b11;
+                let conflict = ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                conflicts += conflict;
+                harmless += conflict & all_taken;
+                let bias = (c_bits >= 2) as u64;
+                // Probe the cache opposite the bias for an exception.
+                let cache_base = taken_base ^ ((not_taken_base ^ taken_base) & bias.wrapping_neg());
+                let entry_slot = ((cache_base | ((hist ^ word) & cache_mask)) as usize) & mask;
+                let entry = arena[entry_slot];
+                let entry_tag = entry >> 2;
+                let entry_bits = entry & 0b11;
+                let partial = word & tag_mask;
+                let hit = (entry_tag == partial) as u64;
+                let entry_pred = (entry_bits >= 2) as u64;
+                let predicted = bias ^ ((bias ^ entry_pred) & hit.wrapping_neg());
+                wrong += scored & (predicted ^ taken);
+                // Cache entry: train on a hit, allocate (evict) on a
+                // wrong-bias miss, leave untouched otherwise.
+                let inc = ((entry_bits < 3) as u64) & taken;
+                let dec = ((entry_bits > 0) as u64) & (1 - taken);
+                let trained = (entry_tag << 2) | (entry_bits + inc - dec);
+                let allocated = (partial << 2) | (1 + taken);
+                let hit_m = hit.wrapping_neg();
+                let alloc_m = ((1 - hit) & (taken ^ bias)).wrapping_neg();
+                arena[entry_slot] =
+                    (trained & hit_m) | (allocated & alloc_m) | (entry & !(hit_m | alloc_m));
+                // Choice: retrain toward the outcome unless a hit
+                // already captured the anti-bias outcome; owner is
+                // re-tagged either way (the scalar access touched it).
+                let train = 1 - (hit & (taken ^ bias));
+                let cinc = ((c_bits < 3) as u64) & taken & train;
+                let cdec = ((c_bits > 0) as u64) & (1 - taken) & train;
+                arena[choice_slot] = (tag << 2) | (c_bits + cinc - cdec);
+                hist = ((hist << 1) | taken) & hist_mask;
+            }
+            self.hist[lane] = hist;
+            self.conflicts[lane] += conflicts;
+            self.harmless[lane] += harmless;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                // Choice table only, as in the scalar kernel.
+                alias: Some(AliasStats {
+                    accesses: seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: self.harmless[lane],
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
+/// A lane group for [`PlanKind::PathHistory`]: the unified counter
+/// read with its row selected by a global path register of hashed
+/// control-transfer targets. The register shifts on *every* control
+/// transfer (conditionals push their resolved destination,
+/// non-conditionals their target), so this group consumes the
+/// [`LaneSet`] per-chunk *event* column — one element per record —
+/// alongside the conditional stream. Path row selections never count
+/// as all-taken patterns, so harmless conflicts are structurally
+/// zero, as in the scalar selector.
+#[derive(Debug)]
+struct PathGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    /// The path register, kept masked to its width.
+    reg: Vec<u64>,
+    reg_mask: Vec<u64>,
+    /// Bits contributed per control transfer (the `q` parameter).
+    bpt: Vec<u64>,
+    bpt_mask: Vec<u64>,
+    row_mask: Vec<u64>,
+    col_shift: Vec<u64>,
+    col_mask: Vec<u64>,
+    base: Vec<u64>,
+    conflicts: Vec<u64>,
+    mispredictions: Vec<u64>,
+    arena: Vec<u64>,
+}
+
+impl PathGroup {
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        let sizes: Vec<u64> = specs.iter().map(|s| s.plan.cells()).collect();
+        let (bases, arena_len) = place_regions(&sizes);
+        let lanes = specs.len();
+        let mut group = PathGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            reg: vec![0; lanes],
+            reg_mask: Vec::with_capacity(lanes),
+            bpt: Vec::with_capacity(lanes),
+            bpt_mask: Vec::with_capacity(lanes),
+            row_mask: Vec::with_capacity(lanes),
+            col_shift: Vec::with_capacity(lanes),
+            col_mask: Vec::with_capacity(lanes),
+            base: bases,
+            conflicts: vec![0; lanes],
+            mispredictions: vec![0; lanes],
+            arena: fresh_arena(arena_len),
+        };
+        for spec in specs {
+            let read = spec.plan.reads[0];
+            let bits_per_target = match spec.plan.level1 {
+                Level1Read::PathHistory { bits_per_target } => bits_per_target,
+                ref other => unreachable!("path group from {other:?}"),
+            };
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            // A zero-width register is inert: the mask pins it to
+            // zero, matching the scalar push's width-0 no-op.
+            group.reg_mask.push(wide_low_mask(spec.plan.history_bits));
+            group.bpt.push(u64::from(bits_per_target));
+            group.bpt_mask.push(wide_low_mask(bits_per_target));
+            group.row_mask.push(wide_low_mask(read.row_bits));
+            group.col_shift.push(u64::from(read.col_bits));
+            group.col_mask.push(wide_low_mask(read.col_bits));
+        }
+        group
+    }
+
+    /// Walks the per-record event column (`(dest_word << 1) |
+    /// is_conditional`) with a cursor into the dense conditional
+    /// stream: conditionals read-modify-write their counter before
+    /// the register shifts in their destination; every record shifts.
+    fn replay(&mut self, stream: &[u64], events: &[u64], seen: u64, warmup: u64) {
+        for lane in 0..self.indices.len() {
+            let reg_mask = self.reg_mask[lane];
+            let bpt = self.bpt[lane];
+            let bpt_mask = self.bpt_mask[lane];
+            let row_mask = self.row_mask[lane];
+            let col_shift = self.col_shift[lane];
+            let col_mask = self.col_mask[lane];
+            let base = self.base[lane];
+            let mut reg = self.reg[lane];
+            let (mut conflicts, mut wrong) = (0u64, 0u64);
+            let arena = self.arena.as_mut_slice();
+            let mask = arena.len() - 1;
+            let mut ci = 0usize;
+            for &event in events {
+                if event & 1 == 1 {
+                    let packed = stream[ci];
+                    let scored = (seen + ci as u64 >= warmup) as u64;
+                    ci += 1;
+                    let taken = packed & 1;
+                    let word = packed >> 3;
+                    let tag = (packed >> 1) & cell::EMPTY_OWNER;
+                    let idx = ((reg & row_mask) << col_shift) | (word & col_mask);
+                    let slot = ((base | idx) as usize) & mask;
+                    let cell_word = arena[slot];
+                    let owner = cell_word >> 2;
+                    let bits = cell_word & 0b11;
+                    conflicts += ((owner != cell::EMPTY_OWNER) & (owner != tag)) as u64;
+                    wrong += scored & ((bits >= 2) as u64 ^ taken);
+                    let inc = ((bits < 3) as u64) & taken;
+                    let dec = ((bits > 0) as u64) & (1 - taken);
+                    arena[slot] = (tag << 2) | (bits + inc - dec);
+                }
+                reg = ((reg << bpt) | ((event >> 1) & bpt_mask)) & reg_mask;
+            }
+            debug_assert_eq!(ci, stream.len());
+            self.reg[lane] = reg;
+            self.conflicts[lane] += conflicts;
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, seen: u64, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                alias: Some(AliasStats {
+                    accesses: seen,
+                    conflicts: self.conflicts[lane],
+                    harmless_conflicts: 0,
+                }),
+                bht: None,
+            });
+        }
+    }
+}
+
+/// A lane group for [`PlanKind::LastOutcome`]: LastTime's degenerate
+/// one-bit table, predicting whatever outcome the indexed entry last
+/// stored. No shared-arena cells (there are no counters to pack and
+/// no owner tags to account) — each lane is a flat byte-per-entry
+/// table, updated with a blind store so no read-modify-write chain
+/// serializes the walk.
+#[derive(Debug)]
+struct LastTimeGroup {
+    indices: Vec<usize>,
+    names: Vec<String>,
+    state_bits: Vec<u64>,
+    addr_mask: Vec<u64>,
+    /// Per-lane last-outcome table, one byte per entry (0 =
+    /// not-taken, the initial state, 1 = taken).
+    table: Vec<Vec<u8>>,
+    mispredictions: Vec<u64>,
+}
+
+impl LastTimeGroup {
+    fn new(specs: Vec<PlanSpec>) -> Self {
+        debug_assert!(!specs.is_empty() && specs.len() <= cell::PACKED_LANES);
+        let lanes = specs.len();
+        let mut group = LastTimeGroup {
+            indices: Vec::with_capacity(lanes),
+            names: Vec::with_capacity(lanes),
+            state_bits: Vec::with_capacity(lanes),
+            addr_mask: Vec::with_capacity(lanes),
+            table: Vec::with_capacity(lanes),
+            mispredictions: vec![0; lanes],
+        };
+        for spec in specs {
+            let read = spec.plan.reads[0];
+            group.indices.push(spec.index);
+            group.names.push(spec.name);
+            group.state_bits.push(spec.state_bits);
+            group.addr_mask.push(wide_low_mask(read.col_bits));
+            group.table.push(vec![0u8; read.cells() as usize]);
+        }
+        group
+    }
+
+    fn replay(&mut self, stream: &[u64], seen: u64, warmup: u64) {
+        // Split the chunk at the warmup boundary once instead of
+        // testing `seen >= warmup` per record: warmup records update
+        // the table without scoring, scored records pay one load +
+        // xor + blind store each. Lanes walk the stream in quads so
+        // the shared record decode amortizes and same-entry
+        // store-to-load chains from different lanes overlap.
+        let boundary = warmup.saturating_sub(seen).min(stream.len() as u64) as usize;
+        let (unscored, rest) = stream.split_at(boundary);
+        let mut lane = 0;
+        while lane + 8 <= self.indices.len() {
+            let masks: [u64; 8] = std::array::from_fn(|k| self.addr_mask[lane + k]);
+            let mut wrong = [0u64; 8];
+            if let [t0, t1, t2, t3, t4, t5, t6, t7] = &mut self.table[lane..lane + 8] {
+                let tables: [&mut [u8]; 8] = [
+                    &mut t0[..=(masks[0] as usize)],
+                    &mut t1[..=(masks[1] as usize)],
+                    &mut t2[..=(masks[2] as usize)],
+                    &mut t3[..=(masks[3] as usize)],
+                    &mut t4[..=(masks[4] as usize)],
+                    &mut t5[..=(masks[5] as usize)],
+                    &mut t6[..=(masks[6] as usize)],
+                    &mut t7[..=(masks[7] as usize)],
+                ];
+                for &packed in unscored {
+                    let taken = (packed & 1) as u8;
+                    let key = packed >> 3;
+                    for k in 0..8 {
+                        tables[k][(key & masks[k]) as usize] = taken;
+                    }
+                }
+                for &packed in rest {
+                    let taken = (packed & 1) as u8;
+                    let key = packed >> 3;
+                    for k in 0..8 {
+                        let idx = (key & masks[k]) as usize;
+                        wrong[k] += (tables[k][idx] ^ taken) as u64;
+                        tables[k][idx] = taken;
+                    }
+                }
+            }
+            for (k, wrong) in wrong.into_iter().enumerate() {
+                self.mispredictions[lane + k] += wrong;
+            }
+            lane += 8;
+        }
+        while lane + 4 <= self.indices.len() {
+            let [m0, m1, m2, m3] = [
+                self.addr_mask[lane],
+                self.addr_mask[lane + 1],
+                self.addr_mask[lane + 2],
+                self.addr_mask[lane + 3],
+            ];
+            let mut wrong = [0u64; 4];
+            if let [t0, t1, t2, t3] = &mut self.table[lane..lane + 4] {
+                // Reslice each table to exactly `mask + 1` entries (its
+                // full length) so the masked index is provably in
+                // bounds and the inner loops stay check-free.
+                let (t0, t1, t2, t3) = (
+                    &mut t0[..=(m0 as usize)],
+                    &mut t1[..=(m1 as usize)],
+                    &mut t2[..=(m2 as usize)],
+                    &mut t3[..=(m3 as usize)],
+                );
+                for &packed in unscored {
+                    let taken = (packed & 1) as u8;
+                    let key = packed >> 3;
+                    t0[(key & m0) as usize] = taken;
+                    t1[(key & m1) as usize] = taken;
+                    t2[(key & m2) as usize] = taken;
+                    t3[(key & m3) as usize] = taken;
+                }
+                for &packed in rest {
+                    let taken = (packed & 1) as u8;
+                    let key = packed >> 3;
+                    let (i0, i1, i2, i3) = (
+                        (key & m0) as usize,
+                        (key & m1) as usize,
+                        (key & m2) as usize,
+                        (key & m3) as usize,
+                    );
+                    wrong[0] += (t0[i0] ^ taken) as u64;
+                    t0[i0] = taken;
+                    wrong[1] += (t1[i1] ^ taken) as u64;
+                    t1[i1] = taken;
+                    wrong[2] += (t2[i2] ^ taken) as u64;
+                    t2[i2] = taken;
+                    wrong[3] += (t3[i3] ^ taken) as u64;
+                    t3[i3] = taken;
+                }
+            }
+            for (k, wrong) in wrong.into_iter().enumerate() {
+                self.mispredictions[lane + k] += wrong;
+            }
+            lane += 4;
+        }
+        for lane in lane..self.indices.len() {
+            let addr_mask = self.addr_mask[lane];
+            let table = &mut self.table[lane][..=(addr_mask as usize)];
+            let mut wrong = 0u64;
+            for &packed in unscored {
+                table[((packed >> 3) & addr_mask) as usize] = (packed & 1) as u8;
+            }
+            for &packed in rest {
+                let taken = (packed & 1) as u8;
+                let idx = ((packed >> 3) & addr_mask) as usize;
+                wrong += (table[idx] ^ taken) as u64;
+                table[idx] = taken;
+            }
+            self.mispredictions[lane] += wrong;
+        }
+    }
+
+    fn finish(self, scored: u64, results: &mut [Option<SimResult>]) {
+        for lane in 0..self.indices.len() {
+            results[self.indices[lane]] = Some(SimResult {
+                predictor: self.names[lane].clone(),
+                state_bits: self.state_bits[lane],
+                conditionals: scored,
+                mispredictions: self.mispredictions[lane],
+                alias: None,
+                bht: None,
+            });
+        }
+    }
+}
+
 /// A set of predictor lanes advancing together through one chunk
 /// stream, each on its fastest applicable dispatch tier.
 ///
@@ -1566,11 +2339,19 @@ pub struct LaneSet {
     agree_groups: Vec<AgreeGroup>,
     bimode_groups: Vec<BiModeGroup>,
     gskew_groups: Vec<GskewGroup>,
+    tournament_groups: Vec<TournamentGroup>,
+    yags_groups: Vec<TaggedGroup>,
+    path_groups: Vec<PathGroup>,
+    last_groups: Vec<LastTimeGroup>,
     statics: Vec<StaticUnit>,
     scalars: Vec<(usize, Lane)>,
     /// Per-chunk scratch: the dense conditional stream shared by every
     /// lane group (`(pc << 1) | taken`, non-conditionals dropped).
     conditionals: Vec<u64>,
+    /// Per-chunk scratch for path lanes: one element per record,
+    /// `(dest_word << 1) | is_conditional` — the resolved destination
+    /// word every control transfer shifts into a path register.
+    events: Vec<u64>,
     /// Persistent dense branch ids (first-appearance order), shared by
     /// the perfect-BHT row source and the agree bias column.
     id_map: HashMap<u64, u32>,
@@ -1584,6 +2365,7 @@ pub struct LaneSet {
     bias_bits: Vec<u8>,
     needs_ids: bool,
     needs_bias: bool,
+    needs_events: bool,
 }
 
 impl LaneSet {
@@ -1600,6 +2382,10 @@ impl LaneSet {
         let mut agree_specs: Vec<PlanSpec> = Vec::new();
         let mut bimode_specs: Vec<PlanSpec> = Vec::new();
         let mut gskew_specs: Vec<PlanSpec> = Vec::new();
+        let mut tournament_specs: Vec<PlanSpec> = Vec::new();
+        let mut yags_specs: Vec<PlanSpec> = Vec::new();
+        let mut path_specs: Vec<PlanSpec> = Vec::new();
+        let mut last_specs: Vec<PlanSpec> = Vec::new();
         let mut statics = Vec::new();
         let mut scalars = Vec::new();
         for (index, config) in configs.iter().enumerate() {
@@ -1649,6 +2435,10 @@ impl LaneSet {
                             PlanKind::AgreeBias => &mut agree_specs,
                             PlanKind::BiModeChoice => &mut bimode_specs,
                             PlanKind::SkewedMajority => &mut gskew_specs,
+                            PlanKind::TournamentChooser => &mut tournament_specs,
+                            PlanKind::TaggedChoice => &mut yags_specs,
+                            PlanKind::PathHistory => &mut path_specs,
+                            PlanKind::LastOutcome => &mut last_specs,
                             PlanKind::Direct => unreachable!(),
                         };
                         bucket.push(PlanSpec {
@@ -1663,6 +2453,22 @@ impl LaneSet {
             }
         }
         let prefetch = group_prefetch();
+        // Row-blocked lane order (see `row_block_plans`): sort every
+        // bucket by descending footprint before the group split so
+        // iteration order matches arena placement order. The Direct
+        // specs get the same treatment with `GlobalGroup::new`'s own
+        // sort key, making its internal re-sort a no-op.
+        specs.sort_by(|a, b| b.cells().cmp(&a.cells()).then(a.index.cmp(&b.index)));
+        row_block_plans(&mut pas_specs);
+        row_block_plans(&mut finite_specs);
+        row_block_plans(&mut sas_specs);
+        row_block_plans(&mut agree_specs);
+        row_block_plans(&mut bimode_specs);
+        row_block_plans(&mut gskew_specs);
+        row_block_plans(&mut tournament_specs);
+        row_block_plans(&mut yags_specs);
+        row_block_plans(&mut path_specs);
+        row_block_plans(&mut last_specs);
         let groups = split_at_lane_limit(specs)
             .into_iter()
             .map(|chunk| GlobalGroup::new(chunk, step, prefetch))
@@ -1700,8 +2506,25 @@ impl LaneSet {
             .into_iter()
             .map(GskewGroup::new)
             .collect();
+        let tournament_groups = split_at_lane_limit(tournament_specs)
+            .into_iter()
+            .map(TournamentGroup::new)
+            .collect();
+        let yags_groups = split_at_lane_limit(yags_specs)
+            .into_iter()
+            .map(TaggedGroup::new)
+            .collect();
+        let path_groups: Vec<_> = split_at_lane_limit(path_specs)
+            .into_iter()
+            .map(PathGroup::new)
+            .collect();
+        let last_groups = split_at_lane_limit(last_specs)
+            .into_iter()
+            .map(LastTimeGroup::new)
+            .collect();
         let needs_ids = !pas_groups.is_empty() || !agree_groups.is_empty();
         let needs_bias = !agree_groups.is_empty();
+        let needs_events = !path_groups.is_empty();
         LaneSet {
             len: configs.len(),
             warmup: simulator.warmup() as u64,
@@ -1714,15 +2537,21 @@ impl LaneSet {
             agree_groups,
             bimode_groups,
             gskew_groups,
+            tournament_groups,
+            yags_groups,
+            path_groups,
+            last_groups,
             statics,
             scalars,
             conditionals: Vec::new(),
+            events: Vec::new(),
             id_map: HashMap::new(),
             ids: Vec::new(),
             bias: Vec::new(),
             bias_bits: Vec::new(),
             needs_ids,
             needs_bias,
+            needs_events,
         }
     }
 
@@ -1741,6 +2570,36 @@ impl LaneSet {
         self.scalars.len()
     }
 
+    /// Lane counts per dispatch tier / plan family, aligned with
+    /// [`LANE_TIER_LABELS`] — the raw material of the
+    /// `bpred_replay_group_lanes{plan=...}` gauge.
+    pub fn lane_tier_counts(&self) -> [u64; LANE_TIER_LABELS.len()] {
+        fn lanes_of<T>(groups: &[T], len: impl Fn(&T) -> usize) -> u64 {
+            groups.iter().map(len).sum::<usize>() as u64
+        }
+        [
+            lanes_of(&self.groups, |g| g.indices.len()),
+            lanes_of(&self.pas_groups, |g| g.indices.len()),
+            lanes_of(&self.finite_groups, |g| g.indices.len()),
+            lanes_of(&self.sas_groups, |g| g.indices.len()),
+            lanes_of(&self.agree_groups, |g| g.indices.len()),
+            lanes_of(&self.bimode_groups, |g| g.indices.len()),
+            lanes_of(&self.gskew_groups, |g| g.indices.len()),
+            lanes_of(&self.tournament_groups, |g| g.indices.len()),
+            lanes_of(&self.yags_groups, |g| g.indices.len()),
+            lanes_of(&self.path_groups, |g| g.indices.len()),
+            lanes_of(&self.last_groups, |g| g.indices.len()),
+            self.statics.len() as u64,
+            self.scalars.len() as u64,
+        ]
+    }
+
+    /// Number of single-read groups whose footprint gate resolved the
+    /// two-phase prefetch form on (see `BPRED_GROUP_PREFETCH`).
+    pub fn prefetch_groups(&self) -> usize {
+        self.groups.iter().filter(|g| g.prefetch).count()
+    }
+
     /// Feeds one chunk through every lane. Chunks must arrive in
     /// stream order; record semantics per lane are identical to
     /// [`ReplayCore::feed`] over the same records.
@@ -1752,9 +2611,38 @@ impl LaneSet {
             || !self.sas_groups.is_empty()
             || !self.agree_groups.is_empty()
             || !self.bimode_groups.is_empty()
-            || !self.gskew_groups.is_empty();
+            || !self.gskew_groups.is_empty()
+            || !self.tournament_groups.is_empty()
+            || !self.yags_groups.is_empty()
+            || !self.path_groups.is_empty()
+            || !self.last_groups.is_empty();
         if any_groups {
             collect_conditionals(chunk, &mut self.conditionals);
+            if self.needs_events {
+                // Path lanes shift on every record: build the shared
+                // per-record event column once — the destination a
+                // path register would hash (conditionals resolve to
+                // target or fall-through by outcome, everything else
+                // to its target) plus the is-conditional flag.
+                self.events.clear();
+                let pcs = chunk.pcs();
+                let targets = chunk.targets();
+                let words = chunk.meta_words();
+                for i in 0..pcs.len() {
+                    let bits = (words[i / TraceChunk::META_RECORDS_PER_WORD]
+                        >> (TraceChunk::META_BITS_PER_RECORD
+                            * (i % TraceChunk::META_RECORDS_PER_WORD)))
+                        & 0xF;
+                    let cond = (bits & 0b1110 == 0) as u64;
+                    let fallthrough = cond & (1 - (bits & 1));
+                    let dest = if fallthrough == 1 {
+                        pcs[i].wrapping_add(4)
+                    } else {
+                        targets[i]
+                    };
+                    self.events.push(((dest >> 2) << 1) | cond);
+                }
+            }
             if self.needs_ids {
                 // One shared pre-pass: dense ids in first-appearance
                 // order (serving the perfect-BHT allocation and the
@@ -1803,6 +2691,18 @@ impl LaneSet {
             for group in &mut self.gskew_groups {
                 group.replay(&self.conditionals, self.seen, self.warmup);
             }
+            for group in &mut self.tournament_groups {
+                group.replay(&self.conditionals, self.seen, self.warmup);
+            }
+            for group in &mut self.yags_groups {
+                group.replay(&self.conditionals, self.seen, self.warmup);
+            }
+            for group in &mut self.path_groups {
+                group.replay(&self.conditionals, &self.events, self.seen, self.warmup);
+            }
+            for group in &mut self.last_groups {
+                group.replay(&self.conditionals, self.seen, self.warmup);
+            }
         }
         for unit in &mut self.statics {
             unit.replay_chunk(chunk, self.seen, self.warmup, conditionals, taken);
@@ -1840,6 +2740,18 @@ impl LaneSet {
         }
         for group in self.gskew_groups {
             group.finish(self.seen, self.scored, &mut results);
+        }
+        for group in self.tournament_groups {
+            group.finish(self.seen, self.scored, &mut results);
+        }
+        for group in self.yags_groups {
+            group.finish(self.seen, self.scored, &mut results);
+        }
+        for group in self.path_groups {
+            group.finish(self.seen, self.scored, &mut results);
+        }
+        for group in self.last_groups {
+            group.finish(self.scored, &mut results);
         }
         for unit in self.statics {
             let slot = unit.index;
@@ -1956,6 +2868,9 @@ mod tests {
 
     #[test]
     fn scalar_tier_configs_match_serial_replay() {
+        // The families that used to pin lanes to the scalar fallback
+        // (multi-structure schemes) now all group; the mix still
+        // replays bit-identically alongside every other tier.
         let configs = vec![
             PredictorConfig::LastTime { addr_bits: 4 },
             PredictorConfig::Path {
@@ -1973,7 +2888,31 @@ mod tests {
                 col_bits: 1,
             },
         ];
+        let lanes = LaneSet::new(&configs, Simulator::new());
+        if !force_scalar() {
+            assert_eq!(lanes.scalar_lanes(), 0);
+        }
         assert_matches_serial(&configs, &trace(2_000), Simulator::new());
+    }
+
+    #[test]
+    fn zero_bit_gskew_banks_stay_on_the_scalar_tier() {
+        // The one remaining plan-less shape: a zero-bit gskew bank
+        // would need a 64-bit shift in the skew hash, so it keeps the
+        // scalar fallback alive (bucket-level check only — the scalar
+        // oracle itself rejects the degenerate shift in debug builds).
+        let configs = vec![
+            PredictorConfig::Gskew {
+                history_bits: 4,
+                bank_bits: 0,
+            },
+            PredictorConfig::Gshare {
+                history_bits: 5,
+                col_bits: 1,
+            },
+        ];
+        let lanes = LaneSet::new(&configs, Simulator::new());
+        assert_eq!(lanes.scalar_lanes(), if force_scalar() { 2 } else { 1 });
     }
 
     #[test]
@@ -2072,6 +3011,38 @@ mod tests {
                 history_bits: 40,
                 bank_bits: 9,
             },
+            PredictorConfig::Tournament {
+                addr_bits: 5,
+                history_bits: 6,
+                chooser_bits: 4,
+            },
+            PredictorConfig::Tournament {
+                addr_bits: 0,
+                history_bits: 0,
+                chooser_bits: 0,
+            },
+            PredictorConfig::Yags {
+                choice_bits: 6,
+                cache_bits: 5,
+                tag_bits: 4,
+            },
+            PredictorConfig::Yags {
+                choice_bits: 0,
+                cache_bits: 0,
+                tag_bits: 1,
+            },
+            PredictorConfig::Path {
+                row_bits: 6,
+                col_bits: 2,
+                bits_per_target: 3,
+            },
+            PredictorConfig::Path {
+                row_bits: 0,
+                col_bits: 2,
+                bits_per_target: 1,
+            },
+            PredictorConfig::LastTime { addr_bits: 5 },
+            PredictorConfig::LastTime { addr_bits: 0 },
         ]
     }
 
@@ -2091,6 +3062,10 @@ mod tests {
             assert_eq!(lanes.agree_groups.len(), 1);
             assert_eq!(lanes.bimode_groups.len(), 1);
             assert_eq!(lanes.gskew_groups.len(), 1);
+            assert_eq!(lanes.tournament_groups.len(), 1);
+            assert_eq!(lanes.yags_groups.len(), 1);
+            assert_eq!(lanes.path_groups.len(), 1);
+            assert_eq!(lanes.last_groups.len(), 1);
         }
         assert_matches_serial(&configs, &trace(3_000), Simulator::new());
     }
@@ -2140,6 +3115,73 @@ mod tests {
         assert_eq!(results[1], results[2]);
         assert_eq!(results[3], results[4]);
         assert_eq!(results[4], results[5]);
+    }
+
+    #[test]
+    fn duplicate_multi_structure_configs_get_independent_lanes() {
+        let mut configs = vec![
+            PredictorConfig::Yags {
+                choice_bits: 5,
+                cache_bits: 4,
+                tag_bits: 3,
+            };
+            3
+        ];
+        configs.extend(vec![
+            PredictorConfig::Tournament {
+                addr_bits: 4,
+                history_bits: 5,
+                chooser_bits: 3,
+            };
+            3
+        ]);
+        configs.extend(vec![
+            PredictorConfig::Path {
+                row_bits: 4,
+                col_bits: 1,
+                bits_per_target: 2,
+            };
+            3
+        ]);
+        let results = replay_multilane(&configs, &trace(1_200), Simulator::new());
+        for k in [0, 3, 6] {
+            assert_eq!(results[k], results[k + 1]);
+            assert_eq!(results[k + 1], results[k + 2]);
+        }
+    }
+
+    #[test]
+    fn lane_tier_counts_label_every_lane() {
+        let mut configs = plan_configs();
+        configs.extend(grouped_configs());
+        let lanes = LaneSet::new(&configs, Simulator::new());
+        let counts = lanes.lane_tier_counts();
+        assert_eq!(counts.iter().sum::<u64>() as usize, configs.len());
+        let of = |label: &str| {
+            counts[LANE_TIER_LABELS
+                .iter()
+                .position(|&l| l == label)
+                .expect("known label")]
+        };
+        if force_scalar() {
+            assert_eq!(of("scalar") as usize, configs.len());
+            assert_eq!(of("static"), 0, "statics force-scalar too");
+        } else {
+            assert_eq!(of("scalar"), 0);
+            assert_eq!(of("static"), 3);
+            for label in ["tournament", "yags", "path", "last-time"] {
+                assert_eq!(of(label), 2, "{label}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_auto_gates_on_arena_footprint() {
+        let at = PREFETCH_SPILL_BYTES;
+        assert!(!PrefetchMode::Auto.resolve(at, at));
+        assert!(PrefetchMode::Auto.resolve(at + 1, at));
+        assert!(PrefetchMode::On.resolve(0, at));
+        assert!(!PrefetchMode::Off.resolve(u64::MAX, at));
     }
 
     #[test]

@@ -8,10 +8,15 @@
 # and without the packed SWAR step, and the default fused multilane
 # kernel), plus toolchain metadata. Every mode is asserted
 # bit-identical before a number is written. Families span the Direct
-# shapes, the statics, and the table-walk-plan families
-# (PAs/SAs/agree/bi-mode/gskew); a grouped-mode row whose sweep ran
-# lanes on the scalar tier is marked "mode": "scalar-fallback" rather
-# than recorded as a grouped number.
+# shapes, the statics, the table-walk-plan families
+# (PAs/SAs/agree/bi-mode/gskew), and the multi-structure plans
+# (tournament/YAGS/path/last-time); a grouped-mode row whose sweep
+# ran lanes on the scalar tier is marked "mode": "scalar-fallback"
+# rather than recorded as a grouped number. A spill-scale family
+# (16-lane gshare sweeps at ~L2 / ~LLC / 4×LLC arena footprints)
+# ablates BPRED_GROUP_PREFETCH=off vs auto, recording the resolved
+# prefetch mode per row; the summary carries a geomean speedup
+# across every family measured both scalar and multilane.
 #
 #   scripts/bench_replay.sh             # refresh BENCH_replay.json
 #   scripts/bench_replay.sh --quick     # small trace, 1 rep (CI smoke)

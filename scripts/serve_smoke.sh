@@ -36,7 +36,13 @@ for _ in $(seq 1 50); do
 done
 curl -fsS "$BASE/healthz" | grep -q ok || { echo "FAIL: /healthz"; exit 1; }
 
-SWEEP="$BASE/sweep?workload=espresso&branches=50000&configs=gshare:h=8,c=2;gas:h=8,c=2;bimodal:a=10"
+# One config from every PredictorConfig family, so the scalar-lane
+# assertion below really covers the full design space.
+CONFIGS="gshare:h=8,c=2;gas:h=8,c=2;gag:h=8;bimodal:a=10;last:a=8"
+CONFIGS="$CONFIGS;path:r=6,c=2,q=2;pas:h=4,c=2;sas:h=4,s=3,c=2"
+CONFIGS="$CONFIGS;tournament:a=6,h=6,k=6;agree:h=6;bimode:h=6;gskew:h=6,b=7"
+CONFIGS="$CONFIGS;yags:k=6,b=5,t=4;taken;not-taken;btfn"
+SWEEP="$BASE/sweep?workload=espresso&branches=50000&configs=$CONFIGS"
 
 scrape() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1 == m { print $2 }'; }
 
@@ -53,11 +59,23 @@ PAIRS_RATE=$(echo "$PAIRS_LINE" | awk '{ print $2 }')
     || { echo "FAIL: cold request replayed no records (bpred_records_replayed_total)"; exit 1; }
 awk -v r="$PAIRS_RATE" 'BEGIN { exit (r > 0) ? 0 : 1 }' \
     || { echo "FAIL: throughput gauge not positive after a sweep ($PAIRS_LINE)"; exit 1; }
-# Every scheme in the sweep is groupable, so none of its lanes may
-# have degraded to the scalar fallback tier.
+# The sweep spans every PredictorConfig family and all of them are
+# groupable, so none of its lanes may have degraded to the scalar
+# fallback tier.
 SCALAR_LANES=$(scrape bpred_replay_scalar_lanes)
 [[ "$SCALAR_LANES" -eq 0 ]] \
     || { echo "FAIL: $SCALAR_LANES lanes fell back to the scalar tier (bpred_replay_scalar_lanes)"; exit 1; }
+# The per-plan lane census must show the multi-structure families on
+# their fused groups (and agree with the total lane count).
+GROUP_LANES=$(curl -fsS "$BASE/metrics" | grep '^bpred_replay_group_lanes{')
+for plan in tournament yags path last-time; do
+    LANES=$(echo "$GROUP_LANES" | awk -v p="plan=\"$plan\"" -F'[}{ ]' '$2 == p { print $4 }')
+    [[ "${LANES:-0}" -gt 0 ]] \
+        || { echo "FAIL: bpred_replay_group_lanes{plan=\"$plan\"} not positive"; exit 1; }
+done
+SCALAR_PLAN=$(echo "$GROUP_LANES" | awk -F'[}{ ]' '$2 == "plan=\"scalar\"" { print $4 }')
+[[ "${SCALAR_PLAN:-1}" -eq 0 ]] \
+    || { echo "FAIL: bpred_replay_group_lanes{plan=\"scalar\"} is ${SCALAR_PLAN:-missing}"; exit 1; }
 
 # Warm request: bit-identical, no new misses, hits advance, and no
 # further records enter the engine.
@@ -89,7 +107,11 @@ for series in \
     'bpred_store_hits_total{tier="peer"}' \
     'bpred_store_segments' \
     'bpred_store_hot_bytes' \
-    'bpred_replay_scalar_lanes'; do
+    'bpred_replay_scalar_lanes' \
+    'bpred_replay_group_lanes{plan="tournament"}' \
+    'bpred_replay_group_lanes{plan="yags"}' \
+    'bpred_replay_group_lanes{plan="path"}' \
+    'bpred_replay_group_lanes{plan="last-time"}'; do
     echo "$METRICS" | grep -qF "$series" \
         || { echo "FAIL: /metrics missing series $series"; exit 1; }
 done

@@ -17,8 +17,9 @@ use bpred::trace::{BranchKind, BranchRecord, Outcome, Trace, TraceChunk};
 use bpred::workloads::suite;
 
 /// One configuration of every `PredictorConfig` variant: the three
-/// static schemes and three groupable global-history shapes exercise
-/// the fast tiers, everything else the scalar fallback.
+/// static schemes ride the record-parallel tier and every dynamic
+/// scheme — including the multi-structure tournament/YAGS/path/
+/// last-time plans — dispatches to a fused group.
 fn every_variant() -> Vec<PredictorConfig> {
     vec![
         PredictorConfig::AlwaysTaken,
@@ -187,9 +188,26 @@ fn lane_set_streams_one_chunk_at_a_time() {
 
 /// One groupable configuration per table-walk-plan family beyond the
 /// single-read Direct shape (Pas perfect/finite, SAs, agree, bi-mode,
-/// gskew).
+/// gskew, and the multi-structure tournament/YAGS/path/last-time
+/// plans).
 fn plan_family_variants() -> Vec<PredictorConfig> {
     vec![
+        PredictorConfig::Tournament {
+            addr_bits: 6,
+            history_bits: 7,
+            chooser_bits: 5,
+        },
+        PredictorConfig::Yags {
+            choice_bits: 7,
+            cache_bits: 6,
+            tag_bits: 5,
+        },
+        PredictorConfig::Path {
+            row_bits: 7,
+            col_bits: 2,
+            bits_per_target: 3,
+        },
+        PredictorConfig::LastTime { addr_bits: 7 },
         PredictorConfig::PasInfinite {
             history_bits: 6,
             col_bits: 2,
@@ -253,7 +271,7 @@ fn plan_families_match_with_warmups_and_chunking() {
 fn a_plan_group_wider_than_the_packed_lane_limit_splits_cleanly() {
     // 41 agree lanes force a second AgreeGroup (the limit is
     // cell::PACKED_LANES = 32), interleaved with the other plan
-    // families and a scalar-tier lane on both sides of the split.
+    // families and a multi-structure lane on both sides of the split.
     let mut configs = vec![PredictorConfig::LastTime { addr_bits: 5 }];
     configs.extend((1..=41u32).map(|n| PredictorConfig::Agree {
         history_bits: n % 6,
@@ -386,6 +404,23 @@ fn arb_config() -> impl Strategy<Value = PredictorConfig> {
         (0u32..10, 1u32..8).prop_map(|(history_bits, bank_bits)| PredictorConfig::Gskew {
             history_bits,
             bank_bits,
+        }),
+        (0u32..8).prop_map(|addr_bits| PredictorConfig::LastTime { addr_bits }),
+        // bits_per_target is asserted 1..=16 by the path register.
+        (0u32..8, 0u32..3, 1u32..5).prop_map(|(row_bits, col_bits, bits_per_target)| {
+            PredictorConfig::Path {
+                row_bits,
+                col_bits,
+                bits_per_target,
+            }
+        }),
+        // tag_bits is asserted 1..=8 by the scalar kernel.
+        (0u32..7, 0u32..7, 1u32..=8).prop_map(|(choice_bits, cache_bits, tag_bits)| {
+            PredictorConfig::Yags {
+                choice_bits,
+                cache_bits,
+                tag_bits,
+            }
         }),
     ]
 }
